@@ -1,0 +1,108 @@
+// Command occopt shows the optimizer's decisions for a benchmark
+// kernel (or the paper's Section-3.1 worked example): the chosen file
+// layouts, loop transformation matrices, per-reference locality, and
+// the tiling specification of every nest.
+//
+// Usage:
+//
+//	occopt -kernel mxm [-version c-opt] [-n2 64] [-n3 16] [-n4 6]
+//	occopt -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"outcore/internal/codegen"
+	"outcore/internal/ir"
+	"outcore/internal/suite"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name (mat, mxm, adi, vpenta, btrix, emit, syr2k, htribk, gfunp, trans)")
+	version := flag.String("version", "c-opt", "version: col, row, l-opt, d-opt, c-opt, h-opt")
+	demo := flag.Bool("demo", false, "run the paper's Section-3.1 worked example instead of a kernel")
+	n2 := flag.Int64("n2", 64, "extent of 2-D array dimensions")
+	n3 := flag.Int64("n3", 16, "extent of 3-D array dimensions")
+	n4 := flag.Int64("n4", 6, "extent of 4-D array dimensions")
+	memFrac := flag.Int64("memfrac", 128, "memory budget = data size / memfrac")
+	code := flag.Bool("code", false, "print the generated tiled pseudo-code per nest")
+	flag.Parse()
+
+	var prog *ir.Program
+	switch {
+	case *demo:
+		prog = workedExample(*n2)
+	case *kernel != "":
+		k, ok := suite.ByName(*kernel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "occopt: unknown kernel %q\n", *kernel)
+			os.Exit(2)
+		}
+		prog = k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	plan, err := suite.PlanFor(prog, suite.Version(*version))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occopt:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== input program ===")
+	fmt.Print(prog)
+	fmt.Printf("\n=== %s plan ===\n", *version)
+	fmt.Print(plan)
+	if len(plan.Notes) > 0 {
+		fmt.Println("derivation:")
+		for _, note := range plan.Notes {
+			fmt.Println(" ", note)
+		}
+	}
+
+	fmt.Println("\n=== per-reference locality ===")
+	for _, rep := range plan.Report(prog, nil) {
+		fmt.Printf("  nest %d  %-16s %s\n", rep.Nest.ID, rep.Ref, rep.Locality)
+	}
+
+	fmt.Println("\n=== tiling ===")
+	budget := suite.MemBudget(prog, *memFrac)
+	fmt.Printf("memory budget: %d elements (1/%d of %d)\n", budget, *memFrac, suite.TotalElems(prog))
+	for _, n := range prog.Nests {
+		sched, err := codegen.Build(n, plan.Nests[n], codegen.Options{
+			Strategy:  suite.StrategyFor(suite.Version(*version)),
+			MemBudget: budget,
+		})
+		if err != nil {
+			fmt.Printf("  nest %d: %v\n", n.ID, err)
+			continue
+		}
+		fmt.Printf("  nest %d: %s\n", n.ID, sched.Spec)
+		if *code {
+			fmt.Println()
+			fmt.Print(sched)
+		}
+	}
+}
+
+// workedExample builds the Section-3.1 fragment.
+func workedExample(n int64) *ir.Program {
+	u := ir.NewArray("U", n, n)
+	v := ir.NewArray("V", n, n)
+	w := ir.NewArray("W", n, n)
+	return &ir.Program{
+		Name:   "worked-example",
+		Arrays: []*ir.Array{u, v, w},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(u, 2, 0, 1), []ir.Ref{ir.RefIdx(v, 2, 1, 0)}, "add1", ir.AddConst(1)),
+			}},
+			{ID: 1, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(v, 2, 0, 1), []ir.Ref{ir.RefIdx(w, 2, 1, 0)}, "add2", ir.AddConst(2)),
+			}},
+		},
+	}
+}

@@ -1,0 +1,100 @@
+// Command occtrace executes one kernel version out-of-core and dumps
+// its I/O behaviour: per-array call and byte counts, and optionally the
+// head of the raw request trace.
+//
+// Usage:
+//
+//	occtrace -kernel trans -version c-opt [-n2 64] [-head 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"outcore/internal/codegen"
+	"outcore/internal/exp"
+	"outcore/internal/ooc"
+	"outcore/internal/suite"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name")
+	version := flag.String("version", "c-opt", "program version")
+	n2 := flag.Int64("n2", 128, "extent of 2-D array dimensions")
+	n3 := flag.Int64("n3", 16, "extent of 3-D array dimensions")
+	n4 := flag.Int64("n4", 6, "extent of 4-D array dimensions")
+	memFrac := flag.Int64("memfrac", 128, "memory budget = data size / memfrac")
+	maxCall := flag.Int64("maxcall", 8192, "per-call element cap (0 = unlimited)")
+	head := flag.Int("head", 0, "print the first N trace entries")
+	hist := flag.Bool("hist", false, "print the request-size histogram")
+	flag.Parse()
+
+	k, ok := suite.ByName(*kernel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "occtrace: unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+	prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
+	plan, err := suite.PlanFor(prog, suite.Version(*version))
+	fail(err)
+
+	d, err := codegen.SetupDisk(prog, plan, *maxCall, nil)
+	fail(err)
+	d.Record = *head > 0 || *hist
+	budget := suite.MemBudget(prog, *memFrac)
+	mem := ooc.NewMemory(budget)
+	stats, err := codegen.RunProgram(prog, plan, d, mem, codegen.Options{
+		Strategy:  suite.StrategyFor(suite.Version(*version)),
+		MemBudget: budget,
+		DryRun:    true,
+	})
+	fail(err)
+
+	fmt.Printf("%s/%s  n2=%d  budget=%d elems  iterations=%d  tiles=%d\n",
+		k.Name, *version, *n2, budget, stats.Iterations, stats.Tiles)
+	fmt.Printf("total: %d calls (%d read, %d write), %d bytes\n\n",
+		d.Stats.Calls(), d.Stats.ReadCalls, d.Stats.WriteCalls, d.Stats.Bytes())
+	names := make([]string, 0, len(d.PerFile))
+	for name := range d.PerFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-10s %10s %10s %14s %14s\n", "array", "rd-calls", "wr-calls", "elems-read", "elems-written")
+	for _, name := range names {
+		s := d.PerFile[name]
+		if s.Calls() == 0 {
+			continue
+		}
+		fmt.Printf("%-10s %10d %10d %14d %14d\n", name, s.ReadCalls, s.WriteCalls, s.ElemsRead, s.ElemsWritten)
+	}
+	if *hist {
+		h := &exp.SizeHistogram{}
+		for _, r := range d.Trace {
+			h.Add(r.Len)
+		}
+		fmt.Println("\nrequest-size distribution (elements):")
+		fmt.Print(h.Render())
+	}
+	if *head > 0 {
+		fmt.Printf("\nfirst %d requests:\n", *head)
+		for i, r := range d.Trace {
+			if i >= *head {
+				break
+			}
+			op := "read "
+			if r.Write {
+				op = "write"
+			}
+			fmt.Printf("  %s %-8s off=%-8d len=%d\n", op, r.Array, r.Off, r.Len)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occtrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Package outcore is a reproduction of "Compiler Optimizations for
+// I/O-Intensive Computations" (Kandemir, Choudhary, Ramanujam,
+// ICPP 1999): a compiler framework that optimizes out-of-core array
+// programs by choosing file layouts (hyperplane-based data
+// transformations) together with non-singular loop transformations,
+// plus the full experimental platform the paper evaluated on — an
+// out-of-core runtime, a striped parallel-file-system simulator, the
+// ten benchmark kernels of Table 1, and the harness that regenerates
+// every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// paper-to-module mapping, and EXPERIMENTS.md for the measured
+// reproduction of each experiment.
+package outcore

@@ -1,0 +1,95 @@
+// Interproc: file layouts unified across procedure boundaries — the
+// paper's first item of future work, implemented in internal/interproc.
+//
+// A file layout is a whole-program property: when main passes its
+// array A to subroutine sweep, both main's transposed read A(j,i) and
+// sweep's straight write V(i,j) must be served by ONE layout for the
+// shared file. The example builds the two procedures, lists the call
+// binding, optimizes globally, and shows (1) the unified layout, (2)
+// that every reference in both procedures keeps locality, and (3) what
+// each procedure loses when optimized in isolation instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"outcore/internal/core"
+	"outcore/internal/interproc"
+	"outcore/internal/ir"
+)
+
+func main() {
+	const n = 64
+	// main: U(i,j) = A(j,i) + 1
+	u := ir.NewArray("U", n, n)
+	a := ir.NewArray("A", n, n)
+	mainProg := &ir.Program{
+		Name:   "main",
+		Arrays: []*ir.Array{u, a},
+		Nests: []*ir.Nest{{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+			ir.Assign(ir.RefIdx(u, 2, 0, 1), []ir.Ref{ir.RefIdx(a, 2, 1, 0)}, "add1", ir.AddConst(1)),
+		}}},
+	}
+	// sweep(V): V(i,j) = W(j,i) + 2, called with V := A.
+	v := ir.NewArray("V", n, n)
+	w := ir.NewArray("W", n, n)
+	sweepProg := &ir.Program{
+		Name:   "sweep",
+		Arrays: []*ir.Array{v, w},
+		Nests: []*ir.Nest{{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+			ir.Assign(ir.RefIdx(v, 2, 0, 1), []ir.Ref{ir.RefIdx(w, 2, 1, 0)}, "add2", ir.AddConst(2)),
+		}}},
+	}
+	unit := &interproc.Unit{
+		Procs: []*interproc.Procedure{
+			{Name: "main", Prog: mainProg},
+			{Name: "sweep", Prog: sweepProg, Params: []*ir.Array{v}},
+		},
+		Calls: []interproc.Call{{
+			Caller: "main", Callee: "sweep",
+			Bindings: map[*ir.Array]*ir.Array{v: a},
+		}},
+	}
+
+	res, err := interproc.Optimize(unit, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("interprocedural plan:")
+	fmt.Printf("  main : U %s, A %s\n", res.PerProc["main"].Layouts[u], res.PerProc["main"].Layouts[a])
+	fmt.Printf("  sweep: V %s (unified with A), W %s\n", res.PerProc["sweep"].Layouts[v], res.PerProc["sweep"].Layouts[w])
+	for name, prog := range map[string]*ir.Program{"main": mainProg, "sweep": sweepProg} {
+		for _, rep := range res.PerProc[name].Report(prog, nil) {
+			fmt.Printf("  %-5s %-10s %s locality\n", name, rep.Ref, rep.Locality)
+		}
+	}
+
+	// Contrast: optimizing each procedure in isolation picks layouts for
+	// A and V independently — and they disagree, so ONE of the two
+	// procedures must run against a mismatched file layout.
+	var o1, o2 core.Optimizer
+	soloMain := o1.OptimizeCombined(mainProg)
+	soloSweep := o2.OptimizeCombined(sweepProg)
+	fmt.Println("\nwithout interprocedural analysis:")
+	fmt.Printf("  main wants A %s; sweep wants V %s\n", soloMain.Layouts[a], soloSweep.Layouts[v])
+	if soloMain.Layouts[a].Equal(soloSweep.Layouts[v]) {
+		fmt.Println("  (they happen to agree here)")
+	} else {
+		fmt.Println("  -> the shared file cannot satisfy both: one procedure loses")
+		// Measure the loss: force sweep to run under main's choice.
+		forced := core.NewPlan()
+		forced.Layouts[v] = soloMain.Layouts[a]
+		forced.Layouts[w] = soloSweep.Layouts[w]
+		for nst, np := range soloSweep.Nests {
+			forced.Nests[nst] = np
+		}
+		bad := 0
+		for _, rep := range forced.Report(sweepProg, nil) {
+			if rep.Locality == core.NoLocality {
+				bad++
+			}
+		}
+		fmt.Printf("  sweep under main's layout: %d reference(s) without locality\n", bad)
+	}
+}

@@ -1,0 +1,92 @@
+// Matmul: out-of-core matrix multiplication with layout selection and
+// the Section-3.3 tiling strategy.
+//
+// C(i,j) += A(i,k) * B(k,j) pulls in three directions at once: C wants
+// temporal locality (k innermost), A wants row-major k-contiguity, B
+// wants column-major k-contiguity. The combined optimizer keeps k
+// innermost (C temporal) and picks A row-major / B column-major so all
+// three references are served. The example then contrasts traditional
+// tiling with the out-of-core strategy on the same plan — the Figure-3
+// effect at application scale — and verifies the computation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"outcore/internal/codegen"
+	"outcore/internal/core"
+	"outcore/internal/ir"
+	"outcore/internal/ooc"
+	"outcore/internal/suite"
+	"outcore/internal/tiling"
+)
+
+func main() {
+	const n = 96
+	a := ir.NewArray("A", n, n)
+	b := ir.NewArray("B", n, n)
+	c := ir.NewArray("C", n, n)
+	prog := &ir.Program{
+		Name:   "matmul",
+		Arrays: []*ir.Array{a, b, c},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(c, 3, 0, 1),
+					[]ir.Ref{ir.RefIdx(c, 3, 0, 1), ir.RefIdx(a, 3, 0, 2), ir.RefIdx(b, 3, 2, 1)},
+					"muladd", ir.MulAdd()),
+			}},
+		},
+	}
+
+	var opt core.Optimizer
+	plan := opt.OptimizeCombined(prog)
+	fmt.Println("plan:")
+	fmt.Print(plan)
+	for _, rep := range plan.Report(prog, nil) {
+		fmt.Printf("  %-10s %s locality\n", rep.Ref, rep.Locality)
+	}
+
+	// Seed A and B; C starts zero.
+	init := ir.NewStore(prog.Arrays...)
+	rng := rand.New(rand.NewSource(2))
+	for _, arr := range []*ir.Array{a, b} {
+		d := init.Data(arr)
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+	}
+
+	budget := suite.MemBudget(prog, 64)
+	fmt.Printf("\nmemory budget: %d elements (1/64 of %d)\n", budget, suite.TotalElems(prog))
+	for _, strat := range []tiling.Strategy{tiling.Traditional, tiling.OutOfCore} {
+		nest := prog.Nests[0]
+		sched, err := codegen.Build(nest, plan.Nests[nest], codegen.Options{
+			Strategy: strat, MemBudget: budget, NoFallback: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := codegen.SetupDisk(prog, plan, 8192, init)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mem := ooc.NewMemory(budget)
+		if _, err := sched.Execute(d, mem); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %s\n", strat.String()+" tiling:", sched.Spec)
+		fmt.Printf("%-22s %d I/O calls, %d bytes, peak memory %d elems\n",
+			"", d.Stats.Calls(), d.Stats.Bytes(), mem.Peak())
+
+		// Verify against the in-core reference.
+		ref := init.Clone()
+		prog.Execute(ref)
+		got := codegen.DiskToStore(prog, d)
+		if diff := ir.MaxAbsDiff(ref, got, c); diff > 1e-9 {
+			log.Fatalf("result differs by %g", diff)
+		}
+		fmt.Printf("%-22s result verified against in-core reference\n\n", "")
+	}
+}

@@ -1,0 +1,3 @@
+module outcore
+
+go 1.22

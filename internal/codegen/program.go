@@ -1,0 +1,100 @@
+package codegen
+
+import (
+	"fmt"
+
+	"outcore/internal/core"
+	"outcore/internal/ir"
+	"outcore/internal/ooc"
+)
+
+// SetupDisk creates every array of the program on a fresh in-memory
+// disk under the plan's layouts and, when init is non-nil, loads
+// initial contents from it (without charging I/O).
+func SetupDisk(prog *ir.Program, plan *core.Plan, maxCallElems int64, init *ir.Store) (*ooc.Disk, error) {
+	return SetupDiskOn(ooc.NewDisk(maxCallElems), prog, plan, init)
+}
+
+// SetupDiskOn creates the program's arrays on a caller-configured disk
+// (file-backed via Dir, measurement-only via NoBacking, ...).
+func SetupDiskOn(d *ooc.Disk, prog *ir.Program, plan *core.Plan, init *ir.Store) (*ooc.Disk, error) {
+	for _, a := range prog.Arrays {
+		l := plan.LayoutOf(a, nil)
+		if l == nil {
+			return nil, fmt.Errorf("codegen: no layout for array %s", a.Name)
+		}
+		arr, err := d.CreateArray(a, l)
+		if err != nil {
+			return nil, err
+		}
+		if init != nil {
+			arr.FromStore(init)
+		}
+	}
+	return d, nil
+}
+
+// RunProgram executes every nest of the program in order against the
+// disk, as one processor (part 0 of 1).
+func RunProgram(prog *ir.Program, plan *core.Plan, d *ooc.Disk, mem *ooc.Memory, opts Options) (ExecStats, error) {
+	return RunProgramSlice(prog, plan, d, mem, opts, 0, 1)
+}
+
+// RunProgramSlice executes processor `part`'s share of every nest.
+func RunProgramSlice(prog *ir.Program, plan *core.Plan, d *ooc.Disk, mem *ooc.Memory, opts Options, part, parts int) (ExecStats, error) {
+	var total ExecStats
+	for _, n := range prog.Nests {
+		np := plan.Nests[n]
+		if np == nil {
+			return total, fmt.Errorf("codegen: nest %d missing from plan", n.ID)
+		}
+		sched, err := Build(n, np, opts)
+		if err != nil {
+			return total, err
+		}
+		st, err := sched.ExecuteSlice(d, mem, part, parts)
+		if err != nil {
+			return total, err
+		}
+		total.Iterations += st.Iterations
+		total.Tiles += st.Tiles
+	}
+	return total, nil
+}
+
+// DiskToStore copies every array of the program from disk into a fresh
+// in-core store, for result comparison.
+func DiskToStore(prog *ir.Program, d *ooc.Disk) *ir.Store {
+	s := ir.NewStore(prog.Arrays...)
+	for _, a := range prog.Arrays {
+		if arr := d.ArrayOf(a); arr != nil {
+			arr.ToStore(s)
+		}
+	}
+	return s
+}
+
+// Verify executes the program both in-core (reference) and out-of-core
+// under the plan, and returns the maximum elementwise difference over
+// all arrays. init seeds both executions identically.
+func Verify(prog *ir.Program, plan *core.Plan, opts Options, maxCallElems int64, init *ir.Store) (float64, error) {
+	ref := init.Clone()
+	prog.Execute(ref)
+
+	d, err := SetupDisk(prog, plan, maxCallElems, init)
+	if err != nil {
+		return 0, err
+	}
+	mem := ooc.NewMemory(opts.MemBudget)
+	if _, err := RunProgram(prog, plan, d, mem, opts); err != nil {
+		return 0, err
+	}
+	got := DiskToStore(prog, d)
+	var worst float64
+	for _, a := range prog.Arrays {
+		if diff := ir.MaxAbsDiff(ref, got, a); diff > worst {
+			worst = diff
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/matrix"
+)
+
+// layoutFromMovement applies Relation (1): given the per-innermost-
+// iteration movement v = L·q_last of a reference, derive a file layout
+// giving that reference spatial locality. ok is false when no layout
+// in our families achieves it (possible only for rank > 2 arrays with
+// movement in several dimensions) or when v is zero (temporal locality:
+// no constraint needed).
+func layoutFromMovement(a *ir.Array, v []int64) (*layout.Layout, bool) {
+	if matrix.IsZeroVec(v) {
+		return nil, false
+	}
+	if a.Rank() == 2 {
+		// g ∈ Ker{v}: the hyperplane containing the movement direction.
+		basis := matrix.KernelBasis(matrix.FromRows([][]int64{{v[0], v[1]}}))
+		if len(basis) == 0 {
+			return nil, false
+		}
+		return layout.General(a.Dims[0], a.Dims[1], basis[0]), true
+	}
+	// Rank 1: trivially "row-major" (the only permutation).
+	if a.Rank() == 1 {
+		return layout.RowMajor(a.Dims...), true
+	}
+	// Higher ranks use dimension-reordering layouts: contiguity needs the
+	// movement confined to a single dimension.
+	fast := -1
+	for d, x := range v {
+		if x != 0 {
+			if fast >= 0 {
+				return nil, false
+			}
+			fast = d
+		}
+	}
+	return layout.FastDim(a.Dims, fast), true
+}
+
+// constraintRows applies Relation (2): rows R such that R·q_last = 0
+// forces the reference to have spatial or temporal locality under the
+// array's already-fixed layout. An empty result means the layout
+// imposes no linear constraint we can use (e.g. blocked layouts).
+func constraintRows(r ir.Ref, l *layout.Layout) [][]int64 {
+	if l == nil {
+		return nil
+	}
+	if r.Array.Rank() == 2 {
+		g := l.Hyperplane()
+		if g == nil {
+			return nil
+		}
+		// Single row: g·L.
+		return [][]int64{r.L.VecMul(g)}
+	}
+	fast, ok := l.FastDimension()
+	if !ok {
+		return nil
+	}
+	// Every non-fast dimension of the movement must vanish: rows of L
+	// except the fast one.
+	var rows [][]int64
+	for d := 0; d < r.L.Rows(); d++ {
+		if d != fast {
+			rows = append(rows, r.L.Row(d))
+		}
+	}
+	return rows
+}
+
+// qLastCandidates enumerates innermost-direction candidates satisfying
+// the stacked constraint rows, most-preferred first. With no
+// constraints the natural candidates are the unit vectors, innermost
+// original loop first (so an unconstrained nest tends to keep its
+// shape).
+func qLastCandidates(rows [][]int64, k int) [][]int64 {
+	if len(rows) == 0 {
+		var out [][]int64
+		for pos := k - 1; pos >= 0; pos-- {
+			out = append(out, unitVec(k, pos))
+		}
+		return out
+	}
+	basis := matrix.KernelBasis(matrix.FromRows(rows))
+	// Prefer sparse, small vectors: they complete to near-permutation
+	// matrices and keep generated code simple.
+	sortCandidates(basis)
+	var out [][]int64
+	for _, b := range basis {
+		out = append(out, b, negVec(b))
+	}
+	return out
+}
+
+func sortCandidates(vs [][]int64) {
+	score := func(v []int64) (int, int64) {
+		nz, maxAbs := 0, int64(0)
+		for _, x := range v {
+			if x != 0 {
+				nz++
+			}
+			if a := absI64(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		return nz, maxAbs
+	}
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0; j-- {
+			nzA, maxA := score(vs[j-1])
+			nzB, maxB := score(vs[j])
+			if nzB < nzA || (nzB == nzA && maxB < maxA) {
+				vs[j-1], vs[j] = vs[j], vs[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func negVec(v []int64) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = -x
+	}
+	return out
+}
+
+func absI64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

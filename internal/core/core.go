@@ -1,0 +1,275 @@
+// Package core implements the paper's primary contribution: the global
+// locality optimization algorithm for out-of-core programs that picks
+// file layouts (data transformations) and non-singular loop
+// transformations together.
+//
+// The driving relation is Claim 1: a reference L·I + o in a nest with
+// loop transformation T (Q = T⁻¹) has spatial locality in the innermost
+// loop when the array's file-layout hyperplane g satisfies
+//
+//	g · L · q_last = 0,   q_last = last column of Q.
+//
+// Fixing q_last makes g a kernel computation (Relation 1); fixing g
+// makes q_last one (Relation 2). The global algorithm (Section 3)
+// orders the nests of each interference-graph component by cost,
+// optimizes the costliest with data transformations only, and then
+// alternates Relations 1 and 2 over the remaining nests, propagating
+// the file layouts fixed so far.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"outcore/internal/deps"
+	"outcore/internal/igraph"
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/matrix"
+)
+
+// Locality classifies a reference's behaviour in the innermost loop.
+type Locality int
+
+const (
+	// NoLocality: consecutive innermost iterations jump in the file.
+	NoLocality Locality = iota
+	// Spatial: consecutive innermost iterations touch consecutive file
+	// elements.
+	Spatial
+	// Temporal: the innermost loop does not move the reference at all.
+	Temporal
+)
+
+func (l Locality) String() string {
+	switch l {
+	case Spatial:
+		return "spatial"
+	case Temporal:
+		return "temporal"
+	default:
+		return "none"
+	}
+}
+
+// NestPlan is the optimization decision for one nest.
+type NestPlan struct {
+	Nest  *ir.Nest
+	T     *matrix.Int // loop transformation (new = T·old), unimodular
+	Q     *matrix.Int // T⁻¹
+	QLast []int64     // last column of Q: the innermost-iteration direction
+}
+
+// Identity reports whether the nest is left untransformed.
+func (np *NestPlan) Identity() bool { return np.T.Equal(matrix.Identity(np.T.Rows())) }
+
+// Plan is the result of a whole-program optimization: one file layout
+// per array and one loop transformation per nest. Notes records the
+// derivation (which relation produced each decision) for diagnostics.
+type Plan struct {
+	Layouts map[*ir.Array]*layout.Layout
+	Nests   map[*ir.Nest]*NestPlan
+	Notes   []string
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{
+		Layouts: map[*ir.Array]*layout.Layout{},
+		Nests:   map[*ir.Nest]*NestPlan{},
+	}
+}
+
+// note records one derivation step.
+func (p *Plan) note(format string, args ...interface{}) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// LayoutOf returns the planned layout for an array, falling back to the
+// given default constructor when the plan leaves it unconstrained.
+func (p *Plan) LayoutOf(a *ir.Array, def func(dims []int64) *layout.Layout) *layout.Layout {
+	if l, ok := p.Layouts[a]; ok {
+		return l
+	}
+	return def(a.Dims)
+}
+
+// identityPlanFor fills the plan with identity transforms for any nest
+// not yet planned.
+func (p *Plan) ensureNest(n *ir.Nest) *NestPlan {
+	if np, ok := p.Nests[n]; ok {
+		return np
+	}
+	k := n.Depth()
+	np := &NestPlan{Nest: n, T: matrix.Identity(k), Q: matrix.Identity(k), QLast: unitVec(k, k-1)}
+	p.Nests[n] = np
+	return np
+}
+
+// Cost estimates how expensive a nest is: iteration count times the
+// number of out-of-core references. Profile measurements can override
+// it via Optimizer.Profile.
+func Cost(n *ir.Nest) int64 {
+	refs := 0
+	for _, s := range n.Body {
+		refs += 1 + len(s.In)
+	}
+	return n.Iterations() * int64(refs)
+}
+
+// Optimizer carries optimization policy.
+type Optimizer struct {
+	// Profile maps nest ID to a measured cost; nests missing from the
+	// map use the static Cost estimate. The paper orders nests with
+	// profile information (Step 3.a).
+	Profile map[int]int64
+	// DefaultLayout constructs the layout for arrays the algorithm
+	// leaves unconstrained (and the baseline for col/row versions).
+	// Defaults to column-major, the paper's default file layout.
+	DefaultLayout func(dims []int64) *layout.Layout
+}
+
+func (o *Optimizer) defaultLayout() func(dims []int64) *layout.Layout {
+	if o != nil && o.DefaultLayout != nil {
+		return o.DefaultLayout
+	}
+	return func(dims []int64) *layout.Layout { return layout.ColMajor(dims...) }
+}
+
+func (o *Optimizer) cost(n *ir.Nest) int64 {
+	if o != nil && o.Profile != nil {
+		if c, ok := o.Profile[n.ID]; ok {
+			return c
+		}
+	}
+	return Cost(n)
+}
+
+// orderByCost returns nests sorted by decreasing cost, ties broken by
+// program order.
+func (o *Optimizer) orderByCost(nests []*ir.Nest) []*ir.Nest {
+	out := append([]*ir.Nest(nil), nests...)
+	sort.SliceStable(out, func(i, j int) bool { return o.cost(out[i]) > o.cost(out[j]) })
+	return out
+}
+
+// movement returns v = L·q_last: how the referenced element moves per
+// innermost-iteration step.
+func movement(r ir.Ref, qLast []int64) []int64 { return r.L.MulVec(qLast) }
+
+// RefLocality classifies a reference under a layout and an innermost
+// direction q_last.
+func RefLocality(r ir.Ref, l *layout.Layout, qLast []int64) Locality {
+	v := movement(r, qLast)
+	if matrix.IsZeroVec(v) {
+		return Temporal
+	}
+	if l == nil {
+		return NoLocality
+	}
+	if r.Array.Rank() == 2 {
+		g := l.Hyperplane()
+		if g == nil {
+			return NoLocality // blocked layouts: no single hyperplane
+		}
+		if g[0]*v[0]+g[1]*v[1] == 0 {
+			return Spatial
+		}
+		return NoLocality
+	}
+	// Higher ranks: spatial exactly when the movement is parallel to the
+	// layout's fastest dimension.
+	fast, ok := l.FastDimension()
+	if !ok {
+		return NoLocality
+	}
+	for d, x := range v {
+		if d != fast && x != 0 {
+			return NoLocality
+		}
+	}
+	return Spatial
+}
+
+// LocalityReport summarizes per-reference locality of a plan, used by
+// diagnostics and the experiment harness.
+type LocalityReport struct {
+	Nest     *ir.Nest
+	Ref      ir.Ref
+	Locality Locality
+}
+
+// Report computes the locality of every reference of the program under
+// the plan.
+func (p *Plan) Report(prog *ir.Program, def func(dims []int64) *layout.Layout) []LocalityReport {
+	var out []LocalityReport
+	for _, n := range prog.Nests {
+		np := p.Nests[n]
+		qLast := unitVec(n.Depth(), n.Depth()-1)
+		if np != nil {
+			qLast = np.QLast
+		}
+		for _, s := range n.Body {
+			for _, r := range s.Refs() {
+				out = append(out, LocalityReport{Nest: n, Ref: r, Locality: RefLocality(r, p.LayoutOf(r.Array, def), qLast)})
+			}
+		}
+	}
+	return out
+}
+
+// String renders the plan for diagnostics.
+func (p *Plan) String() string {
+	s := "layouts:\n"
+	type ent struct {
+		name string
+		l    *layout.Layout
+	}
+	var ents []ent
+	for a, l := range p.Layouts {
+		ents = append(ents, ent{a.Name, l})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].name < ents[j].name })
+	for _, e := range ents {
+		s += fmt.Sprintf("  %s: %s\n", e.name, e.l)
+	}
+	var ids []int
+	byID := map[int]*NestPlan{}
+	for n, np := range p.Nests {
+		ids = append(ids, n.ID)
+		byID[n.ID] = np
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		np := byID[id]
+		if np.Identity() {
+			s += fmt.Sprintf("nest %d: identity\n", id)
+		} else {
+			s += fmt.Sprintf("nest %d: T =\n%s", id, np.T)
+		}
+	}
+	return s
+}
+
+func unitVec(k, pos int) []int64 {
+	v := make([]int64, k)
+	v[pos] = 1
+	return v
+}
+
+// nestDeps caches dependence analysis per nest during a run.
+type depCache map[*ir.Nest][]deps.Dependence
+
+func (c depCache) get(n *ir.Nest) []deps.Dependence {
+	if d, ok := c[n]; ok {
+		return d
+	}
+	d := deps.Analyze(n)
+	c[n] = d
+	return d
+}
+
+// components splits a program like Step 2 of the algorithm.
+func components(prog *ir.Program) []igraph.Component {
+	return igraph.Build(prog).Components()
+}

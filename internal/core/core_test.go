@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/deps"
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/matrix"
+)
+
+// motivatingFragment builds the Section 3.1 program:
+//
+//	nest 0: U(i,j) = V(j,i) + 1.0
+//	nest 1: V(i,j) = W(j,i) + 2.0
+func motivatingFragment(n int64) (*ir.Program, *ir.Array, *ir.Array, *ir.Array) {
+	u, v, w := ir.NewArray("U", n, n), ir.NewArray("V", n, n), ir.NewArray("W", n, n)
+	p := &ir.Program{
+		Name:   "motivating",
+		Arrays: []*ir.Array{u, v, w},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(u, 2, 0, 1), []ir.Ref{ir.RefIdx(v, 2, 1, 0)}, "", ir.AddConst(1)),
+			}},
+			{ID: 1, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(v, 2, 0, 1), []ir.Ref{ir.RefIdx(w, 2, 1, 0)}, "", ir.AddConst(2)),
+			}},
+		},
+	}
+	return p, u, v, w
+}
+
+// TestWorkedExample reproduces the paper's Section 3.2.3 walk-through:
+// U row-major, V column-major, W row-major, and loop interchange on the
+// second nest.
+func TestWorkedExample(t *testing.T) {
+	p, u, v, w := motivatingFragment(16)
+	var o Optimizer
+	plan := o.OptimizeCombined(p)
+
+	if got := plan.Layouts[u].Name(); got != "row-major" {
+		t.Errorf("U layout = %s, want row-major", got)
+	}
+	if got := plan.Layouts[v].Name(); got != "col-major" {
+		t.Errorf("V layout = %s, want col-major", got)
+	}
+	if got := plan.Layouts[w].Name(); got != "row-major" {
+		t.Errorf("W layout = %s, want row-major", got)
+	}
+	np0 := plan.Nests[p.Nests[0]]
+	if !np0.Identity() {
+		t.Errorf("nest 0 should keep identity (data transformations only), got\n%s", np0.T)
+	}
+	np1 := plan.Nests[p.Nests[1]]
+	interchange := matrix.FromRows([][]int64{{0, 1}, {1, 0}})
+	if !np1.T.Equal(interchange) {
+		t.Errorf("nest 1 T =\n%swant interchange", np1.T)
+	}
+	// Every reference must have spatial locality (the paper's headline
+	// claim for this fragment).
+	for _, rep := range plan.Report(p, nil) {
+		if rep.Locality != Spatial {
+			t.Errorf("ref %s in nest %d: locality %s", rep.Ref, rep.Nest.ID, rep.Locality)
+		}
+	}
+}
+
+// TestMotivationLocalityCounts checks the paper's claim: l-opt leaves 2
+// of 4 references unoptimized, d-opt leaves 1, c-opt none.
+func TestMotivationLocalityCounts(t *testing.T) {
+	count := func(plan *Plan, p *ir.Program) int {
+		good := 0
+		for _, rep := range plan.Report(p, nil) {
+			if rep.Locality != NoLocality {
+				good++
+			}
+		}
+		return good
+	}
+	var o Optimizer
+
+	p, _, _, _ := motivatingFragment(16)
+	if got := count(o.OptimizeLoopOnly(p), p); got != 2 {
+		t.Errorf("l-opt optimized %d/4 refs, want 2", got)
+	}
+	p2, _, _, _ := motivatingFragment(16)
+	if got := count(o.OptimizeDataOnly(p2), p2); got != 3 {
+		t.Errorf("d-opt optimized %d/4 refs, want 3", got)
+	}
+	p3, _, _, _ := motivatingFragment(16)
+	if got := count(o.OptimizeCombined(p3), p3); got != 4 {
+		t.Errorf("c-opt optimized %d/4 refs, want 4", got)
+	}
+}
+
+func TestFixedLayouts(t *testing.T) {
+	p, u, _, _ := motivatingFragment(8)
+	plan := FixedLayouts(p, func(dims []int64) *layout.Layout { return layout.RowMajor(dims...) })
+	if plan.Layouts[u].Name() != "row-major" {
+		t.Error("fixed layout wrong")
+	}
+	for _, n := range p.Nests {
+		if !plan.Nests[n].Identity() {
+			t.Error("fixed plan transformed a nest")
+		}
+	}
+}
+
+func TestProfileOverridesCostOrder(t *testing.T) {
+	// Make nest 1 the costliest via profile: then nest 1 is optimized
+	// data-only (identity) and nest 0 gets the loop transformation.
+	p, _, _, _ := motivatingFragment(16)
+	o := Optimizer{Profile: map[int]int64{0: 10, 1: 1000}}
+	plan := o.OptimizeCombined(p)
+	if !plan.Nests[p.Nests[1]].Identity() {
+		t.Error("profiled costliest nest was transformed")
+	}
+	if plan.Nests[p.Nests[0]].Identity() {
+		t.Error("cheaper nest kept identity; expected interchange")
+	}
+	// All references still optimized.
+	for _, rep := range plan.Report(p, nil) {
+		if rep.Locality != Spatial {
+			t.Errorf("ref %s: locality %s", rep.Ref, rep.Locality)
+		}
+	}
+}
+
+func TestDependenceBlocksTransform(t *testing.T) {
+	// A nest with dependence (1,-1) forbids plain interchange. Layouts
+	// force a conflicting wish: A is fixed row-major but accessed
+	// column-wise, so l-opt WANTS interchange; legality must refuse it
+	// and keep a legal transform.
+	n := int64(16)
+	a := ir.NewArray("A", n+2, n+2)
+	out := ir.RefAffine(a, [][]int64{{1, 0}, {0, 1}}, []int64{1, 0})
+	in := ir.RefAffine(a, [][]int64{{1, 0}, {0, 1}}, []int64{0, 1})
+	nest := &ir.Nest{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{ir.Assign(out, []ir.Ref{in}, "", ir.AddConst(0))}}
+	p := &ir.Program{Name: "dep", Arrays: []*ir.Array{a}, Nests: []*ir.Nest{nest}}
+	o := Optimizer{DefaultLayout: func(dims []int64) *layout.Layout { return layout.ColMajor(dims...) }}
+	plan := o.OptimizeLoopOnly(p)
+	np := plan.Nests[nest]
+	ds := deps.Analyze(nest)
+	if !deps.LegalTransform(np.T, ds) {
+		t.Fatalf("emitted illegal transform\n%s", np.T)
+	}
+}
+
+func TestRank3FastDimLayout(t *testing.T) {
+	// B(k,i,j) accessed in a depth-3 nest with innermost j: movement is
+	// along dimension 2, so the layout must make dim 2 fastest.
+	n := int64(8)
+	b := ir.NewArray("B", n, n, n)
+	nest := &ir.Nest{ID: 0, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(b, 3, 2, 0, 1), nil, "", func(_ []float64, iv []int64) float64 { return float64(iv[0]) }),
+	}}
+	// B(k,i,j): dim0 <- loop2(k)? RefIdx(b, 3, 2, 0, 1) means dim0=loop2,
+	// dim1=loop0, dim2=loop1. Movement under e_2 = (1,0,0): dim0 moves.
+	p := &ir.Program{Name: "r3", Arrays: []*ir.Array{b}, Nests: []*ir.Nest{nest}}
+	var o Optimizer
+	plan := o.OptimizeCombined(p)
+	l := plan.Layouts[b]
+	fast, ok := l.FastDimension()
+	if !ok || fast != 0 {
+		t.Errorf("layout = %s (fast dim %d), want fast dim 0", l, fast)
+	}
+	for _, rep := range plan.Report(p, nil) {
+		if rep.Locality != Spatial {
+			t.Errorf("ref %s: locality %s", rep.Ref, rep.Locality)
+		}
+	}
+}
+
+func TestTemporalLocalityPreferred(t *testing.T) {
+	// A(i) in a depth-2 nest: innermost direction e_1 gives temporal
+	// locality (movement zero); the plan must classify it so.
+	n := int64(8)
+	a := ir.NewArray("A", n)
+	nest := &ir.Nest{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefAffine(a, [][]int64{{1, 0}}, []int64{0}), nil, "", func(_ []float64, iv []int64) float64 { return 1 }),
+	}}
+	p := &ir.Program{Name: "t", Arrays: []*ir.Array{a}, Nests: []*ir.Nest{nest}}
+	var o Optimizer
+	plan := o.OptimizeCombined(p)
+	reps := plan.Report(p, nil)
+	if len(reps) != 1 || reps[0].Locality != Temporal {
+		t.Errorf("report = %v", reps)
+	}
+}
+
+func TestLayoutFromMovement(t *testing.T) {
+	a2 := ir.NewArray("A", 8, 8)
+	if l, ok := layoutFromMovement(a2, []int64{0, 1}); !ok || l.Name() != "row-major" {
+		t.Errorf("movement (0,1) -> %v", l)
+	}
+	if l, ok := layoutFromMovement(a2, []int64{1, 0}); !ok || l.Name() != "col-major" {
+		t.Errorf("movement (1,0) -> %v", l)
+	}
+	if l, ok := layoutFromMovement(a2, []int64{1, 1}); !ok || l.Name() != "diagonal" {
+		t.Errorf("movement (1,1) -> %v (want diagonal: i-j constant along it)", l)
+	}
+	if _, ok := layoutFromMovement(a2, []int64{0, 0}); ok {
+		t.Error("zero movement should give no layout")
+	}
+	a3 := ir.NewArray("B", 4, 4, 4)
+	if l, ok := layoutFromMovement(a3, []int64{0, 1, 0}); !ok {
+		t.Error("rank-3 single-dim movement failed")
+	} else if fast, _ := l.FastDimension(); fast != 1 {
+		t.Errorf("fast dim = %d", fast)
+	}
+	if _, ok := layoutFromMovement(a3, []int64{1, 1, 0}); ok {
+		t.Error("rank-3 multi-dim movement should be unsatisfiable")
+	}
+	a1 := ir.NewArray("C", 16)
+	if _, ok := layoutFromMovement(a1, []int64{1}); !ok {
+		t.Error("rank-1 movement failed")
+	}
+}
+
+func TestConstraintRows(t *testing.T) {
+	a := ir.NewArray("A", 8, 8)
+	r := ir.RefIdx(a, 2, 1, 0) // A(j,i)
+	rows := constraintRows(r, layout.ColMajor(8, 8))
+	// g = (0,1); g·L with L = [[0,1],[1,0]] = (1,0).
+	if len(rows) != 1 || rows[0][0] != 1 || rows[0][1] != 0 {
+		t.Errorf("rows = %v", rows)
+	}
+	if rows := constraintRows(r, layout.Blocked(8, 8, 2, 2)); rows != nil {
+		t.Errorf("blocked layout produced constraints: %v", rows)
+	}
+	b := ir.NewArray("B", 4, 4, 4)
+	rb := ir.RefIdx(b, 3, 0, 1, 2)
+	rows = constraintRows(rb, layout.FastDim([]int64{4, 4, 4}, 2))
+	if len(rows) != 2 {
+		t.Errorf("rank-3 constraint rows = %v", rows)
+	}
+}
+
+// TestPropertyPlanInvariants checks, over random 2-nest transpose-style
+// programs, the core invariants: every emitted T is unimodular and
+// dependence-legal, Q = T⁻¹, q_last is Q's last column, and the Claim-1
+// equation g·L·q_last = 0 holds for every reference the plan claims has
+// spatial locality.
+func TestPropertyPlanInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(8)
+		u := ir.NewArray("U", n, n)
+		v := ir.NewArray("V", n, n)
+		mkRef := func(a *ir.Array) ir.Ref {
+			perms := [][]int{{0, 1}, {1, 0}}
+			p := perms[rng.Intn(2)]
+			return ir.RefIdx(a, 2, p[0], p[1])
+		}
+		p := &ir.Program{
+			Name:   "rand",
+			Arrays: []*ir.Array{u, v},
+			Nests: []*ir.Nest{
+				{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+					ir.Assign(mkRef(u), []ir.Ref{mkRef(v)}, "", ir.AddConst(1)),
+				}},
+				{ID: 1, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+					ir.Assign(mkRef(v), []ir.Ref{mkRef(u)}, "", ir.AddConst(2)),
+				}},
+			},
+		}
+		var o Optimizer
+		plan := o.OptimizeCombined(p)
+		for _, nest := range p.Nests {
+			np := plan.Nests[nest]
+			if np == nil || !np.T.IsUnimodular() {
+				return false
+			}
+			inv, ok := np.T.Inverse()
+			if !ok {
+				return false
+			}
+			qi, ok := inv.ToInt()
+			if !ok || !qi.Equal(np.Q) {
+				return false
+			}
+			last := np.Q.Col(nest.Depth() - 1)
+			for i := range last {
+				if last[i] != np.QLast[i] {
+					return false
+				}
+			}
+			if !deps.LegalTransform(np.T, deps.Analyze(nest)) {
+				return false
+			}
+		}
+		for _, rep := range plan.Report(p, nil) {
+			if rep.Locality != Spatial {
+				continue
+			}
+			l := plan.Layouts[rep.Ref.Array]
+			g := l.Hyperplane()
+			if g == nil {
+				return false
+			}
+			qLast := plan.Nests[rep.Nest].QLast
+			vmov := rep.Ref.L.MulVec(qLast)
+			if g[0]*vmov[0]+g[1]*vmov[1] != 0 {
+				return false // Claim-1 equation violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanStringAndHelpers(t *testing.T) {
+	p, u, _, _ := motivatingFragment(8)
+	var o Optimizer
+	plan := o.OptimizeCombined(p)
+	s := plan.String()
+	if s == "" {
+		t.Error("empty plan string")
+	}
+	if plan.LayoutOf(u, nil) == nil {
+		t.Error("LayoutOf returned nil for planned array")
+	}
+	ghost := ir.NewArray("G", 4, 4)
+	if l := plan.LayoutOf(ghost, func(dims []int64) *layout.Layout { return layout.RowMajor(dims...) }); l.Name() != "row-major" {
+		t.Error("LayoutOf default not applied")
+	}
+	if Cost(p.Nests[0]) != 8*8*2 {
+		t.Errorf("Cost = %d", Cost(p.Nests[0]))
+	}
+}

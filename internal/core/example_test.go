@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"outcore/internal/core"
+	"outcore/internal/ir"
+	"outcore/internal/matrix"
+)
+
+// ExampleOptimizer_OptimizeCombined reproduces the paper's Section-3.1
+// worked example: the combined algorithm picks U/W row-major, V
+// column-major, and interchanges the second nest.
+func ExampleOptimizer_OptimizeCombined() {
+	const n = 64
+	u := ir.NewArray("U", n, n)
+	v := ir.NewArray("V", n, n)
+	w := ir.NewArray("W", n, n)
+	prog := &ir.Program{
+		Name:   "motivating",
+		Arrays: []*ir.Array{u, v, w},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(u, 2, 0, 1), []ir.Ref{ir.RefIdx(v, 2, 1, 0)}, "add1", ir.AddConst(1)),
+			}},
+			{ID: 1, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(v, 2, 0, 1), []ir.Ref{ir.RefIdx(w, 2, 1, 0)}, "add2", ir.AddConst(2)),
+			}},
+		},
+	}
+	var o core.Optimizer
+	plan := o.OptimizeCombined(prog)
+	fmt.Print(plan)
+	// Output:
+	// layouts:
+	//   U: row-major
+	//   V: col-major
+	//   W: row-major
+	// nest 0: identity
+	// nest 1: T =
+	// [0 1]
+	// [1 0]
+}
+
+// ExampleReduceStorage shows the Section-3.4 shear shrinking the
+// rectilinear bounding box of a skewed access.
+func ExampleReduceStorage() {
+	m := mustMatrix([][]int64{{3, 2}, {2, 0}})
+	d, before, after := core.ReduceStorage(m, []int64{100, 100})
+	fmt.Println("before:", before, "after:", after, "shear row 0:", d.Row(0))
+	// Output:
+	// before: 98704 after: 59302 shear row 0: [1 -2]
+}
+
+func mustMatrix(rows [][]int64) *matrix.Int { return matrix.FromRows(rows) }

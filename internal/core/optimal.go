@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"outcore/internal/deps"
+	"outcore/internal/ilp"
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/matrix"
+)
+
+// OptimizeOptimal computes a globally optimal layout + transformation
+// assignment by integer linear programming — the approach the paper's
+// conclusion announces as work in progress ("determining optimal file
+// layouts using techniques from integer linear programming").
+//
+// Formulation: a one-hot variable per (array, candidate layout) and
+// per (nest, candidate innermost direction q_last); a penalty variable
+// per (reference, layout, q_last) combination that leaves the
+// reference without locality, weighted by the nest's cost. Candidate
+// q_last vectors are the legal, completable kernel solutions of
+// Relation (2) over all candidate layouts, plus the unit vectors.
+//
+// The search is exact; its cost grows exponentially with the number of
+// arrays and nests, so it is an oracle for modest programs (the
+// benchmark kernels solve in milliseconds) against which the paper's
+// greedy propagation (OptimizeCombined) can be measured.
+func (o *Optimizer) OptimizeOptimal(prog *ir.Program) (*Plan, error) {
+	prob := ilp.NewProblem()
+
+	// Candidate layouts per array.
+	type layoutVar struct {
+		l *layout.Layout
+		v int
+	}
+	layoutVars := map[*ir.Array][]layoutVar{}
+	var arrays []*ir.Array
+	seen := map[*ir.Array]bool{}
+	for _, n := range prog.Nests {
+		for _, a := range n.Arrays() {
+			if !seen[a] {
+				seen[a] = true
+				arrays = append(arrays, a)
+			}
+		}
+	}
+	for _, a := range arrays {
+		for _, l := range candidateLayouts(a) {
+			v := prob.AddVar(fmt.Sprintf("layout:%s:%s", a.Name, l.Name()), 0)
+			layoutVars[a] = append(layoutVars[a], layoutVar{l: l, v: v})
+		}
+		vs := make([]int, len(layoutVars[a]))
+		for i, lv := range layoutVars[a] {
+			vs[i] = lv.v
+		}
+		prob.AddOneHot(vs...)
+	}
+
+	// Candidate innermost directions per nest.
+	type qVar struct {
+		q  []int64
+		qm *matrix.Int
+		t  *matrix.Int
+		v  int
+	}
+	qVars := map[*ir.Nest][]qVar{}
+	dc := depCache{}
+	for _, n := range prog.Nests {
+		for _, q := range legalQCandidates(n, dc) {
+			qm, ok := matrix.CompleteAny(q)
+			if !ok {
+				continue
+			}
+			tRat, ok := qm.Inverse()
+			if !ok {
+				continue
+			}
+			t, ok := tRat.ToInt()
+			if !ok {
+				continue
+			}
+			v := prob.AddVar(fmt.Sprintf("q:%d:%v", n.ID, q), 0)
+			qVars[n] = append(qVars[n], qVar{q: qm.Col(n.Depth() - 1), qm: qm, t: t, v: v})
+		}
+		if len(qVars[n]) == 0 {
+			return nil, fmt.Errorf("core: nest %d has no legal candidate transformations", n.ID)
+		}
+		vs := make([]int, len(qVars[n]))
+		for i, qv := range qVars[n] {
+			vs[i] = qv.v
+		}
+		prob.AddOneHot(vs...)
+	}
+
+	// Product-term penalties for combinations without locality: choosing
+	// layout lv together with direction qv costs the nest's weight for
+	// every reference the pair leaves unoptimized.
+	maxCost := int64(1)
+	for _, n := range prog.Nests {
+		if c := o.cost(n); c > maxCost {
+			maxCost = c
+		}
+	}
+	for _, n := range prog.Nests {
+		w := float64(o.cost(n)) / float64(maxCost)
+		for _, s := range n.Body {
+			for _, r := range s.Refs() {
+				for _, lv := range layoutVars[r.Array] {
+					for _, qv := range qVars[n] {
+						if RefLocality(r, lv.l, qv.q) != NoLocality {
+							continue
+						}
+						if err := prob.AddPairCost(lv.v, qv.v, w); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+
+	sol, ok := prob.Solve()
+	if !ok {
+		return nil, fmt.Errorf("core: optimal assignment infeasible")
+	}
+	plan := NewPlan()
+	for _, a := range arrays {
+		for _, lv := range layoutVars[a] {
+			if sol.X[lv.v] {
+				plan.Layouts[a] = lv.l
+			}
+		}
+	}
+	for _, n := range prog.Nests {
+		for _, qv := range qVars[n] {
+			if sol.X[qv.v] {
+				plan.Nests[n] = &NestPlan{Nest: n, T: qv.t, Q: qv.qm, QLast: qv.q}
+			}
+		}
+	}
+	o.finish(plan, prog)
+	return plan, nil
+}
+
+// candidateLayouts enumerates the layout families considered per array.
+func candidateLayouts(a *ir.Array) []*layout.Layout {
+	switch a.Rank() {
+	case 1:
+		return []*layout.Layout{layout.RowMajor(a.Dims...)}
+	case 2:
+		return []*layout.Layout{
+			layout.RowMajor(a.Dims...),
+			layout.ColMajor(a.Dims...),
+			layout.Diagonal(a.Dims[0], a.Dims[1]),
+			layout.AntiDiagonal(a.Dims[0], a.Dims[1]),
+		}
+	default:
+		var out []*layout.Layout
+		for d := 0; d < a.Rank(); d++ {
+			out = append(out, layout.FastDim(a.Dims, d))
+		}
+		return out
+	}
+}
+
+// legalQCandidates enumerates candidate innermost directions for a
+// nest: the unit vectors plus the primitive kernel directions of every
+// (reference, candidate layout) Relation-(2) constraint, filtered by
+// dependence legality after completion.
+func legalQCandidates(n *ir.Nest, dc depCache) [][]int64 {
+	k := n.Depth()
+	ds := dc.get(n)
+	cand := map[string][]int64{}
+	add := func(q []int64) {
+		if matrix.IsZeroVec(q) {
+			return
+		}
+		q = matrix.PrimitiveInt(q)
+		cand[fmt.Sprint(q)] = q
+	}
+	for pos := 0; pos < k; pos++ {
+		add(unitVec(k, pos))
+	}
+	for _, s := range n.Body {
+		for _, r := range s.Refs() {
+			for _, l := range candidateLayouts(r.Array) {
+				rows := constraintRows(r, l)
+				if len(rows) == 0 {
+					continue
+				}
+				for _, b := range matrix.KernelBasis(matrix.FromRows(rows)) {
+					add(b)
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(cand))
+	for key := range cand {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var out [][]int64
+	for _, key := range keys {
+		q := cand[key]
+		qm, ok := matrix.CompleteAny(q)
+		if !ok {
+			continue
+		}
+		tRat, ok := qm.Inverse()
+		if !ok {
+			continue
+		}
+		t, ok := tRat.ToInt()
+		if !ok {
+			continue
+		}
+		if !deps.LegalTransform(t, ds) {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import "outcore/internal/matrix"
+
+// Section 3.4: a general (non-permutation) data transformation can
+// inflate the rectilinear bounding box an array must be declared with.
+// ReduceStorage searches for a unimodular shear D that shrinks the
+// bounding box of the accessed region D·(M·I + o) without disturbing
+// the zero entries of the access matrix (which carry the locality the
+// earlier phases established).
+//
+// m is the (rank x depth) access matrix AFTER loop/data optimization;
+// extents are the trip counts of the (transformed) loops. The returned
+// before/after are bounding-box element counts; d is nil when no shear
+// helps (after == before then).
+func ReduceStorage(m *matrix.Int, extents []int64) (d *matrix.Int, before, after int64) {
+	if m.Rows() != 2 {
+		// The paper develops the reduction for 2-D arrays; higher ranks
+		// use permutation layouts only, which never inflate storage.
+		return nil, BoundingBox(m, extents), BoundingBox(m, extents)
+	}
+	before = BoundingBox(m, extents)
+	best := before
+	var bestD *matrix.Int
+	const maxShear = 8
+	for s := int64(-maxShear); s <= maxShear; s++ {
+		if s == 0 {
+			continue
+		}
+		for _, cand := range []*matrix.Int{
+			matrix.FromRows([][]int64{{1, s}, {0, 1}}), // row0 += s*row1
+			matrix.FromRows([][]int64{{1, 0}, {s, 1}}), // row1 += s*row0
+		} {
+			nm := cand.Mul(m)
+			if !preservesZeros(m, nm) {
+				continue
+			}
+			if sz := BoundingBox(nm, extents); sz < best {
+				best, bestD = sz, cand
+			}
+		}
+	}
+	if bestD == nil {
+		return nil, before, before
+	}
+	return bestD, before, best
+}
+
+// BoundingBox returns the number of elements of the smallest rectilinear
+// region containing {m·I : 0 <= I_j < extents_j}.
+func BoundingBox(m *matrix.Int, extents []int64) int64 {
+	size := int64(1)
+	for r := 0; r < m.Rows(); r++ {
+		var lo, hi int64
+		for j := 0; j < m.Cols(); j++ {
+			c := m.At(r, j)
+			span := extents[j] - 1
+			if span < 0 {
+				span = 0
+			}
+			if c > 0 {
+				hi += c * span
+			} else {
+				lo += c * span
+			}
+		}
+		size *= hi - lo + 1
+	}
+	return size
+}
+
+// preservesZeros reports whether every zero entry of old is still zero
+// in new — the paper's condition for not destroying the locality the
+// optimizer established.
+func preservesZeros(old, nm *matrix.Int) bool {
+	for i := 0; i < old.Rows(); i++ {
+		for j := 0; j < old.Cols(); j++ {
+			if old.At(i, j) == 0 && nm.At(i, j) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/matrix"
+)
+
+// TestPaperStorageExample reproduces Section 3.4: access matrix
+// [[a,b],[c,0]] with a >= c > 0 shrinks under the shear [[1,-1],[0,1]]
+// ... wait, the paper's shear subtracts row 1 from row 0 only when the
+// access matrix columns align; here the equivalent shrink is
+// row0 -= row1 expressed on the access matrix as [[1,-1],[0,1]]·M.
+func TestPaperStorageExample(t *testing.T) {
+	// a=3, b=2, c=2, bounds N'=M'=100.
+	m := matrix.FromRows([][]int64{{3, 2}, {2, 0}})
+	extents := []int64{100, 100}
+	d, before, after := ReduceStorage(m, extents)
+	if d == nil {
+		t.Fatal("no reduction found for the paper's example shape")
+	}
+	if after >= before {
+		t.Fatalf("no shrink: before %d after %d", before, after)
+	}
+	// The chosen transform must be unimodular and preserve the zero.
+	if !d.IsUnimodular() {
+		t.Error("shear not unimodular")
+	}
+	nm := d.Mul(m)
+	if nm.At(1, 1) != 0 {
+		t.Errorf("zero entry destroyed:\n%s", nm)
+	}
+	// Paper's arithmetic: before = (a+b)(N'+M'-1)-ish x c(N'-1)-ish;
+	// after replaces (a+b) with (a-c+b). Verify the ratio direction.
+	// (3+2)=5 rows-extent shrinks to (3-2+2)=3.
+	wantBefore := int64((3+2)*99+1) * int64(2*99+1)
+	if before != wantBefore {
+		t.Errorf("before = %d, want %d", before, wantBefore)
+	}
+	wantAfter := int64((1+2)*99+1) * int64(2*99+1)
+	if after != wantAfter {
+		t.Errorf("after = %d, want %d", after, wantAfter)
+	}
+}
+
+func TestStorageNoReductionForPermutation(t *testing.T) {
+	// Identity access: already minimal; no shear helps.
+	m := matrix.FromRows([][]int64{{1, 0}, {0, 1}})
+	d, before, after := ReduceStorage(m, []int64{10, 10})
+	if d != nil || before != after {
+		t.Errorf("identity access reduced: %v %d %d", d, before, after)
+	}
+	if before != 100 {
+		t.Errorf("bounding box = %d", before)
+	}
+}
+
+func TestStorageRank3Passthrough(t *testing.T) {
+	m := matrix.FromRows([][]int64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	d, before, after := ReduceStorage(m, []int64{4, 5, 6})
+	if d != nil || before != after || before != 4*5*6 {
+		t.Errorf("rank-3 passthrough wrong: %v %d %d", d, before, after)
+	}
+}
+
+func TestBoundingBoxNegativeCoefficients(t *testing.T) {
+	// Row i-j over 0..9 x 0..9 spans -9..9: 19 values.
+	m := matrix.FromRows([][]int64{{1, -1}, {0, 1}})
+	if got := BoundingBox(m, []int64{10, 10}); got != 19*10 {
+		t.Errorf("bounding box = %d", got)
+	}
+}
+
+func TestPropertyReductionNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := matrix.NewInt(2, 2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				m.Set(i, j, int64(rng.Intn(7)-3))
+			}
+		}
+		extents := []int64{int64(2 + rng.Intn(50)), int64(2 + rng.Intn(50))}
+		d, before, after := ReduceStorage(m, extents)
+		if after > before {
+			return false
+		}
+		if d != nil {
+			if !d.IsUnimodular() || !preservesZeros(m, d.Mul(m)) {
+				return false
+			}
+			// Reported "after" must match the actual transformed box.
+			if BoundingBox(d.Mul(m), extents) != after {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"outcore/internal/codegen"
+	"outcore/internal/ooc"
+	"outcore/internal/suite"
+)
+
+// SizeHistogram buckets I/O request sizes by powers of two — the
+// distribution view behind the call counts: unoptimized versions issue
+// many tiny requests, optimized ones few long runs.
+type SizeHistogram struct {
+	// Buckets[i] counts requests with size in [2^i, 2^(i+1)).
+	Buckets []int64
+	Total   int64
+	Elems   int64
+}
+
+// Add records one request of the given size (in elements).
+func (h *SizeHistogram) Add(size int64) {
+	if size <= 0 {
+		return
+	}
+	b := 0
+	for s := size; s > 1; s >>= 1 {
+		b++
+	}
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+	h.Total++
+	h.Elems += size
+}
+
+// Mean returns the average request size in elements.
+func (h *SizeHistogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Elems) / float64(h.Total)
+}
+
+// Render draws the histogram as ASCII bars.
+func (h *SizeHistogram) Render() string {
+	var b strings.Builder
+	var max int64
+	for _, c := range h.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		width := 0
+		if max > 0 {
+			width = int(c * 40 / max)
+		}
+		fmt.Fprintf(&b, "  %6d..%-6d %s %d\n", int64(1)<<i, int64(1)<<(i+1)-1,
+			strings.Repeat("#", width), c)
+	}
+	fmt.Fprintf(&b, "  %d requests, mean %.1f elements\n", h.Total, h.Mean())
+	return b.String()
+}
+
+// TraceHistogram runs one kernel version (dry-run) and returns the
+// request-size distribution of its I/O trace.
+func TraceHistogram(o Options, kernel string, v suite.Version) (*SizeHistogram, error) {
+	o.defaults()
+	k, ok := suite.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown kernel %q", kernel)
+	}
+	prog := k.Build(o.Cfg)
+	plan, err := suite.PlanFor(prog, v)
+	if err != nil {
+		return nil, err
+	}
+	budget := suite.MemBudget(prog, o.MemFrac)
+	d, err := codegen.SetupDiskOn(ooc.NewDisk(0).NoBacking(), prog, plan, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.Record = true
+	mem := ooc.NewMemory(budget)
+	if _, err := codegen.RunProgram(prog, plan, d, mem, codegen.Options{
+		Strategy:  suite.StrategyFor(v),
+		MemBudget: budget,
+		DryRun:    true,
+	}); err != nil {
+		return nil, err
+	}
+	h := &SizeHistogram{}
+	for _, r := range d.Trace {
+		h.Add(r.Len)
+	}
+	return h, nil
+}

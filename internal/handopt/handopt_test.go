@@ -1,0 +1,132 @@
+package handopt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/ooc"
+)
+
+func req(arr string, off, length int64, write bool) ooc.Request {
+	return ooc.Request{Array: arr, Off: off, Len: length, Write: write}
+}
+
+func TestChunkingAdjacent(t *testing.T) {
+	reqs := []ooc.Request{req("A", 0, 8, false), req("A", 8, 8, false), req("A", 16, 8, false)}
+	out, st := Coalesce(reqs, Options{})
+	if len(out) != 1 || len(out[0].Extents) != 1 || out[0].Elems() != 24 {
+		t.Errorf("out = %v", out)
+	}
+	if st.CallsBefore != 3 || st.CallsAfter != 1 || st.ElemsBefore != 24 || st.ElemsAfter != 24 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChunkingGapSieve(t *testing.T) {
+	reqs := []ooc.Request{req("A", 0, 8, false), req("A", 12, 8, false)}
+	// Gap 4: merged under MaxGap 4, gap bytes charged.
+	out, st := Coalesce(reqs, Options{MaxGap: 4})
+	if len(out) != 1 || out[0].Elems() != 20 {
+		t.Errorf("out = %v", out)
+	}
+	if st.ElemsAfter != 20 || st.ElemsBefore != 16 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Without gap tolerance: no merge.
+	out, _ = Coalesce(reqs, Options{})
+	if len(out) != 2 {
+		t.Errorf("gap merged without tolerance: %v", out)
+	}
+}
+
+func TestBackwardAdjacency(t *testing.T) {
+	reqs := []ooc.Request{req("A", 8, 8, false), req("A", 0, 8, false)}
+	out, _ := Coalesce(reqs, Options{})
+	if len(out) != 1 || out[0].Extents[0].Off != 0 || out[0].Elems() != 16 {
+		t.Errorf("backward merge failed: %v", out)
+	}
+}
+
+func TestNoMergeAcrossWriteBoundary(t *testing.T) {
+	reqs := []ooc.Request{req("A", 0, 8, false), req("A", 8, 8, true)}
+	out, _ := Coalesce(reqs, Options{Interleave: true})
+	if len(out) != 2 {
+		t.Errorf("read/write merged: %v", out)
+	}
+}
+
+func TestChunkCap(t *testing.T) {
+	reqs := []ooc.Request{req("A", 0, 8, false), req("A", 8, 8, false), req("A", 16, 8, false)}
+	out, _ := Coalesce(reqs, Options{ChunkElems: 16})
+	if len(out) != 2 {
+		t.Errorf("cap ignored: %v", out)
+	}
+}
+
+func TestInterleaving(t *testing.T) {
+	reqs := []ooc.Request{req("A", 0, 8, false), req("B", 100, 8, false)}
+	out, st := Coalesce(reqs, Options{Interleave: true})
+	if len(out) != 1 || len(out[0].Extents) != 2 || out[0].Elems() != 16 {
+		t.Errorf("interleave failed: %v", out)
+	}
+	if st.CallsAfter != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	out, _ = Coalesce(reqs, Options{})
+	if len(out) != 2 {
+		t.Errorf("interleaved without flag: %v", out)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	out, st := Coalesce(nil, DefaultOptions(8))
+	if out != nil || st.CallsBefore != 0 || st.CallsAfter != 0 {
+		t.Error("empty trace mishandled")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions(8192)
+	if o.MaxGap != 8192 || o.ChunkElems != 16*8192 || !o.Interleave {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestPropertyNeverMoreCallsNeverLessData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []ooc.Request
+		n := rng.Intn(30)
+		files := []string{"A", "B", "C"}
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, ooc.Request{
+				Array: files[rng.Intn(3)],
+				Off:   int64(rng.Intn(100)),
+				Len:   int64(1 + rng.Intn(20)),
+				Write: rng.Intn(2) == 0,
+			})
+		}
+		o := Options{
+			MaxGap:     int64(rng.Intn(8)),
+			ChunkElems: int64(rng.Intn(64)),
+			Interleave: rng.Intn(2) == 0,
+		}
+		out, st := Coalesce(reqs, o)
+		if int64(len(out)) != st.CallsAfter || st.CallsAfter > st.CallsBefore {
+			return false
+		}
+		if st.ElemsAfter < st.ElemsBefore {
+			return false // coalescing may add sieve bytes, never drop data
+		}
+		// Per-file payload conservation: total coverage only grows.
+		var lenOut int64
+		for _, c := range out {
+			lenOut += c.Elems()
+		}
+		return lenOut == st.ElemsAfter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

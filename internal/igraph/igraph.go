@@ -1,0 +1,102 @@
+// Package igraph builds the paper's interference graph (Step 2 of the
+// optimization strategy): a bipartite graph with loop-nest nodes on one
+// side and array nodes on the other, and an edge wherever a nest
+// references an array. Connected components partition the program into
+// fragments that share no arrays, so the global layout algorithm can
+// process each component independently.
+package igraph
+
+import (
+	"sort"
+
+	"outcore/internal/ir"
+)
+
+// Graph is the bipartite interference graph of a program.
+type Graph struct {
+	Nests  []*ir.Nest
+	Arrays []*ir.Array
+	// Edges[nest] lists the arrays the nest references.
+	Edges map[*ir.Nest][]*ir.Array
+}
+
+// Build constructs the interference graph of a program.
+func Build(p *ir.Program) *Graph {
+	g := &Graph{Edges: make(map[*ir.Nest][]*ir.Array)}
+	seenArr := map[*ir.Array]bool{}
+	for _, n := range p.Nests {
+		g.Nests = append(g.Nests, n)
+		arrs := n.Arrays()
+		g.Edges[n] = arrs
+		for _, a := range arrs {
+			if !seenArr[a] {
+				seenArr[a] = true
+				g.Arrays = append(g.Arrays, a)
+			}
+		}
+	}
+	return g
+}
+
+// Component is a maximal set of nests and arrays connected by
+// reference edges.
+type Component struct {
+	Nests  []*ir.Nest
+	Arrays []*ir.Array
+}
+
+// Components returns the connected components of the graph. Nests
+// within a component keep program order; components are ordered by
+// their first nest.
+func (g *Graph) Components() []Component {
+	// Union-find over nests, joined through shared arrays.
+	parent := map[*ir.Nest]*ir.Nest{}
+	var find func(n *ir.Nest) *ir.Nest
+	find = func(n *ir.Nest) *ir.Nest {
+		if parent[n] == n {
+			return n
+		}
+		parent[n] = find(parent[n])
+		return parent[n]
+	}
+	for _, n := range g.Nests {
+		parent[n] = n
+	}
+	owner := map[*ir.Array]*ir.Nest{}
+	for _, n := range g.Nests {
+		for _, a := range g.Edges[n] {
+			if o, ok := owner[a]; ok {
+				parent[find(n)] = find(o)
+			} else {
+				owner[a] = n
+			}
+		}
+	}
+	// Group nests by root, preserving program order.
+	order := map[*ir.Nest]int{}
+	for i, n := range g.Nests {
+		order[n] = i
+	}
+	groups := map[*ir.Nest][]*ir.Nest{}
+	for _, n := range g.Nests {
+		r := find(n)
+		groups[r] = append(groups[r], n)
+	}
+	var comps []Component
+	for _, nests := range groups {
+		sort.Slice(nests, func(i, j int) bool { return order[nests[i]] < order[nests[j]] })
+		c := Component{Nests: nests}
+		seen := map[*ir.Array]bool{}
+		for _, n := range nests {
+			for _, a := range g.Edges[n] {
+				if !seen[a] {
+					seen[a] = true
+					c.Arrays = append(c.Arrays, a)
+				}
+			}
+		}
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return order[comps[i].Nests[0]] < order[comps[j].Nests[0]] })
+	return comps
+}

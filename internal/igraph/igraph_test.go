@@ -1,0 +1,90 @@
+package igraph
+
+import (
+	"testing"
+
+	"outcore/internal/ir"
+)
+
+func nestOver(id int, depth int64, arrays ...*ir.Array) *ir.Nest {
+	var body []*ir.Stmt
+	for _, a := range arrays {
+		body = append(body, ir.Assign(ir.RefIdx(a, 2, 0, 1), nil, "", ir.AddConst(0)))
+	}
+	return &ir.Nest{ID: id, Loops: ir.Rect(depth, depth), Body: body}
+}
+
+func TestBuildEdges(t *testing.T) {
+	u, v := ir.NewArray("U", 4, 4), ir.NewArray("V", 4, 4)
+	n0 := nestOver(0, 4, u, v)
+	p := &ir.Program{Nests: []*ir.Nest{n0}, Arrays: []*ir.Array{u, v}}
+	g := Build(p)
+	if len(g.Nests) != 1 || len(g.Arrays) != 2 {
+		t.Fatalf("graph sizes: %d nests, %d arrays", len(g.Nests), len(g.Arrays))
+	}
+	if len(g.Edges[n0]) != 2 {
+		t.Errorf("edges = %v", g.Edges[n0])
+	}
+}
+
+// TestFigure1Components reproduces the paper's Figure 1: nests over
+// {U,V,W} form one component, nests over {X,Y} another.
+func TestFigure1Components(t *testing.T) {
+	u, v, w := ir.NewArray("U", 4, 4), ir.NewArray("V", 4, 4), ir.NewArray("W", 4, 4)
+	x, y := ir.NewArray("X", 4, 4), ir.NewArray("Y", 4, 4)
+	n0 := nestOver(0, 4, u, v, w)
+	n1 := nestOver(1, 4, x)
+	n2 := nestOver(2, 4, y, x)
+	p := &ir.Program{Nests: []*ir.Nest{n0, n1, n2}}
+	comps := Build(p).Components()
+	if len(comps) != 2 {
+		t.Fatalf("%d components, want 2", len(comps))
+	}
+	if len(comps[0].Nests) != 1 || comps[0].Nests[0] != n0 {
+		t.Errorf("component 0 nests wrong")
+	}
+	if len(comps[1].Nests) != 2 || comps[1].Nests[0] != n1 || comps[1].Nests[1] != n2 {
+		t.Errorf("component 1 nests wrong or out of order")
+	}
+	if len(comps[0].Arrays) != 3 || len(comps[1].Arrays) != 2 {
+		t.Errorf("component array counts: %d, %d", len(comps[0].Arrays), len(comps[1].Arrays))
+	}
+}
+
+func TestComponentsTransitiveSharing(t *testing.T) {
+	// n0 uses {A,B}, n1 uses {B,C}, n2 uses {C,D}: all one component.
+	a, b, c, d := ir.NewArray("A", 4, 4), ir.NewArray("B", 4, 4), ir.NewArray("C", 4, 4), ir.NewArray("D", 4, 4)
+	p := &ir.Program{Nests: []*ir.Nest{
+		nestOver(0, 4, a, b), nestOver(1, 4, b, c), nestOver(2, 4, c, d),
+	}}
+	comps := Build(p).Components()
+	if len(comps) != 1 {
+		t.Fatalf("%d components, want 1", len(comps))
+	}
+	if len(comps[0].Arrays) != 4 || len(comps[0].Nests) != 3 {
+		t.Error("component contents wrong")
+	}
+}
+
+func TestComponentsAllDisjoint(t *testing.T) {
+	arrs := []*ir.Array{ir.NewArray("A", 4, 4), ir.NewArray("B", 4, 4), ir.NewArray("C", 4, 4)}
+	var nests []*ir.Nest
+	for i, a := range arrs {
+		nests = append(nests, nestOver(i, 4, a))
+	}
+	comps := Build(&ir.Program{Nests: nests}).Components()
+	if len(comps) != 3 {
+		t.Fatalf("%d components, want 3", len(comps))
+	}
+	for i, c := range comps {
+		if c.Nests[0].ID != i {
+			t.Error("components out of program order")
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if comps := Build(&ir.Program{}).Components(); len(comps) != 0 {
+		t.Errorf("empty program has %d components", len(comps))
+	}
+}

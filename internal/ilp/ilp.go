@@ -1,0 +1,330 @@
+// Package ilp is a small exact 0/1 integer-linear-program solver
+// (branch and bound over an LP-free combinatorial relaxation), sized
+// for the compiler's layout-assignment problems.
+//
+// The paper closes with "we are also working on the problem of
+// determining optimal file layouts using techniques from integer
+// linear programming"; internal/core's Optimal assignment builds that
+// formulation — one-hot layout choices per array and transformation
+// choices per nest, with an objective counting the references left
+// without locality — and solves it here.
+//
+// The solver handles:
+//
+//	minimize   c·x + sum p_ab·x_a·x_b   (non-negative pair costs)
+//	subject to sum_{j in S} x_j == 1    (one-hot groups)
+//	           a·x <= b                 (arbitrary <= constraints)
+//	           x binary
+//
+// via depth-first branch and bound: cheaper value first (so the first
+// complete solution is near-optimal), incremental consistency checks
+// on the touched groups/constraints, and an optimistic bound summing
+// each undecided group's cheapest member. Product terms are paid when
+// the second variable of a pair turns on, so the layout-assignment
+// problems need no auxiliary penalty variables. Exact, deterministic,
+// and fast for the tens-of-variables problems the optimizer produces.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is a 0/1 minimization problem.
+type Problem struct {
+	names  []string
+	cost   []float64
+	groups [][]int      // one-hot groups: exactly one variable true
+	cons   []constraint // general <= constraints
+	pairs  []pairCost   // product-term costs: paid when both vars are 1
+}
+
+// pairCost is a non-negative cost incurred when x_a = x_b = 1 — the
+// linearization of a quadratic objective term, handled natively so the
+// layout-assignment problems need no auxiliary penalty variables.
+type pairCost struct {
+	a, b int
+	cost float64
+}
+
+// constraint encodes sum coef_i·x_i <= rhs.
+type constraint struct {
+	vars []int
+	coef []float64
+	rhs  float64
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar introduces a binary variable with the given objective cost and
+// returns its index.
+func (p *Problem) AddVar(name string, cost float64) int {
+	p.names = append(p.names, name)
+	p.cost = append(p.cost, cost)
+	return len(p.names) - 1
+}
+
+// Vars returns the number of variables.
+func (p *Problem) Vars() int { return len(p.names) }
+
+// Name returns a variable's name.
+func (p *Problem) Name(v int) string { return p.names[v] }
+
+// AddOneHot requires exactly one of the variables to be 1.
+func (p *Problem) AddOneHot(vars ...int) {
+	g := append([]int(nil), vars...)
+	p.groups = append(p.groups, g)
+}
+
+// AddLE adds sum coef_i · x_{vars_i} <= rhs.
+func (p *Problem) AddLE(vars []int, coef []float64, rhs float64) error {
+	if len(vars) != len(coef) {
+		return fmt.Errorf("ilp: vars/coef length mismatch")
+	}
+	p.cons = append(p.cons, constraint{
+		vars: append([]int(nil), vars...),
+		coef: append([]float64(nil), coef...),
+		rhs:  rhs,
+	})
+	return nil
+}
+
+// AddImplies adds x_a = 1 => x_b = 1 (as x_a - x_b <= 0).
+func (p *Problem) AddImplies(a, b int) {
+	p.cons = append(p.cons, constraint{vars: []int{a, b}, coef: []float64{1, -1}, rhs: 0})
+}
+
+// AddPairCost charges cost (which must be non-negative) whenever both
+// variables are 1.
+func (p *Problem) AddPairCost(a, b int, cost float64) error {
+	if cost < 0 {
+		return fmt.Errorf("ilp: pair costs must be non-negative")
+	}
+	if a == b {
+		// x·x = x for binaries: a plain linear cost.
+		p.cost[a] += cost
+		return nil
+	}
+	p.pairs = append(p.pairs, pairCost{a: a, b: b, cost: cost})
+	return nil
+}
+
+// Solution is an optimal assignment.
+type Solution struct {
+	Value float64
+	X     []bool
+}
+
+const (
+	unset int8 = iota
+	vTrue
+	vFalse
+)
+
+// Solve finds a minimum-cost feasible assignment; ok is false when the
+// problem is infeasible.
+func (p *Problem) Solve() (Solution, bool) {
+	n := len(p.names)
+	state := make([]int8, n)
+	best := Solution{Value: math.Inf(1)}
+	found := false
+
+	// Branch variable order: group members first (they drive the
+	// one-hots), then the rest.
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	for _, g := range p.groups {
+		for _, v := range g {
+			if !inOrder[v] {
+				inOrder[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !inOrder[v] {
+			order = append(order, v)
+		}
+	}
+	// Indexes for incremental work.
+	consByVar := make([][]int, n)
+	for ci, c := range p.cons {
+		for _, v := range c.vars {
+			consByVar[v] = append(consByVar[v], ci)
+		}
+	}
+	pairsByVar := make([][]int, n)
+	for pi, pc := range p.pairs {
+		pairsByVar[pc.a] = append(pairsByVar[pc.a], pi)
+		pairsByVar[pc.b] = append(pairsByVar[pc.b], pi)
+	}
+	inGroup := make([]bool, n)
+	for _, g := range p.groups {
+		for _, v := range g {
+			inGroup[v] = true
+		}
+	}
+
+	var rec func(idx int, acc float64)
+	rec = func(idx int, acc float64) {
+		if acc+p.optimisticRemainder(state, inGroup) >= best.Value {
+			return // bound
+		}
+		if idx == len(order) {
+			if !p.feasible(state) {
+				return
+			}
+			x := make([]bool, n)
+			for v := range x {
+				x[v] = state[v] == vTrue
+			}
+			best = Solution{Value: acc, X: x}
+			found = true
+			return
+		}
+		v := order[idx]
+		if state[v] != unset {
+			rec(idx+1, acc)
+			return
+		}
+		// Try the cheaper value first so the first complete solution is
+		// near-optimal and the bound prunes siblings aggressively.
+		vals := [2]int8{vFalse, vTrue}
+		if p.cost[v] < 0 {
+			vals = [2]int8{vTrue, vFalse}
+		}
+		for _, val := range vals {
+			state[v] = val
+			add := 0.0
+			if val == vTrue {
+				add = p.cost[v]
+				// Pair costs with already-true partners come due now.
+				for _, pi := range pairsByVar[v] {
+					pc := p.pairs[pi]
+					other := pc.a
+					if other == v {
+						other = pc.b
+					}
+					if state[other] == vTrue {
+						add += pc.cost
+					}
+				}
+			}
+			if p.consistentAfter(state, v, consByVar) {
+				rec(idx+1, acc+add)
+			}
+			state[v] = unset
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// consistentAfter checks only the invariants the assignment to v can
+// have affected: its one-hot groups and its constraints.
+func (p *Problem) consistentAfter(state []int8, v int, consByVar [][]int) bool {
+	for _, g := range p.groups {
+		member := false
+		for _, gv := range g {
+			if gv == v {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		trues, unsetCount := 0, 0
+		for _, gv := range g {
+			switch state[gv] {
+			case vTrue:
+				trues++
+			case unset:
+				unsetCount++
+			}
+		}
+		if trues > 1 || (trues == 0 && unsetCount == 0) {
+			return false
+		}
+	}
+	for _, ci := range consByVar[v] {
+		c := p.cons[ci]
+		lo := 0.0
+		for i, cv := range c.vars {
+			switch state[cv] {
+			case vTrue:
+				lo += c.coef[i]
+			case unset:
+				if c.coef[i] < 0 {
+					lo += c.coef[i]
+				}
+			}
+		}
+		if lo > c.rhs+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// feasible checks a complete assignment exactly.
+func (p *Problem) feasible(state []int8) bool {
+	for _, g := range p.groups {
+		trues := 0
+		for _, v := range g {
+			if state[v] == vTrue {
+				trues++
+			}
+		}
+		if trues != 1 {
+			return false
+		}
+	}
+	for _, c := range p.cons {
+		lhs := 0.0
+		for i, v := range c.vars {
+			if state[v] == vTrue {
+				lhs += c.coef[i]
+			}
+		}
+		if lhs > c.rhs+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// optimisticRemainder lower-bounds the cost still to be paid: each
+// undecided one-hot group contributes its cheapest undecided-or-true
+// member; variables outside groups contribute 0 (they can stay false
+// when costs are non-negative) or their (negative) cost.
+func (p *Problem) optimisticRemainder(state []int8, inGroup []bool) float64 {
+	total := 0.0
+	for _, g := range p.groups {
+		decided := false
+		cheapest := math.Inf(1)
+		for _, v := range g {
+			if state[v] == vTrue {
+				decided = true
+			}
+			if state[v] == unset && p.cost[v] < cheapest {
+				cheapest = p.cost[v]
+			}
+		}
+		// An undecided group must still pick one member: at least its
+		// cheapest undecided candidate. (Pair costs are non-negative and
+		// contribute 0 to the lower bound.)
+		if !decided && !math.IsInf(cheapest, 1) {
+			total += cheapest
+		}
+	}
+	// Ungrouped unset variables can stay false unless their cost is
+	// negative, in which case the optimum may take them.
+	for v, c := range p.cost {
+		if state[v] == unset && !inGroup[v] && c < 0 {
+			total += c
+		}
+	}
+	return total
+}

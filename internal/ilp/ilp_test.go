@@ -1,0 +1,211 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleOneHot(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar("a", 3)
+	b := p.AddVar("b", 1)
+	c := p.AddVar("c", 2)
+	p.AddOneHot(a, b, c)
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if sol.Value != 1 || !sol.X[b] || sol.X[a] || sol.X[c] {
+		t.Errorf("solution = %+v", sol)
+	}
+}
+
+func TestTwoGroupsWithCoupling(t *testing.T) {
+	// Two groups; a constraint forbids the individually-cheapest combo.
+	p := NewProblem()
+	a1 := p.AddVar("a1", 1)
+	a2 := p.AddVar("a2", 5)
+	b1 := p.AddVar("b1", 1)
+	b2 := p.AddVar("b2", 2)
+	p.AddOneHot(a1, a2)
+	p.AddOneHot(b1, b2)
+	// a1 + b1 <= 1: cannot take both cheapest.
+	if err := p.AddLE([]int{a1, b1}, []float64{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// Best: a1 + b2 = 3 (vs a2+b1 = 6).
+	if sol.Value != 3 || !sol.X[a1] || !sol.X[b2] {
+		t.Errorf("solution = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar("a", 1)
+	b := p.AddVar("b", 1)
+	p.AddOneHot(a)
+	p.AddOneHot(b)
+	if err := p.AddLE([]int{a, b}, []float64{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Solve(); ok {
+		t.Error("infeasible problem solved")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar("a", -10) // attractive
+	b := p.AddVar("b", 4)   // but forces b
+	p.AddImplies(a, b)
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// Taking both: -6; taking neither: 0. Best is -6.
+	if sol.Value != -6 || !sol.X[a] || !sol.X[b] {
+		t.Errorf("solution = %+v", sol)
+	}
+}
+
+func TestNegativeCostsUngrouped(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar("a", -2)
+	b := p.AddVar("b", 3)
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if sol.Value != -2 || !sol.X[a] || sol.X[b] {
+		t.Errorf("solution = %+v", sol)
+	}
+}
+
+func TestPairCosts(t *testing.T) {
+	p := NewProblem()
+	a1 := p.AddVar("a1", 1)
+	a2 := p.AddVar("a2", 2)
+	b1 := p.AddVar("b1", 1)
+	b2 := p.AddVar("b2", 2)
+	p.AddOneHot(a1, a2)
+	p.AddOneHot(b1, b2)
+	// The individually-cheapest combo (a1,b1) carries a heavy pair cost.
+	if err := p.AddPairCost(a1, b1, 10); err != nil {
+		t.Fatal(err)
+	}
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// Best: a1+b2 = 3 (or a2+b1 = 3), not a1+b1 = 12.
+	if sol.Value != 3 {
+		t.Errorf("value = %g", sol.Value)
+	}
+	if err := p.AddPairCost(a1, b1, -1); err == nil {
+		t.Error("negative pair cost accepted")
+	}
+}
+
+func TestAddLEValidation(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar("a", 0)
+	if err := p.AddLE([]int{a}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if p.Vars() != 1 || p.Name(a) != "a" {
+		t.Error("accessors wrong")
+	}
+}
+
+// bruteForce enumerates all assignments (for property tests).
+func bruteForce(p *Problem) (float64, bool) {
+	n := p.Vars()
+	best := math.Inf(1)
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		state := make([]int8, n)
+		cost := 0.0
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				state[v] = vTrue
+				cost += p.cost[v]
+			} else {
+				state[v] = vFalse
+			}
+		}
+		if p.feasible(state) {
+			for _, pc := range p.pairs {
+				if state[pc.a] == vTrue && state[pc.b] == vTrue {
+					cost += pc.cost
+				}
+			}
+			if cost < best {
+				best = cost
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		n := 3 + rng.Intn(8)
+		for v := 0; v < n; v++ {
+			p.AddVar("v", float64(rng.Intn(11)-3))
+		}
+		// Random one-hot groups over disjoint chunks.
+		v := 0
+		for v < n {
+			g := 1 + rng.Intn(3)
+			if v+g > n {
+				g = n - v
+			}
+			if rng.Intn(2) == 0 {
+				vars := make([]int, g)
+				for i := range vars {
+					vars[i] = v + i
+				}
+				p.AddOneHot(vars...)
+			}
+			v += g
+		}
+		// A couple of random <= constraints.
+		for c := 0; c < rng.Intn(3); c++ {
+			var vars []int
+			var coef []float64
+			for v := 0; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					vars = append(vars, v)
+					coef = append(coef, float64(rng.Intn(5)-2))
+				}
+			}
+			if len(vars) > 0 {
+				_ = p.AddLE(vars, coef, float64(rng.Intn(4)-1))
+			}
+		}
+		for pcN := 0; pcN < rng.Intn(3); pcN++ {
+			_ = p.AddPairCost(rng.Intn(n), rng.Intn(n), float64(rng.Intn(5)))
+		}
+		got, gotOK := p.Solve()
+		want, wantOK := bruteForce(p)
+		if gotOK != wantOK {
+			return false
+		}
+		if !gotOK {
+			return true
+		}
+		return math.Abs(got.Value-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

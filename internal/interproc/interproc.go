@@ -1,0 +1,175 @@
+// Package interproc extends the optimization across procedure
+// boundaries — the paper's first item of future work ("currently we
+// are working on extending our approach across procedure boundaries").
+//
+// A file layout is a whole-program property: an array passed to a
+// subroutine must have ONE layout that serves both the caller's and
+// the callee's nests. The extension is therefore a unification pass:
+// formal parameters are merged with the actuals bound to them at call
+// sites (transitively, via union-find), every procedure's nests are
+// re-expressed over the class representatives, and the paper's global
+// algorithm runs once over the merged program. Each procedure then
+// receives the plan restricted to its own arrays and nests.
+package interproc
+
+import (
+	"fmt"
+
+	"outcore/internal/core"
+	"outcore/internal/ir"
+)
+
+// Procedure is a named program; Params lists the arrays bound by
+// callers (a subset of Prog.Arrays).
+type Procedure struct {
+	Name   string
+	Prog   *ir.Program
+	Params []*ir.Array
+}
+
+// Call binds a caller's actual arrays to a callee's formals.
+type Call struct {
+	Caller   string
+	Callee   string
+	Bindings map[*ir.Array]*ir.Array // formal -> actual
+}
+
+// Unit is a whole program: procedures plus its call multigraph.
+type Unit struct {
+	Procs []*Procedure
+	Calls []Call
+}
+
+// Result carries the per-procedure plans plus the merged global plan.
+type Result struct {
+	// PerProc[name] is the plan restricted to that procedure: layouts
+	// for its arrays (unified across call boundaries) and loop
+	// transformations for its nests.
+	PerProc map[string]*core.Plan
+	// Merged is the plan over the unified program (class
+	// representatives), useful for diagnostics.
+	Merged *core.Plan
+}
+
+// Optimize unifies layouts across procedure boundaries and runs the
+// combined algorithm globally.
+func Optimize(u *Unit, opt *core.Optimizer) (*Result, error) {
+	if opt == nil {
+		opt = &core.Optimizer{}
+	}
+	byName := map[string]*Procedure{}
+	for _, p := range u.Procs {
+		if _, dup := byName[p.Name]; dup {
+			return nil, fmt.Errorf("interproc: duplicate procedure %q", p.Name)
+		}
+		byName[p.Name] = p
+	}
+
+	// Union-find over arrays, seeded by call bindings.
+	parent := map[*ir.Array]*ir.Array{}
+	var find func(a *ir.Array) *ir.Array
+	find = func(a *ir.Array) *ir.Array {
+		if parent[a] == nil || parent[a] == a {
+			return a
+		}
+		r := find(parent[a])
+		parent[a] = r
+		return r
+	}
+	union := func(a, b *ir.Array) error {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return nil
+		}
+		if ra.Rank() != rb.Rank() {
+			return fmt.Errorf("interproc: binding rank mismatch: %s (%d-D) vs %s (%d-D)", a.Name, a.Rank(), b.Name, b.Rank())
+		}
+		for d := range ra.Dims {
+			if ra.Dims[d] != rb.Dims[d] {
+				return fmt.Errorf("interproc: binding extent mismatch: %s%v vs %s%v", a.Name, a.Dims, b.Name, b.Dims)
+			}
+		}
+		parent[ra] = rb
+		return nil
+	}
+	for _, c := range u.Calls {
+		callee, ok := byName[c.Callee]
+		if !ok {
+			return nil, fmt.Errorf("interproc: call to unknown procedure %q", c.Callee)
+		}
+		if _, ok := byName[c.Caller]; !ok {
+			return nil, fmt.Errorf("interproc: call from unknown procedure %q", c.Caller)
+		}
+		isParam := map[*ir.Array]bool{}
+		for _, p := range callee.Params {
+			isParam[p] = true
+		}
+		for formal, actual := range c.Bindings {
+			if !isParam[formal] {
+				return nil, fmt.Errorf("interproc: %s is not a parameter of %s", formal.Name, c.Callee)
+			}
+			if err := union(formal, actual); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Merged program over class representatives: nests are rebuilt with
+	// references retargeted to the representative arrays (shape-equal by
+	// the union checks), so the optimizer sees each conceptual array
+	// exactly once.
+	merged := &ir.Program{Name: "interproc"}
+	repSeen := map[*ir.Array]bool{}
+	nestTwin := map[*ir.Nest]*ir.Nest{} // original -> remapped
+	id := 0
+	for _, p := range u.Procs {
+		for _, a := range p.Prog.Arrays {
+			r := find(a)
+			if !repSeen[r] {
+				repSeen[r] = true
+				merged.Arrays = append(merged.Arrays, r)
+			}
+		}
+		for _, n := range p.Prog.Nests {
+			twin := remapNest(n, id, find)
+			id++
+			nestTwin[n] = twin
+			merged.Nests = append(merged.Nests, twin)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("interproc: merged program invalid: %w", err)
+	}
+	mergedPlan := opt.OptimizeCombined(merged)
+
+	// Split back per procedure.
+	res := &Result{PerProc: map[string]*core.Plan{}, Merged: mergedPlan}
+	for _, p := range u.Procs {
+		plan := core.NewPlan()
+		for _, a := range p.Prog.Arrays {
+			plan.Layouts[a] = mergedPlan.Layouts[find(a)]
+		}
+		for _, n := range p.Prog.Nests {
+			tw := mergedPlan.Nests[nestTwin[n]]
+			plan.Nests[n] = &core.NestPlan{Nest: n, T: tw.T, Q: tw.Q, QLast: tw.QLast}
+		}
+		res.PerProc[p.Name] = plan
+	}
+	return res, nil
+}
+
+// remapNest rebuilds a nest with references retargeted through find.
+func remapNest(n *ir.Nest, id int, find func(*ir.Array) *ir.Array) *ir.Nest {
+	remapRef := func(r ir.Ref) ir.Ref {
+		return ir.NewRef(find(r.Array), r.L, r.Off)
+	}
+	twin := &ir.Nest{ID: id, Loops: n.Loops}
+	for _, s := range n.Body {
+		ns := &ir.Stmt{Out: remapRef(s.Out), F: s.F, Name: s.Name, Guard: s.Guard}
+		for _, in := range s.In {
+			ns.In = append(ns.In, remapRef(in))
+		}
+		twin.Body = append(twin.Body, ns)
+	}
+	return twin
+}

@@ -1,0 +1,238 @@
+package interproc
+
+import (
+	"math/rand"
+	"testing"
+
+	"outcore/internal/codegen"
+	"outcore/internal/core"
+	"outcore/internal/ir"
+	"outcore/internal/ooc"
+	"outcore/internal/tiling"
+)
+
+func newMem(budget int64) *ooc.Memory { return ooc.NewMemory(budget) }
+
+// buildUnit models the paper's motivating fragment split across a
+// procedure boundary:
+//
+//	main:            U(i,j) = A(j,i) + 1        (A is main's array)
+//	sub(V formal):   V(i,j) = W(j,i) + 2        (called with V := A)
+//
+// The layout of A must reconcile main's transposed read with sub's
+// straight write — exactly the cross-nest propagation of Section 3.1,
+// but across a call boundary.
+func buildUnit(n int64) (*Unit, *Procedure, *Procedure, map[string]*ir.Array) {
+	u := ir.NewArray("U", n, n)
+	a := ir.NewArray("A", n, n)
+	mainProg := &ir.Program{
+		Name:   "main",
+		Arrays: []*ir.Array{u, a},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(u, 2, 0, 1), []ir.Ref{ir.RefIdx(a, 2, 1, 0)}, "", ir.AddConst(1)),
+			}},
+		},
+	}
+	v := ir.NewArray("V", n, n) // formal
+	w := ir.NewArray("W", n, n)
+	subProg := &ir.Program{
+		Name:   "sub",
+		Arrays: []*ir.Array{v, w},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(v, 2, 0, 1), []ir.Ref{ir.RefIdx(w, 2, 1, 0)}, "", ir.AddConst(2)),
+			}},
+		},
+	}
+	mainP := &Procedure{Name: "main", Prog: mainProg}
+	subP := &Procedure{Name: "sub", Prog: subProg, Params: []*ir.Array{v}}
+	unit := &Unit{
+		Procs: []*Procedure{mainP, subP},
+		Calls: []Call{{Caller: "main", Callee: "sub", Bindings: map[*ir.Array]*ir.Array{v: a}}},
+	}
+	arrays := map[string]*ir.Array{"U": u, "A": a, "V": v, "W": w}
+	return unit, mainP, subP, arrays
+}
+
+func TestUnifiedLayoutAcrossCall(t *testing.T) {
+	unit, mainP, subP, arrs := buildUnit(16)
+	res, err := Optimize(unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The formal V and the actual A must end with the SAME layout.
+	la := res.PerProc["main"].Layouts[arrs["A"]]
+	lv := res.PerProc["sub"].Layouts[arrs["V"]]
+	if la == nil || lv == nil || !la.Equal(lv) {
+		t.Fatalf("A layout %v != V layout %v", la, lv)
+	}
+	// Every reference in both procedures must have locality: the merged
+	// program is isomorphic to the Section-3.1 fragment, whose optimum
+	// serves all references.
+	for name, p := range map[string]*Procedure{"main": mainP, "sub": subP} {
+		for _, rep := range res.PerProc[name].Report(p.Prog, nil) {
+			if rep.Locality == core.NoLocality {
+				t.Errorf("%s: ref %s without locality", name, rep.Ref)
+			}
+		}
+	}
+}
+
+func TestInterprocSemanticsPreserved(t *testing.T) {
+	// Execute main then sub (sharing A/V contents through the binding)
+	// out-of-core under the unified plan; compare against the in-core
+	// reference with the same sharing.
+	const n = 12
+	unit, mainP, subP, arrs := buildUnit(n)
+	res, err := Optimize(unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, a, v, w := arrs["U"], arrs["A"], arrs["V"], arrs["W"]
+
+	rng := rand.New(rand.NewSource(5))
+	aInit := make([]float64, a.Len())
+	wInit := make([]float64, w.Len())
+	for i := range aInit {
+		aInit[i] = rng.Float64()
+	}
+	for i := range wInit {
+		wInit[i] = rng.Float64()
+	}
+
+	// In-core reference: sub reads/writes the same storage as A.
+	ref := ir.NewStore(u, a, v, w)
+	copy(ref.Data(a), aInit)
+	copy(ref.Data(w), wInit)
+	mainP.Prog.Execute(ref)
+	copy(ref.Data(v), ref.Data(a)) // call: formal receives actual
+	subP.Prog.Execute(ref)
+	copy(ref.Data(a), ref.Data(v)) // return: actual receives updates
+
+	// Out-of-core: run each procedure under its plan; share the
+	// formal/actual contents explicitly at the call boundary.
+	budget := int64(4 * n)
+	initMain := ir.NewStore(u, a)
+	copy(initMain.Data(a), aInit)
+	dMain, err := codegen.SetupDisk(mainP.Prog, res.PerProc["main"], 64, initMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.RunProgram(mainP.Prog, res.PerProc["main"], dMain,
+		newMem(budget), codegen.Options{Strategy: tiling.OutOfCore, MemBudget: budget}); err != nil {
+		t.Fatal(err)
+	}
+	afterMain := codegen.DiskToStore(mainP.Prog, dMain)
+
+	initSub := ir.NewStore(v, w)
+	copy(initSub.Data(v), afterMain.Data(a)) // binding: V := A
+	copy(initSub.Data(w), wInit)
+	dSub, err := codegen.SetupDisk(subP.Prog, res.PerProc["sub"], 64, initSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.RunProgram(subP.Prog, res.PerProc["sub"], dSub,
+		newMem(budget), codegen.Options{Strategy: tiling.OutOfCore, MemBudget: budget}); err != nil {
+		t.Fatal(err)
+	}
+	afterSub := codegen.DiskToStore(subP.Prog, dSub)
+
+	// Compare: U from main, V (=A) and W from sub.
+	for i, want := range ref.Data(u) {
+		if afterMain.Data(u)[i] != want {
+			t.Fatalf("U[%d] = %v, want %v", i, afterMain.Data(u)[i], want)
+		}
+	}
+	for i, want := range ref.Data(v) {
+		if afterSub.Data(v)[i] != want {
+			t.Fatalf("V[%d] = %v, want %v", i, afterSub.Data(v)[i], want)
+		}
+	}
+}
+
+func TestBindingValidation(t *testing.T) {
+	n := int64(8)
+	unit, _, subP, arrs := buildUnit(n)
+	// Rank mismatch.
+	bad := ir.NewArray("bad", n)
+	unit.Calls[0].Bindings = map[*ir.Array]*ir.Array{arrs["V"]: bad}
+	if _, err := Optimize(unit, nil); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	// Non-parameter formal.
+	unit.Calls[0].Bindings = map[*ir.Array]*ir.Array{arrs["W"]: arrs["A"]}
+	if _, err := Optimize(unit, nil); err == nil {
+		t.Error("non-parameter binding accepted")
+	}
+	// Unknown callee.
+	unit.Calls[0] = Call{Caller: "main", Callee: "nope"}
+	if _, err := Optimize(unit, nil); err == nil {
+		t.Error("unknown callee accepted")
+	}
+	// Unknown caller.
+	unit.Calls[0] = Call{Caller: "nope", Callee: "sub", Bindings: map[*ir.Array]*ir.Array{subP.Params[0]: arrs["A"]}}
+	if _, err := Optimize(unit, nil); err == nil {
+		t.Error("unknown caller accepted")
+	}
+	// Duplicate procedure names.
+	unit2, _, _, _ := buildUnit(n)
+	unit2.Procs = append(unit2.Procs, unit2.Procs[0])
+	if _, err := Optimize(unit2, nil); err == nil {
+		t.Error("duplicate procedure accepted")
+	}
+	// Extent mismatch.
+	unit3, _, _, arrs3 := buildUnit(n)
+	wrong := ir.NewArray("wrong", n, n+1)
+	unit3.Calls[0].Bindings = map[*ir.Array]*ir.Array{arrs3["V"]: wrong}
+	unit3.Procs[0].Prog.Arrays = append(unit3.Procs[0].Prog.Arrays, wrong)
+	if _, err := Optimize(unit3, nil); err == nil {
+		t.Error("extent mismatch accepted")
+	}
+}
+
+func TestTransitiveUnification(t *testing.T) {
+	// main -> mid -> leaf: the leaf's formal unifies with main's actual
+	// through the chain.
+	const n = 8
+	a := ir.NewArray("A", n, n)
+	mainProg := &ir.Program{Name: "m", Arrays: []*ir.Array{a}, Nests: []*ir.Nest{
+		{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+			ir.Assign(ir.RefIdx(a, 2, 0, 1), nil, "", ir.AddConst(0)),
+		}},
+	}}
+	f1 := ir.NewArray("F1", n, n)
+	midProg := &ir.Program{Name: "mid", Arrays: []*ir.Array{f1}, Nests: []*ir.Nest{
+		{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+			ir.Assign(ir.RefIdx(f1, 2, 0, 1), nil, "", ir.AddConst(1)),
+		}},
+	}}
+	f2 := ir.NewArray("F2", n, n)
+	leafProg := &ir.Program{Name: "leaf", Arrays: []*ir.Array{f2}, Nests: []*ir.Nest{
+		{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+			// Transposed write: wants the orthogonal layout.
+			ir.Assign(ir.RefIdx(f2, 2, 1, 0), nil, "", ir.AddConst(2)),
+		}},
+	}}
+	unit := &Unit{
+		Procs: []*Procedure{
+			{Name: "m", Prog: mainProg},
+			{Name: "mid", Prog: midProg, Params: []*ir.Array{f1}},
+			{Name: "leaf", Prog: leafProg, Params: []*ir.Array{f2}},
+		},
+		Calls: []Call{
+			{Caller: "m", Callee: "mid", Bindings: map[*ir.Array]*ir.Array{f1: a}},
+			{Caller: "mid", Callee: "leaf", Bindings: map[*ir.Array]*ir.Array{f2: f1}},
+		},
+	}
+	res, err := Optimize(unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := res.PerProc["m"].Layouts[a]
+	l1 := res.PerProc["mid"].Layouts[f1]
+	l2 := res.PerProc["leaf"].Layouts[f2]
+	if !la.Equal(l1) || !la.Equal(l2) {
+		t.Errorf("layouts not unified: %v %v %v", la, l1, l2)
+	}
+}

@@ -1,0 +1,64 @@
+package ir
+
+import "outcore/internal/matrix"
+
+// RefIdx builds the common "permutation" reference A(i_p, i_q, ...)
+// where array dimension d is subscripted by loop index idx[d] of a nest
+// of the given depth. Offsets are zero.
+func RefIdx(a *Array, depth int, idx ...int) Ref {
+	if len(idx) != a.Rank() {
+		panic("ir: RefIdx index count does not match array rank")
+	}
+	l := matrix.NewInt(a.Rank(), depth)
+	for d, j := range idx {
+		if j < 0 || j >= depth {
+			panic("ir: RefIdx loop index out of range")
+		}
+		l.Set(d, j, 1)
+	}
+	return NewRef(a, l, make([]int64, a.Rank()))
+}
+
+// RefAffine builds a general affine reference from explicit access-
+// matrix rows and offsets.
+func RefAffine(a *Array, rows [][]int64, off []int64) Ref {
+	return NewRef(a, matrix.FromRows(rows), off)
+}
+
+// Rect builds a depth-k rectangular loop header with 0-based bounds
+// [0, n-1] per level, using canonical index names.
+func Rect(trip ...int64) []Loop {
+	loops := make([]Loop, len(trip))
+	for i, n := range trip {
+		loops[i] = Loop{Index: IndexName(i), Lo: 0, Hi: n - 1}
+	}
+	return loops
+}
+
+// Assign builds a statement Out = F(In...).
+func Assign(out Ref, in []Ref, name string, f StmtFunc) *Stmt {
+	return &Stmt{Out: out, In: in, F: f, Name: name}
+}
+
+// AddConst returns a StmtFunc computing in[0] + c, the shape of the
+// paper's running example statements (U(i,j) = V(j,i) + 1.0).
+func AddConst(c float64) StmtFunc {
+	return func(in []float64, _ []int64) float64 { return in[0] + c }
+}
+
+// Sum returns a StmtFunc summing all inputs.
+func Sum() StmtFunc {
+	return func(in []float64, _ []int64) float64 {
+		var s float64
+		for _, v := range in {
+			s += v
+		}
+		return s
+	}
+}
+
+// MulAdd returns a StmtFunc computing in[0] + in[1]*in[2], the matmul
+// update shape.
+func MulAdd() StmtFunc {
+	return func(in []float64, _ []int64) float64 { return in[0] + in[1]*in[2] }
+}

@@ -1,0 +1,281 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/matrix"
+)
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray("U", 4, 6)
+	if a.Rank() != 2 || a.Len() != 24 {
+		t.Errorf("rank=%d len=%d", a.Rank(), a.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive extent did not panic")
+		}
+	}()
+	NewArray("bad", 0)
+}
+
+func TestRefElement(t *testing.T) {
+	u := NewArray("U", 8, 8)
+	// V(j, i): transpose access in a depth-2 nest.
+	r := RefIdx(u, 2, 1, 0)
+	got := r.Element([]int64{3, 5})
+	if got[0] != 5 || got[1] != 3 {
+		t.Errorf("Element = %v, want [5 3]", got)
+	}
+	if !r.InBounds([]int64{7, 7}) || r.InBounds([]int64{8, 0}) || r.InBounds([]int64{-1, 0}) {
+		t.Error("InBounds wrong")
+	}
+}
+
+func TestRefAffineOffsets(t *testing.T) {
+	u := NewArray("U", 10, 10)
+	r := RefAffine(u, [][]int64{{1, 1}, {0, 2}}, []int64{1, -1})
+	got := r.Element([]int64{2, 3})
+	if got[0] != 6 || got[1] != 5 {
+		t.Errorf("Element = %v, want [6 5]", got)
+	}
+}
+
+func TestRefStringRendering(t *testing.T) {
+	u := NewArray("U", 8, 8)
+	r := RefIdx(u, 2, 0, 1)
+	if got := r.String(); got != "U(i,j)" {
+		t.Errorf("String = %q", got)
+	}
+	r2 := RefAffine(u, [][]int64{{1, 1}, {1, -1}}, []int64{0, 3})
+	if got := r2.String(); got != "U(i+j,i-j+3)" {
+		t.Errorf("String = %q", got)
+	}
+	r3 := RefAffine(u, [][]int64{{2, 0}, {0, -1}}, []int64{-1, 0})
+	if got := r3.String(); got != "U(2i-1,-j)" {
+		t.Errorf("String = %q", got)
+	}
+	r4 := RefAffine(u, [][]int64{{0, 0}, {0, 0}}, []int64{5, 0})
+	if got := r4.String(); got != "U(5,0)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLoopTrip(t *testing.T) {
+	if (Loop{Lo: 0, Hi: 9}).Trip() != 10 {
+		t.Error("trip wrong")
+	}
+	if (Loop{Lo: 5, Hi: 4}).Trip() != 0 {
+		t.Error("empty loop trip wrong")
+	}
+}
+
+func TestNestValidateAndIterations(t *testing.T) {
+	u := NewArray("U", 4, 4)
+	n := &Nest{
+		Loops: Rect(4, 4),
+		Body: []*Stmt{
+			Assign(RefIdx(u, 2, 0, 1), nil, "const", func(_ []float64, iv []int64) float64 {
+				return float64(iv[0]*10 + iv[1])
+			}),
+		},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Iterations() != 16 {
+		t.Errorf("iterations = %d", n.Iterations())
+	}
+	// Depth-mismatched ref must fail validation.
+	bad := &Nest{Loops: Rect(4), Body: n.Body}
+	if bad.Validate() == nil {
+		t.Error("depth mismatch not caught")
+	}
+	// Nil statement function must fail validation.
+	bad2 := &Nest{Loops: Rect(4, 4), Body: []*Stmt{{Out: RefIdx(u, 2, 0, 1)}}}
+	if bad2.Validate() == nil {
+		t.Error("nil F not caught")
+	}
+}
+
+func TestNestArraysOrder(t *testing.T) {
+	u, v, w := NewArray("U", 4, 4), NewArray("V", 4, 4), NewArray("W", 4, 4)
+	n := &Nest{
+		Loops: Rect(4, 4),
+		Body: []*Stmt{
+			Assign(RefIdx(u, 2, 0, 1), []Ref{RefIdx(v, 2, 1, 0)}, "", AddConst(1)),
+			Assign(RefIdx(v, 2, 0, 1), []Ref{RefIdx(w, 2, 1, 0)}, "", AddConst(2)),
+		},
+	}
+	arrs := n.Arrays()
+	if len(arrs) != 3 || arrs[0] != u || arrs[1] != v || arrs[2] != w {
+		t.Errorf("Arrays order = %v", arrs)
+	}
+}
+
+func TestExecuteSimpleAssign(t *testing.T) {
+	u := NewArray("U", 3, 3)
+	n := &Nest{
+		Loops: Rect(3, 3),
+		Body: []*Stmt{
+			Assign(RefIdx(u, 2, 0, 1), nil, "", func(_ []float64, iv []int64) float64 {
+				return float64(iv[0]*3 + iv[1])
+			}),
+		},
+	}
+	s := NewStore(u)
+	n.Execute(s)
+	for i := int64(0); i < 3; i++ {
+		for j := int64(0); j < 3; j++ {
+			if got := s.Get(u, []int64{i, j}); got != float64(i*3+j) {
+				t.Errorf("U(%d,%d) = %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestExecuteTransposeChain(t *testing.T) {
+	// The paper's Section 3.1 fragment: U = Vᵀ + 1; V = Wᵀ + 2.
+	const N = 5
+	u, v, w := NewArray("U", N, N), NewArray("V", N, N), NewArray("W", N, N)
+	p := &Program{
+		Name:   "frag",
+		Arrays: []*Array{u, v, w},
+		Nests: []*Nest{
+			{ID: 0, Loops: Rect(N, N), Body: []*Stmt{
+				Assign(RefIdx(u, 2, 0, 1), []Ref{RefIdx(v, 2, 1, 0)}, "", AddConst(1)),
+			}},
+			{ID: 1, Loops: Rect(N, N), Body: []*Stmt{
+				Assign(RefIdx(v, 2, 0, 1), []Ref{RefIdx(w, 2, 1, 0)}, "", AddConst(2)),
+			}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(u, v, w)
+	rng := rand.New(rand.NewSource(7))
+	for i := range s.Data(w) {
+		s.Data(w)[i] = rng.Float64()
+	}
+	for i := range s.Data(v) {
+		s.Data(v)[i] = rng.Float64()
+	}
+	vBefore := make([]float64, len(s.Data(v)))
+	copy(vBefore, s.Data(v))
+	p.Execute(s)
+	for i := int64(0); i < N; i++ {
+		for j := int64(0); j < N; j++ {
+			wantU := vBefore[j*N+i] + 1 // U(i,j) = old V(j,i) + 1 (nest order!)
+			// Nest 0 runs before nest 1, so U sees the ORIGINAL V.
+			if got := s.Get(u, []int64{i, j}); got != wantU {
+				t.Errorf("U(%d,%d) = %v, want %v", i, j, got, wantU)
+			}
+			wantV := s.Get(w, []int64{j, i}) + 2
+			if got := s.Get(v, []int64{i, j}); got != wantV {
+				t.Errorf("V(%d,%d) = %v, want %v", i, j, got, wantV)
+			}
+		}
+	}
+}
+
+func TestStoreCloneIndependent(t *testing.T) {
+	u := NewArray("U", 2, 2)
+	s := NewStore(u)
+	s.Set(u, []int64{0, 0}, 1)
+	c := s.Clone()
+	c.Set(u, []int64{0, 0}, 9)
+	if s.Get(u, []int64{0, 0}) != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestStoreOutOfBoundsPanics(t *testing.T) {
+	u := NewArray("U", 2, 2)
+	s := NewStore(u)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access did not panic")
+		}
+	}()
+	s.Get(u, []int64{2, 0})
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	u := NewArray("U", 2, 2)
+	a, b := NewStore(u), NewStore(u)
+	a.Set(u, []int64{1, 1}, 3)
+	b.Set(u, []int64{1, 1}, 1)
+	if MaxAbsDiff(a, b, u) != 2 {
+		t.Error("MaxAbsDiff wrong")
+	}
+}
+
+func TestNestString(t *testing.T) {
+	u, v := NewArray("U", 8, 8), NewArray("V", 8, 8)
+	n := &Nest{
+		Loops: Rect(8, 8),
+		Body: []*Stmt{
+			Assign(RefIdx(u, 2, 0, 1), []Ref{RefIdx(v, 2, 1, 0)}, "add1", AddConst(1)),
+		},
+	}
+	out := n.String()
+	for _, want := range []string{"do i = 0, 7", "do j = 0, 7", "U(i,j) = add1(V(j,i))", "end do"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("nest string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramStringAndValidate(t *testing.T) {
+	u := NewArray("U", 4, 4)
+	ghost := NewArray("G", 4, 4)
+	p := &Program{Name: "p", Arrays: []*Array{u}, Nests: []*Nest{
+		{Loops: Rect(4, 4), Body: []*Stmt{Assign(RefIdx(u, 2, 0, 1), nil, "", AddConst(0))}},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "real U(4,4)") {
+		t.Errorf("program string:\n%s", p.String())
+	}
+	// Undeclared array must be caught.
+	p.Nests = append(p.Nests, &Nest{Loops: Rect(4, 4), Body: []*Stmt{
+		Assign(RefIdx(ghost, 2, 0, 1), nil, "", AddConst(0)),
+	}})
+	if p.Validate() == nil {
+		t.Error("undeclared array not caught")
+	}
+}
+
+func TestPropertyRefElementLinear(t *testing.T) {
+	// Element must be affine: Element(a+b) - Element(b) == L·a.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arr := NewArray("A", 100, 100)
+		l := matrix.NewInt(2, 3)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				l.Set(i, j, int64(rng.Intn(5)-2))
+			}
+		}
+		r := NewRef(arr, l, []int64{int64(rng.Intn(5)), int64(rng.Intn(5))})
+		a := []int64{int64(rng.Intn(4)), int64(rng.Intn(4)), int64(rng.Intn(4))}
+		b := []int64{int64(rng.Intn(4)), int64(rng.Intn(4)), int64(rng.Intn(4))}
+		ab := []int64{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+		ea, eb := r.Element(ab), r.Element(b)
+		la := l.MulVec(a)
+		for d := range ea {
+			if ea[d]-eb[d] != la[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

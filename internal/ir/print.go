@@ -1,0 +1,75 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the nest as indented pseudo-Fortran, the notation the
+// paper uses in its examples.
+func (n *Nest) String() string {
+	var b strings.Builder
+	for lvl, l := range n.Loops {
+		indent(&b, lvl)
+		fmt.Fprintf(&b, "do %s = %d, %d\n", l.Index, l.Lo, l.Hi)
+	}
+	for _, s := range n.Body {
+		indent(&b, n.Depth())
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	for lvl := n.Depth() - 1; lvl >= 0; lvl-- {
+		indent(&b, lvl)
+		b.WriteString("end do\n")
+	}
+	return b.String()
+}
+
+// String renders the statement as "Out = f(In, ...)", prefixed by any
+// sinking guards.
+func (s *Stmt) String() string {
+	var b strings.Builder
+	for _, g := range s.Guard {
+		fmt.Fprintf(&b, "if (%s == %d) ", IndexName(g.Level), g.Value)
+	}
+	b.WriteString(s.Out.String())
+	b.WriteString(" = ")
+	if s.Name != "" {
+		b.WriteString(s.Name)
+	} else {
+		b.WriteString("f")
+	}
+	b.WriteByte('(')
+	for i, r := range s.In {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = fmt.Sprintf("%d", d)
+		}
+		fmt.Fprintf(&b, "  real %s(%s)\n", a.Name, strings.Join(dims, ","))
+	}
+	for _, n := range p.Nests {
+		fmt.Fprintf(&b, "! nest %d\n", n.ID)
+		b.WriteString(n.String())
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}

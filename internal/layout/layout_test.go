@@ -1,0 +1,274 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allLayouts(n, m int64) []*Layout {
+	return []*Layout{
+		RowMajor(n, m),
+		ColMajor(n, m),
+		Diagonal(n, m),
+		AntiDiagonal(n, m),
+		Blocked(n, m, 3, 2),
+		General(n, m, []int64{7, 4}),
+		General(n, m, []int64{2, -3}),
+	}
+}
+
+func TestOffsetBijective(t *testing.T) {
+	for _, l := range allLayouts(7, 5) {
+		seen := make(map[int64]bool)
+		for i := int64(0); i < 7; i++ {
+			for j := int64(0); j < 5; j++ {
+				off := l.Offset([]int64{i, j})
+				if off < 0 || off >= l.Size() {
+					t.Fatalf("%s: offset %d out of range", l, off)
+				}
+				if seen[off] {
+					t.Fatalf("%s: duplicate offset %d at (%d,%d)", l, off, i, j)
+				}
+				seen[off] = true
+			}
+		}
+		if int64(len(seen)) != l.Size() {
+			t.Errorf("%s: %d offsets, want %d", l, len(seen), l.Size())
+		}
+	}
+}
+
+func TestCoordInverse(t *testing.T) {
+	for _, l := range allLayouts(6, 9) {
+		for off := int64(0); off < l.Size(); off++ {
+			c := l.Coord(off)
+			if got := l.Offset(c); got != off {
+				t.Fatalf("%s: Offset(Coord(%d)) = %d", l, off, got)
+			}
+		}
+	}
+}
+
+func TestRowMajorOffsets(t *testing.T) {
+	l := RowMajor(4, 6)
+	if l.Offset([]int64{0, 0}) != 0 || l.Offset([]int64{0, 5}) != 5 || l.Offset([]int64{1, 0}) != 6 {
+		t.Error("row-major offsets wrong")
+	}
+	if l.Offset([]int64{3, 5}) != 23 {
+		t.Error("row-major last element wrong")
+	}
+}
+
+func TestColMajorOffsets(t *testing.T) {
+	l := ColMajor(4, 6)
+	if l.Offset([]int64{0, 0}) != 0 || l.Offset([]int64{3, 0}) != 3 || l.Offset([]int64{0, 1}) != 4 {
+		t.Error("col-major offsets wrong")
+	}
+}
+
+func TestDiagonalAdjacency(t *testing.T) {
+	// Consecutive file elements within a diagonal move by (+1,+1).
+	l := Diagonal(5, 5)
+	for off := int64(0); off < l.Size()-1; off++ {
+		a, b := l.Coord(off), l.Coord(off+1)
+		if a[0]-a[1] == b[0]-b[1] { // same diagonal
+			if b[0] != a[0]+1 || b[1] != a[1]+1 {
+				t.Fatalf("diagonal step from %v to %v", a, b)
+			}
+		}
+	}
+}
+
+func TestAntiDiagonalAdjacency(t *testing.T) {
+	l := AntiDiagonal(5, 4)
+	for off := int64(0); off < l.Size()-1; off++ {
+		a, b := l.Coord(off), l.Coord(off+1)
+		if a[0]+a[1] == b[0]+b[1] {
+			if b[0] != a[0]+1 || b[1] != a[1]-1 {
+				t.Fatalf("anti-diagonal step from %v to %v", a, b)
+			}
+		}
+	}
+}
+
+// TestFigure2Hyperplanes checks the paper's Figure 2 correspondence
+// between layouts and hyperplane vectors.
+func TestFigure2Hyperplanes(t *testing.T) {
+	cases := []struct {
+		l    *Layout
+		want [2]int64
+	}{
+		{ColMajor(8, 8), [2]int64{0, 1}},
+		{RowMajor(8, 8), [2]int64{1, 0}},
+		{Diagonal(8, 8), [2]int64{1, -1}},
+		{AntiDiagonal(8, 8), [2]int64{1, 1}},
+	}
+	for _, c := range cases {
+		g := c.l.Hyperplane()
+		if g[0] != c.want[0] || g[1] != c.want[1] {
+			t.Errorf("%s hyperplane = %v, want %v", c.l, g, c.want)
+		}
+		// Two elements on the same hyperplane must be file-adjacent when
+		// consecutive along the layout direction.
+	}
+	if Blocked(8, 8, 2, 2).Hyperplane() != nil {
+		t.Error("blocked layout should have no single hyperplane vector")
+	}
+}
+
+func TestGeneralRecognizesCanonical(t *testing.T) {
+	if General(4, 4, []int64{3, 0}).Kind() != Permutation {
+		t.Error("(3,0) should be row-major")
+	}
+	if General(4, 4, []int64{0, -2}).Kind() != Permutation {
+		t.Error("(0,-2) should be col-major")
+	}
+	if General(4, 4, []int64{2, 2}).Kind() != AntiDiagonal2D {
+		t.Error("(2,2) should be anti-diagonal")
+	}
+	if General(4, 4, []int64{-1, 1}).Kind() != Diagonal2D {
+		t.Error("(-1,1) should be diagonal")
+	}
+	if General(4, 4, []int64{7, 4}).Kind() != General2D {
+		t.Error("(7,4) should be general")
+	}
+}
+
+func TestGeneralHyperplaneOrdering(t *testing.T) {
+	// Elements must be sorted by g·a primarily.
+	l := General(6, 6, []int64{7, 4})
+	prevKey := int64(-1 << 62)
+	for off := int64(0); off < l.Size(); off++ {
+		c := l.Coord(off)
+		key := 7*c[0] + 4*c[1]
+		if key < prevKey {
+			t.Fatalf("offset %d: key %d < previous %d", off, key, prevKey)
+		}
+		prevKey = key
+	}
+}
+
+func TestFastDimension(t *testing.T) {
+	if d, ok := RowMajor(4, 4).FastDimension(); !ok || d != 1 {
+		t.Error("row-major fast dim")
+	}
+	if d, ok := ColMajor(4, 4).FastDimension(); !ok || d != 0 {
+		t.Error("col-major fast dim")
+	}
+	if _, ok := Diagonal(4, 4).FastDimension(); ok {
+		t.Error("diagonal has no fast dim")
+	}
+	l := FastDim([]int64{4, 5, 6}, 1)
+	if d, ok := l.FastDimension(); !ok || d != 1 {
+		t.Error("FastDim(1) fast dim")
+	}
+}
+
+func TestPermutation3D(t *testing.T) {
+	l := NewPermutation([]int64{3, 4, 5}, []int{2, 0, 1})
+	// Fastest dim is 1 (extent 4); slowest dim is 2 (extent 5).
+	if off := l.Offset([]int64{0, 1, 0}); off != 1 {
+		t.Errorf("offset = %d", off)
+	}
+	if off := l.Offset([]int64{1, 0, 0}); off != 4 {
+		t.Errorf("offset = %d", off)
+	}
+	if off := l.Offset([]int64{0, 0, 1}); off != 12 {
+		t.Errorf("offset = %d", off)
+	}
+	// Full bijectivity.
+	seen := map[int64]bool{}
+	for i := int64(0); i < 3; i++ {
+		for j := int64(0); j < 4; j++ {
+			for k := int64(0); k < 5; k++ {
+				off := l.Offset([]int64{i, j, k})
+				if seen[off] {
+					t.Fatal("duplicate offset in 3-D permutation")
+				}
+				seen[off] = true
+				c := l.Coord(off)
+				if c[0] != i || c[1] != j || c[2] != k {
+					t.Fatalf("Coord(Offset(%d,%d,%d)) = %v", i, j, k, c)
+				}
+			}
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !RowMajor(4, 4).Equal(RowMajor(4, 4)) {
+		t.Error("identical layouts unequal")
+	}
+	if RowMajor(4, 4).Equal(ColMajor(4, 4)) {
+		t.Error("row == col")
+	}
+	if RowMajor(4, 4).Equal(RowMajor(4, 5)) {
+		t.Error("different dims equal")
+	}
+	if !General(4, 4, []int64{7, 4}).Equal(General(4, 4, []int64{14, 8})) {
+		t.Error("scaled hyperplane vectors unequal")
+	}
+	if !Blocked(4, 4, 2, 2).Equal(Blocked(4, 4, 2, 2)) {
+		t.Error("identical blocked unequal")
+	}
+	if Blocked(4, 4, 2, 2).Equal(Blocked(4, 4, 2, 4)) {
+		t.Error("different blocks equal")
+	}
+}
+
+func TestInvalidConstructorsPanic(t *testing.T) {
+	mustPanic(t, func() { NewPermutation([]int64{2, 2}, []int{0}) })
+	mustPanic(t, func() { NewPermutation([]int64{2, 2}, []int{0, 0}) })
+	mustPanic(t, func() { General(2, 2, []int64{0, 0}) })
+	mustPanic(t, func() { Blocked(4, 4, 0, 2) })
+	mustPanic(t, func() { FastDim([]int64{2, 2}, 5) })
+	mustPanic(t, func() { RowMajor(2, 2).Offset([]int64{2, 0}) })
+	mustPanic(t, func() { RowMajor(2, 2).Coord(4) })
+	mustPanic(t, func() { ForHyperplane([]int64{2, 2, 2}, []int64{1, 0}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestPropertyOffsetBijectiveRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := int64(2+rng.Intn(6)), int64(2+rng.Intn(6))
+		g := []int64{int64(rng.Intn(9) - 4), int64(rng.Intn(9) - 4)}
+		if g[0] == 0 && g[1] == 0 {
+			g[0] = 1
+		}
+		ls := []*Layout{
+			General(n, m, g),
+			Blocked(n, m, int64(1+rng.Intn(3)), int64(1+rng.Intn(3))),
+		}
+		for _, l := range ls {
+			seen := map[int64]bool{}
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < m; j++ {
+					off := l.Offset([]int64{i, j})
+					if off < 0 || off >= n*m || seen[off] {
+						return false
+					}
+					seen[off] = true
+					c := l.Coord(off)
+					if c[0] != i || c[1] != j {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package layout
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox([]int64{1, 2}, []int64{4, 5})
+	if b.Size() != 9 || b.Empty() {
+		t.Error("box size wrong")
+	}
+	if !b.Contains([]int64{1, 2}) || b.Contains([]int64{4, 2}) || b.Contains([]int64{1, 5}) {
+		t.Error("Contains wrong")
+	}
+	c := b.Clip([]int64{3, 10})
+	if c.Hi[0] != 3 || c.Hi[1] != 5 {
+		t.Errorf("Clip = %v", c)
+	}
+	if !NewBox([]int64{2, 2}, []int64{2, 5}).Empty() {
+		t.Error("degenerate box not empty")
+	}
+	mustPanic(t, func() { NewBox([]int64{2}, []int64{1}) })
+	mustPanic(t, func() { NewBox([]int64{0, 0}, []int64{1}) })
+}
+
+func TestRunsRowMajorFullRows(t *testing.T) {
+	l := RowMajor(8, 8)
+	// A band of full rows is one contiguous run.
+	runs := l.Runs(NewBox([]int64{2, 0}, []int64{5, 8}))
+	if len(runs) != 1 || runs[0].Off != 16 || runs[0].Len != 24 {
+		t.Errorf("runs = %v", runs)
+	}
+	// A square tile not spanning full rows: one run per row.
+	runs = l.Runs(NewBox([]int64{0, 0}, []int64{4, 4}))
+	if len(runs) != 4 {
+		t.Errorf("square tile runs = %v", runs)
+	}
+	for k, r := range runs {
+		if r.Len != 4 || r.Off != int64(k)*8 {
+			t.Errorf("run %d = %v", k, r)
+		}
+	}
+}
+
+func TestRunsColMajor(t *testing.T) {
+	l := ColMajor(8, 8)
+	// A band of full columns is one run.
+	runs := l.Runs(NewBox([]int64{0, 2}, []int64{8, 5}))
+	if len(runs) != 1 || runs[0].Off != 16 || runs[0].Len != 24 {
+		t.Errorf("runs = %v", runs)
+	}
+	// A row band costs one run per column.
+	runs = l.Runs(NewBox([]int64{2, 0}, []int64{4, 8}))
+	if len(runs) != 8 {
+		t.Errorf("row band runs = %d", len(runs))
+	}
+}
+
+// TestFigure3CallCounts reproduces the arithmetic of the paper's
+// Figure 3 with 8x8 arrays, a memory of 32 elements split across two
+// arrays per nest, and at most 8 elements per I/O call.
+func TestFigure3CallCounts(t *testing.T) {
+	const maxCall = 8
+	calls := func(runs []Run) int64 {
+		var c int64
+		for _, r := range runs {
+			c += (r.Len + maxCall - 1) / maxCall
+		}
+		return c
+	}
+	colV := ColMajor(8, 8)
+	// Traditional tiling: 4x4 tile of column-major V -> 4 I/O calls of 4
+	// elements each (Figure 3(a)).
+	trad := calls(colV.Runs(NewBox([]int64{0, 0}, []int64{4, 4})))
+	if trad != 4 {
+		t.Errorf("traditional 4x4 tile: %d calls, want 4", trad)
+	}
+	// OOC tiling: 2 full columns (16 elements, contiguous per column,
+	// columns adjacent in file) -> 16 contiguous elements = 2 calls of 8
+	// (Figure 3(b)).
+	ooc := calls(colV.Runs(NewBox([]int64{0, 0}, []int64{8, 2})))
+	if ooc != 2 {
+		t.Errorf("OOC 8x2 tile: %d calls, want 2", ooc)
+	}
+}
+
+func TestRunsDiagonal(t *testing.T) {
+	l := Diagonal(6, 6)
+	// The main-diagonal band within a tile: each diagonal is one run.
+	runs := l.Runs(NewBox([]int64{0, 0}, []int64{3, 3}))
+	// Diagonals intersecting a 3x3 corner tile: d = -2..2 -> 5 runs, but
+	// adjacent ones can merge only if file-contiguous (they are not, for
+	// a corner tile of a larger array).
+	if len(runs) != 5 {
+		t.Errorf("diagonal tile runs = %d (%v)", len(runs), runs)
+	}
+	// The full array must be exactly one run.
+	full := l.Runs(NewBox([]int64{0, 0}, []int64{6, 6}))
+	if len(full) != 1 || full[0].Off != 0 || full[0].Len != 36 {
+		t.Errorf("full-array runs = %v", full)
+	}
+}
+
+func TestRunsBlocked(t *testing.T) {
+	l := Blocked(8, 8, 4, 4)
+	// One aligned block is exactly one run.
+	runs := l.Runs(NewBox([]int64{0, 0}, []int64{4, 4}))
+	if len(runs) != 1 || runs[0].Len != 16 {
+		t.Errorf("aligned block runs = %v", runs)
+	}
+	// A block-misaligned tile touches 4 blocks.
+	runs = l.Runs(NewBox([]int64{2, 2}, []int64{6, 6}))
+	if len(runs) <= 1 {
+		t.Errorf("misaligned tile runs = %v", runs)
+	}
+}
+
+func TestRunsClipToArray(t *testing.T) {
+	l := RowMajor(4, 4)
+	runs := l.Runs(NewBox([]int64{2, 2}, []int64{10, 10}))
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+	}
+	if total != 4 { // rows 2..3 x cols 2..3
+		t.Errorf("clipped coverage = %d", total)
+	}
+	if l.Runs(NewBox([]int64{5, 5}, []int64{9, 9})) != nil {
+		t.Error("fully-outside box should have no runs")
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	l := RowMajor(8, 8)
+	if l.RunCount(NewBox([]int64{0, 0}, []int64{4, 4})) != 4 {
+		t.Error("RunCount mismatch")
+	}
+}
+
+// checkRunsCoverBox verifies that runs exactly cover the box: sorted,
+// non-overlapping, total length == box size, and every covered offset
+// maps back to a coordinate inside the box.
+func checkRunsCoverBox(t *testing.T, l *Layout, box Box) {
+	t.Helper()
+	box = box.Clip(l.Dims())
+	runs := l.Runs(box)
+	var total int64
+	for k, r := range runs {
+		total += r.Len
+		if k > 0 && runs[k-1].Off+runs[k-1].Len >= r.Off {
+			t.Fatalf("%s: runs overlap or not maximal: %v", l, runs)
+		}
+		for off := r.Off; off < r.Off+r.Len; off++ {
+			if !box.Contains(l.Coord(off)) {
+				t.Fatalf("%s: offset %d outside box %v", l, off, box)
+			}
+		}
+	}
+	if total != box.Size() {
+		t.Fatalf("%s: runs cover %d elements, box has %d", l, total, box.Size())
+	}
+}
+
+func TestRunsCoverExactly(t *testing.T) {
+	boxes := []Box{
+		NewBox([]int64{0, 0}, []int64{3, 3}),
+		NewBox([]int64{1, 2}, []int64{5, 7}),
+		NewBox([]int64{0, 0}, []int64{7, 1}),
+		NewBox([]int64{6, 0}, []int64{7, 7}),
+		NewBox([]int64{0, 0}, []int64{7, 7}),
+	}
+	for _, l := range allLayouts(7, 7) {
+		for _, b := range boxes {
+			checkRunsCoverBox(t, l, b)
+		}
+	}
+}
+
+func TestPropertyRunsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := int64(3+rng.Intn(6)), int64(3+rng.Intn(6))
+		ls := allLayouts(n, m)
+		l := ls[rng.Intn(len(ls))]
+		lo := []int64{int64(rng.Intn(int(n))), int64(rng.Intn(int(m)))}
+		hi := []int64{lo[0] + int64(1+rng.Intn(int(n))), lo[1] + int64(1+rng.Intn(int(m)))}
+		box := NewBox(lo, hi).Clip(l.Dims())
+		if box.Empty() {
+			return true
+		}
+		// Brute force: collect offsets, sort, merge.
+		var offs []int64
+		for i := box.Lo[0]; i < box.Hi[0]; i++ {
+			for j := box.Lo[1]; j < box.Hi[1]; j++ {
+				offs = append(offs, l.Offset([]int64{i, j}))
+			}
+		}
+		sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+		var want []Run
+		for _, o := range offs {
+			if k := len(want); k > 0 && want[k-1].Off+want[k-1].Len == o {
+				want[k-1].Len++
+			} else {
+				want = append(want, Run{Off: o, Len: 1})
+			}
+		}
+		got := l.Runs(box)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermSegments3D(t *testing.T) {
+	l := NewPermutation([]int64{4, 4, 4}, []int{0, 1, 2})
+	checkRunsCoverBox(t, l, NewBox([]int64{1, 1, 1}, []int64{3, 3, 3}))
+	// Full cube is one run.
+	full := l.Runs(NewBox([]int64{0, 0, 0}, []int64{4, 4, 4}))
+	if len(full) != 1 || full[0].Len != 64 {
+		t.Errorf("full cube runs = %v", full)
+	}
+}

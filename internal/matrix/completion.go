@@ -1,0 +1,65 @@
+package matrix
+
+import "outcore/internal/rational"
+
+// Complete extends a primitive integer vector v (gcd of entries 1) to a
+// unimodular k x k matrix whose LAST column equals v. This is the
+// completion step the paper borrows from Bik and Wijshoff: the
+// optimizer derives only the last column of Q = T⁻¹ (the innermost-loop
+// direction) and needs the remaining columns filled so that Q is
+// non-singular.
+//
+// ok is false when v is zero or not primitive.
+func Complete(v []int64) (q *Int, ok bool) {
+	k := len(v)
+	if k == 0 || IsZeroVec(v) {
+		return nil, false
+	}
+	if g := rational.GCDAll(v...); g != 1 {
+		return nil, false
+	}
+	// Reduce v to e_0 by unimodular row operations M (M*v = e_0) while
+	// accumulating M⁻¹ as column operations; then M⁻¹ has v as its first
+	// column. Finally rotate columns so v becomes the last column.
+	w := make([]int64, k)
+	copy(w, v)
+	minv := Identity(k)
+	for i := 1; i < k; i++ {
+		if w[i] == 0 {
+			continue
+		}
+		a, b := w[0], w[i]
+		g, x, y := rational.ExtGCD(a, b)
+		// Row op:  [x  y; -b/g  a/g] on rows (0, i), det = 1.
+		// Inverse: [a/g  -y; b/g  x], applied to minv as a column op.
+		for r := 0; r < k; r++ {
+			c0, ci := minv.At(r, 0), minv.At(r, i)
+			minv.Set(r, 0, (a/g)*c0+(b/g)*ci)
+			minv.Set(r, i, -y*c0+x*ci)
+		}
+		w[0], w[i] = g, 0
+	}
+	if w[0] != 1 {
+		// v was not primitive (should be unreachable given the guard).
+		return nil, false
+	}
+	// Rotate column 0 to position k-1 with a cyclic permutation, which
+	// has determinant (-1)^(k-1); either sign keeps |det| == 1.
+	out := NewInt(k, k)
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			src := (c + 1) % k // column k-1 gets old column 0
+			out.Set(r, c, minv.At(r, src))
+		}
+	}
+	return out, true
+}
+
+// CompleteAny gcd-reduces v and then completes it; it accepts any
+// nonzero integer vector. ok is false only for zero vectors.
+func CompleteAny(v []int64) (*Int, bool) {
+	if IsZeroVec(v) {
+		return nil, false
+	}
+	return Complete(PrimitiveInt(v))
+}

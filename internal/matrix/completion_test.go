@@ -1,0 +1,205 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/rational"
+)
+
+func TestCompleteLastColumn(t *testing.T) {
+	cases := [][]int64{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+		{1, -1},
+		{2, 3},
+		{1, 0, 0},
+		{0, 0, 1},
+		{1, 2, 3},
+		{3, -5, 7},
+		{1, 1, 1, 1},
+	}
+	for _, v := range cases {
+		q, ok := Complete(v)
+		if !ok {
+			t.Fatalf("Complete(%v) failed", v)
+		}
+		if !q.IsUnimodular() {
+			t.Errorf("Complete(%v) not unimodular:\n%s", v, q)
+		}
+		last := q.Col(q.Cols() - 1)
+		for i := range v {
+			if last[i] != v[i] {
+				t.Errorf("Complete(%v) last column = %v", v, last)
+				break
+			}
+		}
+	}
+}
+
+func TestCompleteRejectsBadInput(t *testing.T) {
+	if _, ok := Complete([]int64{0, 0}); ok {
+		t.Error("completed zero vector")
+	}
+	if _, ok := Complete([]int64{2, 4}); ok {
+		t.Error("completed non-primitive vector")
+	}
+	if _, ok := Complete(nil); ok {
+		t.Error("completed empty vector")
+	}
+}
+
+func TestCompleteAny(t *testing.T) {
+	q, ok := CompleteAny([]int64{-2, 4})
+	if !ok {
+		t.Fatal("CompleteAny failed")
+	}
+	if !q.IsUnimodular() {
+		t.Error("not unimodular")
+	}
+	// Last column must be the primitive direction of (-2, 4) = (1, -2).
+	last := q.Col(1)
+	if last[0] != 1 || last[1] != -2 {
+		t.Errorf("last column = %v, want [1 -2]", last)
+	}
+	if _, ok := CompleteAny([]int64{0, 0, 0}); ok {
+		t.Error("CompleteAny accepted zero vector")
+	}
+}
+
+func TestPropertyCompleteUnimodularWithLastColumn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		v := make([]int64, k)
+		for IsZeroVec(v) {
+			for i := range v {
+				v[i] = int64(rng.Intn(11) - 5)
+			}
+		}
+		v = PrimitiveInt(v)
+		q, ok := Complete(v)
+		if !ok || !q.IsUnimodular() {
+			return false
+		}
+		last := q.Col(k - 1)
+		for i := range v {
+			if last[i] != v[i] {
+				return false
+			}
+		}
+		// Q must be invertible with rational inverse: sanity-check Q*Q⁻¹.
+		inv, ok := q.Inverse()
+		if !ok {
+			return false
+		}
+		return q.ToRat().Mul(inv).Equal(RatIdentity(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHNFBasic(t *testing.T) {
+	a := FromRows([][]int64{{4, 6}, {2, 4}})
+	h, u := HNF(a)
+	if !u.IsUnimodular() {
+		t.Fatalf("u not unimodular:\n%s", u)
+	}
+	if !a.Mul(u).Equal(h) {
+		t.Errorf("a*u != h:\na*u=\n%sh=\n%s", a.Mul(u), h)
+	}
+}
+
+func TestHNFRectangularAndZero(t *testing.T) {
+	a := FromRows([][]int64{{1, 2, 3}, {4, 5, 6}})
+	h, u := HNF(a)
+	if !u.IsUnimodular() || !a.Mul(u).Equal(h) {
+		t.Error("rectangular HNF invariant broken")
+	}
+	z := NewInt(2, 2)
+	h, u = HNF(z)
+	if !u.IsUnimodular() || !z.Mul(u).Equal(h) {
+		t.Error("zero-matrix HNF invariant broken")
+	}
+}
+
+func TestPropertyHNFInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(3), 1+rng.Intn(3)
+		a := NewInt(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, int64(rng.Intn(9)-4))
+			}
+		}
+		h, u := HNF(a)
+		if !u.IsUnimodular() {
+			return false
+		}
+		if !a.Mul(u).Equal(h) {
+			return false
+		}
+		// Square non-singular inputs keep |det| under HNF.
+		if rows == cols {
+			da, dh := a.Det(), h.Det()
+			if abs(da) != abs(dh) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRatMatrixOps(t *testing.T) {
+	a := NewRat(2, 2)
+	a.Set(0, 0, rational.New(1, 2))
+	a.Set(0, 1, rational.One)
+	a.Set(1, 0, rational.Zero)
+	a.Set(1, 1, rational.New(2, 1))
+	inv, ok := a.Inverse()
+	if !ok {
+		t.Fatal("inverse failed")
+	}
+	if !a.Mul(inv).Equal(RatIdentity(2)) {
+		t.Error("a*a⁻¹ != I")
+	}
+	if a.IsIntegral() {
+		t.Error("fractional matrix reported integral")
+	}
+	b := RatIdentity(2)
+	if m, ok := b.ToInt(); !ok || !m.Equal(Identity(2)) {
+		t.Error("ToInt failed on identity")
+	}
+	if _, ok := a.ToInt(); ok {
+		t.Error("ToInt succeeded on fractional matrix")
+	}
+	v := a.MulVec([]rational.Rat{rational.FromInt(2), rational.FromInt(1)})
+	if !v[0].Equal(rational.FromInt(2)) || !v[1].Equal(rational.FromInt(2)) {
+		t.Errorf("MulVec = %v", v)
+	}
+}
+
+func TestRatInverseSingular(t *testing.T) {
+	a := NewRat(2, 2)
+	a.Set(0, 0, rational.One)
+	a.Set(0, 1, rational.One)
+	a.Set(1, 0, rational.One)
+	a.Set(1, 1, rational.One)
+	if _, ok := a.Inverse(); ok {
+		t.Error("singular rational matrix inverted")
+	}
+}

@@ -1,0 +1,90 @@
+package matrix
+
+import "outcore/internal/rational"
+
+// HNF computes the column-style Hermite normal form of a: it returns
+// (h, u) with h = a * u, u unimodular, h lower-triangular-ish with
+// non-negative pivots and, in each pivot row, entries to the right of
+// the pivot zero and entries to the left reduced modulo the pivot.
+//
+// The layout normalizer uses HNF to canonicalize data-transformation
+// matrices (Section 3.4): two transformations whose column spans agree
+// produce the same HNF, which makes "did this shear actually shrink the
+// bounding box?" a well-posed comparison.
+func HNF(a *Int) (h, u *Int) {
+	h = a.Clone()
+	u = Identity(a.Cols())
+	rows, cols := h.Rows(), h.Cols()
+	pivCol := 0
+	for r := 0; r < rows && pivCol < cols; r++ {
+		// Zero out columns pivCol+1.. in row r using extended gcd column ops.
+		nonzero := false
+		for c := pivCol; c < cols; c++ {
+			if h.At(r, c) != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		for c := pivCol + 1; c < cols; c++ {
+			if h.At(r, c) == 0 {
+				continue
+			}
+			x, y := h.At(r, pivCol), h.At(r, c)
+			g, s, t := rational.ExtGCD(x, y)
+			// Column op on (pivCol, c): [s -y/g; t x/g], det = 1.
+			applyColOp(h, pivCol, c, s, t, -y/g, x/g)
+			applyColOp(u, pivCol, c, s, t, -y/g, x/g)
+		}
+		// Make the pivot positive.
+		if h.At(r, pivCol) < 0 {
+			negateCol(h, pivCol)
+			negateCol(u, pivCol)
+		}
+		// Reduce earlier columns modulo the pivot in this row.
+		p := h.At(r, pivCol)
+		if p != 0 {
+			for c := 0; c < pivCol; c++ {
+				q := floorDiv(h.At(r, c), p)
+				if q != 0 {
+					addColMultiple(h, c, pivCol, -q)
+					addColMultiple(u, c, pivCol, -q)
+				}
+			}
+		}
+		pivCol++
+	}
+	return h, u
+}
+
+// applyColOp replaces (col a, col b) with (s*a + t*b, p*a + q*b).
+func applyColOp(m *Int, a, b int, s, t, p, q int64) {
+	for r := 0; r < m.Rows(); r++ {
+		va, vb := m.At(r, a), m.At(r, b)
+		m.Set(r, a, s*va+t*vb)
+		m.Set(r, b, p*va+q*vb)
+	}
+}
+
+func negateCol(m *Int, c int) {
+	for r := 0; r < m.Rows(); r++ {
+		m.Set(r, c, -m.At(r, c))
+	}
+}
+
+// addColMultiple adds f * col(src) to col(dst).
+func addColMultiple(m *Int, dst, src int, f int64) {
+	for r := 0; r < m.Rows(); r++ {
+		m.Set(r, dst, m.At(r, dst)+f*m.At(r, src))
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

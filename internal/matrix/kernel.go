@@ -1,0 +1,123 @@
+package matrix
+
+import "outcore/internal/rational"
+
+// KernelBasis returns an integer basis of the null space of m
+// (vectors v with m*v == 0). Each basis vector is primitive: its
+// entries are scaled to integers and divided by their gcd, matching the
+// paper's rule of picking kernel vectors with minimal element gcd.
+// The basis is empty when the kernel is trivial.
+func KernelBasis(m *Int) [][]int64 {
+	rm := m.ToRat()
+	n := m.Cols()
+	// Reduced row echelon form, tracking pivot columns.
+	w := rm.Clone()
+	pivotCol := make([]int, 0, w.rows)
+	row := 0
+	for col := 0; col < n && row < w.rows; col++ {
+		p := -1
+		for i := row; i < w.rows; i++ {
+			if !w.At(i, col).IsZero() {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		w.swapRows(row, p)
+		w.scaleRow(row, w.At(row, col).Inv())
+		for i := 0; i < w.rows; i++ {
+			if i == row || w.At(i, col).IsZero() {
+				continue
+			}
+			w.addRow(i, row, w.At(i, col).Neg())
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	isPivot := make([]bool, n)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	var basis [][]int64
+	for free := 0; free < n; free++ {
+		if isPivot[free] {
+			continue
+		}
+		// Back-substitute with the free variable set to 1.
+		vec := make([]rational.Rat, n)
+		vec[free] = rational.One
+		for r, pc := range pivotCol {
+			vec[pc] = w.At(r, free).Neg()
+		}
+		basis = append(basis, Primitive(vec))
+	}
+	return basis
+}
+
+// Primitive scales a rational vector to the shortest integer vector in
+// the same direction: multiply by the lcm of denominators, then divide
+// by the gcd of entries. The sign convention makes the first nonzero
+// entry positive.
+func Primitive(v []rational.Rat) []int64 {
+	l := int64(1)
+	for _, x := range v {
+		if !x.IsZero() {
+			l = rational.LCM(l, x.Den())
+		}
+	}
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = x.Num() * (l / x.Den())
+	}
+	g := rational.GCDAll(out...)
+	if g > 1 {
+		for i := range out {
+			out[i] /= g
+		}
+	}
+	for _, x := range out {
+		if x != 0 {
+			if x < 0 {
+				for i := range out {
+					out[i] = -out[i]
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+// PrimitiveInt gcd-reduces an integer vector in place conventions of
+// Primitive and returns it as a new slice.
+func PrimitiveInt(v []int64) []int64 {
+	r := make([]rational.Rat, len(v))
+	for i, x := range v {
+		r[i] = rational.FromInt(x)
+	}
+	return Primitive(r)
+}
+
+// IsZeroVec reports whether all entries of v are zero.
+func IsZeroVec(v []int64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of two equal-length integer vectors.
+func Dot(a, b []int64) int64 {
+	if len(a) != len(b) {
+		panic("matrix: dot length mismatch")
+	}
+	var s int64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

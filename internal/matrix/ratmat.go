@@ -1,0 +1,210 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"outcore/internal/rational"
+)
+
+// Rat is a dense matrix of exact rationals, used where elimination
+// needs division (inverses, kernel bases).
+type Rat struct {
+	rows, cols int
+	a          []rational.Rat
+}
+
+// NewRat returns a zero rows x cols rational matrix.
+func NewRat(rows, cols int) *Rat {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Rat{rows: rows, cols: cols, a: make([]rational.Rat, rows*cols)}
+}
+
+// RatIdentity returns the n x n rational identity.
+func RatIdentity(n int) *Rat {
+	m := NewRat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, rational.One)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Rat) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Rat) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Rat) At(i, j int) rational.Rat { return m.a[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Rat) Set(i, j int, v rational.Rat) { m.a[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Rat) Clone() *Rat {
+	c := NewRat(m.rows, m.cols)
+	copy(c.a, m.a)
+	return c
+}
+
+// Equal reports shape and elementwise equality.
+func (m *Rat) Equal(n *Rat) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.a {
+		if !m.a[i].Equal(n.a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns m * n.
+func (m *Rat) Mul(n *Rat) *Rat {
+	if m.cols != n.rows {
+		panic("matrix: rat mul shape mismatch")
+	}
+	p := NewRat(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mik := m.At(i, k)
+			if mik.IsZero() {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				p.Set(i, j, p.At(i, j).Add(mik.Mul(n.At(k, j))))
+			}
+		}
+	}
+	return p
+}
+
+// MulVec returns m * v.
+func (m *Rat) MulVec(v []rational.Rat) []rational.Rat {
+	if m.cols != len(v) {
+		panic("matrix: rat mulvec shape mismatch")
+	}
+	out := make([]rational.Rat, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := rational.Zero
+		for j := 0; j < m.cols; j++ {
+			s = s.Add(m.At(i, j).Mul(v[j]))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Rat) Col(j int) []rational.Rat {
+	c := make([]rational.Rat, m.rows)
+	for i := range c {
+		c[i] = m.At(i, j)
+	}
+	return c
+}
+
+// Inverse returns m⁻¹ via Gauss-Jordan with partial pivoting on exact
+// rationals; ok is false when m is singular or non-square.
+func (m *Rat) Inverse() (*Rat, bool) {
+	if m.rows != m.cols {
+		return nil, false
+	}
+	n := m.rows
+	w := m.Clone()
+	inv := RatIdentity(n)
+	for col := 0; col < n; col++ {
+		// Pivot: any nonzero entry works with exact arithmetic.
+		p := -1
+		for i := col; i < n; i++ {
+			if !w.At(i, col).IsZero() {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		w.swapRows(col, p)
+		inv.swapRows(col, p)
+		pivInv := w.At(col, col).Inv()
+		w.scaleRow(col, pivInv)
+		inv.scaleRow(col, pivInv)
+		for i := 0; i < n; i++ {
+			if i == col || w.At(i, col).IsZero() {
+				continue
+			}
+			f := w.At(i, col).Neg()
+			w.addRow(i, col, f)
+			inv.addRow(i, col, f)
+		}
+	}
+	return inv, true
+}
+
+// IsIntegral reports whether every entry is an integer.
+func (m *Rat) IsIntegral() bool {
+	for _, v := range m.a {
+		if !v.IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// ToInt converts to an integer matrix; ok is false if any entry is
+// fractional.
+func (m *Rat) ToInt() (*Int, bool) {
+	if !m.IsIntegral() {
+		return nil, false
+	}
+	out := NewInt(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(i, j, m.At(i, j).Int())
+		}
+	}
+	return out, true
+}
+
+func (m *Rat) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	for k := 0; k < m.cols; k++ {
+		m.a[i*m.cols+k], m.a[j*m.cols+k] = m.a[j*m.cols+k], m.a[i*m.cols+k]
+	}
+}
+
+func (m *Rat) scaleRow(i int, f rational.Rat) {
+	for k := 0; k < m.cols; k++ {
+		m.a[i*m.cols+k] = m.a[i*m.cols+k].Mul(f)
+	}
+}
+
+// addRow adds f * row(src) to row(dst).
+func (m *Rat) addRow(dst, src int, f rational.Rat) {
+	for k := 0; k < m.cols; k++ {
+		m.a[dst*m.cols+k] = m.a[dst*m.cols+k].Add(f.Mul(m.a[src*m.cols+k]))
+	}
+}
+
+// String renders the matrix with one row per line.
+func (m *Rat) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprint(&b, m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Backend stores an array's file contents. Offsets and lengths are in
+// elements. The in-memory backend is the default (simulation and
+// tests); the file backend performs real operating-system I/O, one
+// ReadAt/WriteAt per runtime request, for running genuinely
+// disk-resident workloads.
+type Backend interface {
+	// ReadAt fills buf with the elements starting at element offset off.
+	ReadAt(buf []float64, off int64) error
+	// WriteAt stores buf at element offset off.
+	WriteAt(buf []float64, off int64) error
+	// Size returns the backend capacity in elements.
+	Size() int64
+	// Close releases resources.
+	Close() error
+}
+
+// memBackend keeps the file contents in memory.
+type memBackend struct {
+	data []float64
+}
+
+func newMemBackend(n int64) *memBackend { return &memBackend{data: make([]float64, n)} }
+
+func (m *memBackend) ReadAt(buf []float64, off int64) error {
+	if off < 0 || off+int64(len(buf)) > int64(len(m.data)) {
+		return fmt.Errorf("ooc: mem read [%d,%d) out of range %d", off, off+int64(len(buf)), len(m.data))
+	}
+	copy(buf, m.data[off:])
+	return nil
+}
+
+func (m *memBackend) WriteAt(buf []float64, off int64) error {
+	if off < 0 || off+int64(len(buf)) > int64(len(m.data)) {
+		return fmt.Errorf("ooc: mem write [%d,%d) out of range %d", off, off+int64(len(buf)), len(m.data))
+	}
+	copy(m.data[off:], buf)
+	return nil
+}
+
+func (m *memBackend) Size() int64 { return int64(len(m.data)) }
+func (m *memBackend) Close() error {
+	m.data = nil
+	return nil
+}
+
+// fileBackend stores elements as little-endian float64 in a real file.
+type fileBackend struct {
+	f    *os.File
+	size int64
+}
+
+// newFileBackend creates (truncating) a zero-filled backing file of n
+// elements.
+func newFileBackend(path string, n int64) (*fileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(n * ElemSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileBackend{f: f, size: n}, nil
+}
+
+func (fb *fileBackend) ReadAt(buf []float64, off int64) error {
+	raw := make([]byte, len(buf)*ElemSize)
+	if _, err := fb.f.ReadAt(raw, off*ElemSize); err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*ElemSize:]))
+	}
+	return nil
+}
+
+func (fb *fileBackend) WriteAt(buf []float64, off int64) error {
+	raw := make([]byte, len(buf)*ElemSize)
+	for i, v := range buf {
+		binary.LittleEndian.PutUint64(raw[i*ElemSize:], math.Float64bits(v))
+	}
+	_, err := fb.f.WriteAt(raw, off*ElemSize)
+	return err
+}
+
+func (fb *fileBackend) Size() int64  { return fb.size }
+func (fb *fileBackend) Close() error { return fb.f.Close() }
+
+// nullBackend carries no data: it backs measurement-only (dry-run)
+// disks, where only accounting matters. Data access is a programming
+// error and fails loudly.
+type nullBackend struct{ size int64 }
+
+func (n nullBackend) ReadAt([]float64, int64) error {
+	return fmt.Errorf("ooc: data access on a measurement-only (null-backed) array")
+}
+func (n nullBackend) WriteAt([]float64, int64) error {
+	return fmt.Errorf("ooc: data access on a measurement-only (null-backed) array")
+}
+func (n nullBackend) Size() int64  { return n.size }
+func (n nullBackend) Close() error { return nil }
+
+// Dir configures a disk to back arrays with real files under dir.
+// Call Close to release the file handles.
+func (d *Disk) Dir(dir string) *Disk {
+	d.dir = dir
+	return d
+}
+
+// NoBacking configures a disk for measurement-only use: arrays carry no
+// data, only accounting. ReadTile/WriteTile fail; TouchRead/TouchWrite
+// work.
+func (d *Disk) NoBacking() *Disk {
+	d.noBacking = true
+	return d
+}
+
+// Close releases every array's backend (file handles for file-backed
+// disks; no-ops otherwise).
+func (d *Disk) Close() error {
+	var first error
+	for _, arr := range d.arrays {
+		if err := arr.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// newBackend picks the backend for a new array per the disk's
+// configuration.
+func (d *Disk) newBackend(name string, n int64) (Backend, error) {
+	switch {
+	case d.noBacking:
+		return nullBackend{size: n}, nil
+	case d.dir != "":
+		return newFileBackend(filepath.Join(d.dir, name+".dat"), n)
+	default:
+		return newMemBackend(n), nil
+	}
+}

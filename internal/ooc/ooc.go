@@ -1,0 +1,393 @@
+// Package ooc is the out-of-core runtime: the role the PASSION library
+// plays in the paper. It stores arrays in (simulated) files under a
+// chosen file layout, moves rectangular data tiles between "disk" and
+// "memory", enforces a memory budget, and accounts every I/O call and
+// byte.
+//
+// The central costing rule matches the paper's model: reading a tile
+// issues one I/O request per maximal contiguous file run the tile
+// occupies (layout.Runs), further split by the per-call element cap
+// (the paper's "at most 8 elements per I/O call" in Figure 3, 64 KB
+// stripe units on the real PFS).
+package ooc
+
+import (
+	"fmt"
+
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+)
+
+// ElemSize is the byte size of one array element (double precision, as
+// in the paper's experiments).
+const ElemSize = 8
+
+// Stats accumulates I/O accounting.
+type Stats struct {
+	ReadCalls    int64
+	WriteCalls   int64
+	ElemsRead    int64
+	ElemsWritten int64
+}
+
+// Calls returns total I/O calls.
+func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
+
+// Bytes returns total bytes moved.
+func (s Stats) Bytes() int64 { return (s.ElemsRead + s.ElemsWritten) * ElemSize }
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.ReadCalls += o.ReadCalls
+	s.WriteCalls += o.WriteCalls
+	s.ElemsRead += o.ElemsRead
+	s.ElemsWritten += o.ElemsWritten
+}
+
+// Request is one recorded I/O call (element granularity).
+type Request struct {
+	Array string
+	Off   int64 // file offset, in elements
+	Len   int64 // length, in elements
+	Write bool
+}
+
+// Disk simulates the storage subsystem: a set of per-array files plus
+// global accounting. MaxCallElems caps how many contiguous elements a
+// single I/O call may move (0 = unlimited).
+type Disk struct {
+	MaxCallElems int64
+	Record       bool // capture per-call Trace (costly; tests/PFS replay only)
+
+	Stats   Stats
+	PerFile map[string]*Stats
+	Trace   []Request
+
+	arrays    map[string]*Array
+	dir       string // non-empty: back arrays with real files here
+	noBacking bool   // measurement-only arrays (no data)
+}
+
+// NewDisk returns an empty disk with the given per-call element cap.
+func NewDisk(maxCallElems int64) *Disk {
+	return &Disk{
+		MaxCallElems: maxCallElems,
+		PerFile:      map[string]*Stats{},
+		arrays:       map[string]*Array{},
+	}
+}
+
+// ResetStats clears accounting but keeps file contents.
+func (d *Disk) ResetStats() {
+	d.Stats = Stats{}
+	d.PerFile = map[string]*Stats{}
+	d.Trace = nil
+}
+
+// Array is an out-of-core array: file-resident data under a layout.
+type Array struct {
+	Meta    *ir.Array
+	Layout  *layout.Layout
+	disk    *Disk
+	backend Backend
+}
+
+// CreateArray allocates the file for an array under the given layout.
+// Creating the same array twice is an error.
+func (d *Disk) CreateArray(a *ir.Array, l *layout.Layout) (*Array, error) {
+	if _, dup := d.arrays[a.Name]; dup {
+		return nil, fmt.Errorf("ooc: array %s already exists", a.Name)
+	}
+	if l.Size() != a.Len() {
+		return nil, fmt.Errorf("ooc: layout size %d != array size %d for %s", l.Size(), a.Len(), a.Name)
+	}
+	backend, err := d.newBackend(a.Name, a.Len())
+	if err != nil {
+		return nil, fmt.Errorf("ooc: creating backing for %s: %w", a.Name, err)
+	}
+	arr := &Array{Meta: a, Layout: l, disk: d, backend: backend}
+	d.arrays[a.Name] = arr
+	d.PerFile[a.Name] = &Stats{}
+	return arr, nil
+}
+
+// ArrayOf returns the out-of-core array for a, or nil.
+func (d *Disk) ArrayOf(a *ir.Array) *Array { return d.arrays[a.Name] }
+
+// callsFor splits contiguous runs by the per-call cap.
+func (d *Disk) callsFor(runs []layout.Run) int64 {
+	var calls int64
+	for _, r := range runs {
+		if d.MaxCallElems <= 0 {
+			calls++
+			continue
+		}
+		calls += (r.Len + d.MaxCallElems - 1) / d.MaxCallElems
+	}
+	return calls
+}
+
+// recordRuns appends per-call trace entries for the runs.
+func (d *Disk) recordRuns(name string, runs []layout.Run, write bool) {
+	if !d.Record {
+		return
+	}
+	for _, r := range runs {
+		if d.MaxCallElems <= 0 {
+			d.Trace = append(d.Trace, Request{Array: name, Off: r.Off, Len: r.Len, Write: write})
+			continue
+		}
+		for off := r.Off; off < r.Off+r.Len; off += d.MaxCallElems {
+			l := d.MaxCallElems
+			if off+l > r.Off+r.Len {
+				l = r.Off + r.Len - off
+			}
+			d.Trace = append(d.Trace, Request{Array: name, Off: off, Len: l, Write: write})
+		}
+	}
+}
+
+// account updates global and per-file stats.
+func (d *Disk) account(name string, calls, elems int64, write bool) {
+	fs := d.PerFile[name]
+	if fs == nil {
+		fs = &Stats{}
+		d.PerFile[name] = fs
+	}
+	if write {
+		d.Stats.WriteCalls += calls
+		d.Stats.ElemsWritten += elems
+		fs.WriteCalls += calls
+		fs.ElemsWritten += elems
+	} else {
+		d.Stats.ReadCalls += calls
+		d.Stats.ElemsRead += elems
+		fs.ReadCalls += calls
+		fs.ElemsRead += elems
+	}
+}
+
+// setupChunk is the buffer size for whole-array setup helpers.
+const setupChunk = 1 << 16
+
+// Fill initializes the whole array in place from a coordinate function
+// WITHOUT accounting I/O (test/benchmark setup, not workload I/O).
+func (ar *Array) Fill(f func(c []int64) float64) {
+	size := ar.Layout.Size()
+	buf := make([]float64, minI64ooc(setupChunk, size))
+	for base := int64(0); base < size; base += int64(len(buf)) {
+		n := minI64ooc(int64(len(buf)), size-base)
+		for i := int64(0); i < n; i++ {
+			buf[i] = f(ar.Layout.Coord(base + i))
+		}
+		if err := ar.backend.WriteAt(buf[:n], base); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// At reads one element directly (no accounting; verification helper).
+func (ar *Array) At(c []int64) float64 {
+	var buf [1]float64
+	if err := ar.backend.ReadAt(buf[:], ar.Layout.Offset(c)); err != nil {
+		panic(err)
+	}
+	return buf[0]
+}
+
+// SetAt writes one element directly (no accounting; setup helper).
+func (ar *Array) SetAt(c []int64, v float64) {
+	buf := [1]float64{v}
+	if err := ar.backend.WriteAt(buf[:], ar.Layout.Offset(c)); err != nil {
+		panic(err)
+	}
+}
+
+// ToStore copies the array contents into an in-core store for
+// verification against a reference execution.
+func (ar *Array) ToStore(s *ir.Store) {
+	size := ar.Layout.Size()
+	buf := make([]float64, minI64ooc(setupChunk, size))
+	for base := int64(0); base < size; base += int64(len(buf)) {
+		n := minI64ooc(int64(len(buf)), size-base)
+		if err := ar.backend.ReadAt(buf[:n], base); err != nil {
+			panic(err)
+		}
+		for i := int64(0); i < n; i++ {
+			s.Set(ar.Meta, ar.Layout.Coord(base+i), buf[i])
+		}
+	}
+}
+
+// FromStore loads the array contents from an in-core store (no
+// accounting; setup helper).
+func (ar *Array) FromStore(s *ir.Store) {
+	size := ar.Layout.Size()
+	buf := make([]float64, minI64ooc(setupChunk, size))
+	for base := int64(0); base < size; base += int64(len(buf)) {
+		n := minI64ooc(int64(len(buf)), size-base)
+		for i := int64(0); i < n; i++ {
+			buf[i] = s.Get(ar.Meta, ar.Layout.Coord(base+i))
+		}
+		if err := ar.backend.WriteAt(buf[:n], base); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func minI64ooc(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Tile is an in-memory rectangular window of an out-of-core array.
+type Tile struct {
+	Arr  *Array
+	Box  layout.Box
+	data []float64 // box-local row-major
+	dims []int64   // box extents
+}
+
+// ReadTile brings the (clipped) box into memory, charging one I/O call
+// per contiguous run segment (split by the call cap).
+func (ar *Array) ReadTile(box layout.Box) (*Tile, error) {
+	box = box.Clip(ar.Meta.Dims)
+	t := newTile(ar, box)
+	runs := ar.Layout.Runs(box)
+	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), false)
+	ar.disk.recordRuns(ar.Meta.Name, runs, false)
+	// Move the data: read each run, then scatter into the tile buffer.
+	var buf []float64
+	for _, r := range runs {
+		if int64(cap(buf)) < r.Len {
+			buf = make([]float64, r.Len)
+		}
+		buf = buf[:r.Len]
+		if err := ar.backend.ReadAt(buf, r.Off); err != nil {
+			return nil, fmt.Errorf("ooc: reading %s run [%d,%d): %w", ar.Meta.Name, r.Off, r.Off+r.Len, err)
+		}
+		for i := int64(0); i < r.Len; i++ {
+			c := ar.Layout.Coord(r.Off + i)
+			t.data[t.index(c)] = buf[i]
+		}
+	}
+	return t, nil
+}
+
+// TouchRead accounts the I/O of reading the box without moving any
+// data: the measurement path for dry-run schedule execution, where only
+// call counts, bytes and the request trace matter.
+func (ar *Array) TouchRead(box layout.Box) {
+	box = box.Clip(ar.Meta.Dims)
+	runs := ar.Layout.Runs(box)
+	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), false)
+	ar.disk.recordRuns(ar.Meta.Name, runs, false)
+}
+
+// TouchWrite accounts the I/O of writing the box without moving data.
+func (ar *Array) TouchWrite(box layout.Box) {
+	box = box.Clip(ar.Meta.Dims)
+	runs := ar.Layout.Runs(box)
+	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), true)
+	ar.disk.recordRuns(ar.Meta.Name, runs, true)
+}
+
+// NewTileZero allocates an in-memory tile without reading (for pure
+// output tiles that will be fully overwritten).
+func (ar *Array) NewTileZero(box layout.Box) *Tile {
+	return newTile(ar, box.Clip(ar.Meta.Dims))
+}
+
+// WriteTile flushes the tile back to disk, charging one I/O call per
+// contiguous run segment (split by the call cap).
+func (t *Tile) WriteTile() error {
+	ar := t.Arr
+	runs := ar.Layout.Runs(t.Box)
+	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), t.Box.Size(), true)
+	ar.disk.recordRuns(ar.Meta.Name, runs, true)
+	var buf []float64
+	for _, r := range runs {
+		if int64(cap(buf)) < r.Len {
+			buf = make([]float64, r.Len)
+		}
+		buf = buf[:r.Len]
+		for i := int64(0); i < r.Len; i++ {
+			c := ar.Layout.Coord(r.Off + i)
+			buf[i] = t.data[t.index(c)]
+		}
+		if err := ar.backend.WriteAt(buf, r.Off); err != nil {
+			return fmt.Errorf("ooc: writing %s run [%d,%d): %w", ar.Meta.Name, r.Off, r.Off+r.Len, err)
+		}
+	}
+	return nil
+}
+
+func newTile(ar *Array, box layout.Box) *Tile {
+	dims := make([]int64, box.Rank())
+	for d := range dims {
+		dims[d] = box.Hi[d] - box.Lo[d]
+	}
+	return &Tile{Arr: ar, Box: box, data: make([]float64, box.Size()), dims: dims}
+}
+
+// index maps global coordinates to the tile-local buffer.
+func (t *Tile) index(c []int64) int64 {
+	var idx int64
+	for d := range c {
+		x := c[d] - t.Box.Lo[d]
+		if x < 0 || x >= t.dims[d] {
+			panic(fmt.Sprintf("ooc: coordinate %v outside tile %v", c, t.Box))
+		}
+		idx = idx*t.dims[d] + x
+	}
+	return idx
+}
+
+// Get reads a tile element by GLOBAL array coordinates.
+func (t *Tile) Get(c []int64) float64 { return t.data[t.index(c)] }
+
+// Set writes a tile element by GLOBAL array coordinates.
+func (t *Tile) Set(c []int64, v float64) { t.data[t.index(c)] = v }
+
+// Size returns the tile's element count.
+func (t *Tile) Size() int64 { return t.Box.Size() }
+
+// Memory enforces the in-core memory budget the paper imposes (1/128th
+// of the out-of-core data size in the experiments).
+type Memory struct {
+	Capacity int64 // elements
+	used     int64
+	peak     int64
+}
+
+// NewMemory returns a budget of the given element capacity (0 =
+// unlimited).
+func NewMemory(capacityElems int64) *Memory { return &Memory{Capacity: capacityElems} }
+
+// Alloc reserves n elements, failing when the budget would overflow.
+func (m *Memory) Alloc(n int64) error {
+	if m.Capacity > 0 && m.used+n > m.Capacity {
+		return fmt.Errorf("ooc: memory budget exceeded: %d + %d > %d elements", m.used, n, m.Capacity)
+	}
+	m.used += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// Release returns n elements to the budget.
+func (m *Memory) Release(n int64) {
+	m.used -= n
+	if m.used < 0 {
+		panic("ooc: memory release underflow")
+	}
+}
+
+// Used returns the current allocation.
+func (m *Memory) Used() int64 { return m.used }
+
+// Peak returns the high-water mark.
+func (m *Memory) Peak() int64 { return m.peak }

@@ -1,0 +1,216 @@
+// Package pfs is a discrete-event simulator of a striped parallel file
+// system in the style of the Intel Paragon's PFS, which the paper's
+// experiments ran on: files are striped over a fixed set of I/O nodes
+// in fixed-size stripe units (64 KB on the Paragon), each I/O node
+// serves its queue FIFO, and every request pays a per-call overhead
+// plus a bandwidth term.
+//
+// Processors issue their I/O operations synchronously (the next
+// operation starts only when the previous one and the interleaved
+// compute finished), which is how the PASSION-generated codes behave.
+// Contention emerges naturally: more processors than I/O nodes queue up
+// on the same stripes, so versions that issue fewer, larger calls
+// scale further — the effect behind the paper's Table 3.
+package pfs
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Config describes the simulated I/O subsystem.
+type Config struct {
+	IONodes       int     // number of I/O nodes (64 in the paper)
+	StripeElems   int64   // stripe unit, in elements (64 KB / 8 B = 8192)
+	ProcOverhead  float64 // seconds of software path per I/O CALL at the processor
+	NodeOverhead  float64 // seconds of fixed cost per subrequest at a node (seek)
+	NodeBandwidth float64 // elements per second per I/O node
+}
+
+// DefaultConfig mirrors the paper's platform: 64 I/O nodes, 64 KB
+// stripes, mid-1990s RAID service times. A singleton call costs
+// ProcOverhead + NodeOverhead = 8 ms before transfer.
+func DefaultConfig() Config {
+	return Config{
+		IONodes:       64,
+		StripeElems:   8192,    // 64 KB of float64
+		ProcOverhead:  0.002,   // 2 ms software I/O-call path
+		NodeOverhead:  0.006,   // 6 ms seek per subrequest
+		NodeBandwidth: 400_000, // ~3.2 MB/s per I/O node
+	}
+}
+
+func (c Config) validate() error {
+	if c.IONodes <= 0 || c.StripeElems <= 0 || c.NodeBandwidth <= 0 || c.NodeOverhead < 0 || c.ProcOverhead < 0 {
+		return fmt.Errorf("pfs: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Extent is one contiguous file range, in elements.
+type Extent struct {
+	File string
+	Off  int64
+	Len  int64
+}
+
+// Op is one I/O call issued by a processor. A plain call has a single
+// extent (stored inline to keep multi-million-op workloads compact);
+// hand-optimized (chunked/interleaved) calls carry additional extents
+// that are dispatched together: the call pays the processor overhead
+// once, while each extent still reaches its own stripes.
+type Op struct {
+	First Extent
+	More  []Extent // nil for plain single-extent calls
+	Write bool
+}
+
+// Call builds a single-extent operation.
+func Call(file string, off, length int64, write bool) Op {
+	return Op{First: Extent{File: file, Off: off, Len: length}, Write: write}
+}
+
+// forEachExtent visits the op's extents in order.
+func (o *Op) forEachExtent(f func(Extent)) {
+	f(o.First)
+	for _, e := range o.More {
+		f(e)
+	}
+}
+
+// ProcWorkload is one processor's activity: its ordered I/O operations
+// and the total compute time, which the simulator spreads evenly
+// between consecutive operations (the tiled codes alternate I/O and
+// compute at tile granularity).
+type ProcWorkload struct {
+	Ops            []Op
+	ComputeSeconds float64
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Makespan    float64   // completion time of the slowest processor
+	PerProc     []float64 // completion time per processor
+	NodeBusy    []float64 // total busy seconds per I/O node
+	TotalOps    int64     // ops issued
+	TotalSubops int64     // stripe-level subrequests after splitting
+}
+
+// MaxNodeBusy returns the busiest I/O node's total service time.
+func (r Result) MaxNodeBusy() float64 {
+	var m float64
+	for _, b := range r.NodeBusy {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// procEvent orders processors by the time they become ready to issue
+// their next operation.
+type procEvent struct {
+	ready float64
+	proc  int
+	seq   int64 // tie-break: deterministic FIFO
+}
+
+type eventHeap []procEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(procEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// fileBase spreads different files' stripe 0 across the I/O nodes
+// (FNV-1a of the name), as a real PFS does with round-robin start
+// nodes.
+func fileBase(name string, nodes int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % uint32(nodes))
+}
+
+// Simulate runs the discrete-event simulation and returns per-processor
+// completion times and node utilization.
+func Simulate(cfg Config, procs []ProcWorkload) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		PerProc:  make([]float64, len(procs)),
+		NodeBusy: make([]float64, cfg.IONodes),
+	}
+	nodeFree := make([]float64, cfg.IONodes)
+	next := make([]int, len(procs))    // next op index per proc
+	gap := make([]float64, len(procs)) // compute delay between ops
+	var h eventHeap
+	var seq int64
+	for p, w := range procs {
+		slots := len(w.Ops) + 1
+		gap[p] = w.ComputeSeconds / float64(slots)
+		// First compute slice happens before the first op.
+		heap.Push(&h, procEvent{ready: gap[p], proc: p, seq: seq})
+		seq++
+		res.TotalOps += int64(len(w.Ops))
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(procEvent)
+		p := ev.proc
+		if next[p] >= len(procs[p].Ops) {
+			res.PerProc[p] = ev.ready
+			continue
+		}
+		op := procs[p].Ops[next[p]]
+		next[p]++
+		// The processor pays the software call path once per op, then
+		// every extent is split over stripes; each chunk is a subrequest
+		// served FIFO by its node. The op completes when all chunks do.
+		issue := ev.ready + cfg.ProcOverhead
+		done := issue
+		op.forEachExtent(func(ext Extent) {
+			off := ext.Off
+			remaining := ext.Len
+			base := fileBase(ext.File, cfg.IONodes)
+			for remaining > 0 {
+				stripe := off / cfg.StripeElems
+				node := int((stripe + int64(base)) % int64(cfg.IONodes))
+				chunk := cfg.StripeElems - off%cfg.StripeElems
+				if chunk > remaining {
+					chunk = remaining
+				}
+				start := issue
+				if nodeFree[node] > start {
+					start = nodeFree[node]
+				}
+				service := cfg.NodeOverhead + float64(chunk)/cfg.NodeBandwidth
+				finish := start + service
+				nodeFree[node] = finish
+				res.NodeBusy[node] += service
+				if finish > done {
+					done = finish
+				}
+				off += chunk
+				remaining -= chunk
+				res.TotalSubops++
+			}
+		})
+		heap.Push(&h, procEvent{ready: done + gap[p], proc: p, seq: seq})
+		seq++
+	}
+	for _, t := range res.PerProc {
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,214 @@
+package pfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfgSmall() Config {
+	return Config{IONodes: 4, StripeElems: 8, NodeOverhead: 0.01, NodeBandwidth: 1000}
+}
+
+func TestSingleOpTiming(t *testing.T) {
+	cfg := cfgSmall()
+	res, err := Simulate(cfg, []ProcWorkload{{Ops: []Op{Call("A", 0, 8, false)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ProcOverhead + cfg.NodeOverhead + 8/cfg.NodeBandwidth
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Errorf("makespan = %g, want %g", res.Makespan, want)
+	}
+	if res.TotalOps != 1 || res.TotalSubops != 1 {
+		t.Errorf("ops %d subops %d", res.TotalOps, res.TotalSubops)
+	}
+}
+
+func TestOpSplitAcrossStripes(t *testing.T) {
+	cfg := cfgSmall()
+	// 20 elements from offset 4: chunks 4, 8, 8 over three stripes.
+	res, err := Simulate(cfg, []ProcWorkload{{Ops: []Op{Call("A", 4, 20, false)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSubops != 3 {
+		t.Errorf("subops = %d, want 3", res.TotalSubops)
+	}
+	// Different stripes hit different nodes, so subrequests overlap: the
+	// makespan is the slowest chunk, all issued together after the call
+	// overhead.
+	want := cfg.ProcOverhead + cfg.NodeOverhead + 8/cfg.NodeBandwidth
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Errorf("makespan = %g, want %g", res.Makespan, want)
+	}
+}
+
+func TestFIFOContentionSameNode(t *testing.T) {
+	cfg := cfgSmall()
+	// Two processors hitting the SAME stripe serialize.
+	op := Call("A", 0, 8, false)
+	res, err := Simulate(cfg, []ProcWorkload{{Ops: []Op{op}}, {Ops: []Op{op}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both procs issue at the same instant; the node serializes the two
+	// subrequests, so the slower proc finishes one node-service later.
+	one := cfg.ProcOverhead + cfg.NodeOverhead + 8/cfg.NodeBandwidth
+	want := one + cfg.NodeOverhead + 8/cfg.NodeBandwidth
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Errorf("contended makespan = %g, want %g", res.Makespan, want)
+	}
+	// Disjoint stripes of the same file run in parallel.
+	res2, _ := Simulate(cfg, []ProcWorkload{
+		{Ops: []Op{Call("A", 0, 8, false)}},
+		{Ops: []Op{Call("A", 8, 8, false)}},
+	})
+	if math.Abs(res2.Makespan-one) > 1e-12 {
+		t.Errorf("parallel makespan = %g, want %g", res2.Makespan, one)
+	}
+}
+
+func TestComputeInterleaving(t *testing.T) {
+	cfg := cfgSmall()
+	// One op, 1 second of compute: half before, half after.
+	res, err := Simulate(cfg, []ProcWorkload{{
+		Ops:            []Op{Call("A", 0, 8, false)},
+		ComputeSeconds: 1.0,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + cfg.ProcOverhead + cfg.NodeOverhead + 8/cfg.NodeBandwidth
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Errorf("makespan = %g, want %g", res.Makespan, want)
+	}
+}
+
+func TestComputeOnlyProcessor(t *testing.T) {
+	res, err := Simulate(cfgSmall(), []ProcWorkload{{ComputeSeconds: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-2.5) > 1e-12 {
+		t.Errorf("compute-only makespan = %g", res.Makespan)
+	}
+}
+
+func TestFewerCallsFaster(t *testing.T) {
+	// The paper's core effect: the same data volume in fewer, larger
+	// calls finishes sooner (per-call overhead dominates).
+	cfg := DefaultConfig()
+	var many, few []Op
+	for i := int64(0); i < 64; i++ {
+		many = append(many, Call("A", i*128, 128, false))
+	}
+	for i := int64(0); i < 2; i++ {
+		few = append(few, Call("A", i*4096, 4096, false))
+	}
+	rm, _ := Simulate(cfg, []ProcWorkload{{Ops: many}})
+	rf, _ := Simulate(cfg, []ProcWorkload{{Ops: few}})
+	if rf.Makespan >= rm.Makespan {
+		t.Errorf("few-calls %g >= many-calls %g", rf.Makespan, rm.Makespan)
+	}
+}
+
+func TestScalingSaturatesAtIONodes(t *testing.T) {
+	// With more processors than I/O nodes all doing I/O, speedup stalls.
+	cfg := Config{IONodes: 4, StripeElems: 8, NodeOverhead: 0.01, NodeBandwidth: 1000}
+	mkProcs := func(p int) []ProcWorkload {
+		procs := make([]ProcWorkload, p)
+		for i := range procs {
+			// Each processor reads its own region (distinct stripes).
+			procs[i] = ProcWorkload{Ops: []Op{Call("A", int64(i)*8, 8, false)}}
+		}
+		return procs
+	}
+	r4, _ := Simulate(cfg, mkProcs(4))
+	r16, _ := Simulate(cfg, mkProcs(16))
+	// 16 procs over 4 nodes: each node serves 4 requests -> ~4x the
+	// 4-proc makespan.
+	if r16.Makespan < 3.5*r4.Makespan {
+		t.Errorf("contention too weak: %g vs %g", r16.Makespan, r4.Makespan)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := Simulate(Config{}, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestPerProcAndNodeBusyAccounting(t *testing.T) {
+	cfg := cfgSmall()
+	res, err := Simulate(cfg, []ProcWorkload{
+		{Ops: []Op{Call("A", 0, 8, false)}},
+		{Ops: []Op{Call("A", 8, 8, false)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerProc) != 2 || len(res.NodeBusy) != cfg.IONodes {
+		t.Fatal("result shapes wrong")
+	}
+	var busy float64
+	for _, b := range res.NodeBusy {
+		busy += b
+	}
+	want := 2 * (cfg.NodeOverhead + 8/cfg.NodeBandwidth) // node busy excludes proc overhead
+	if math.Abs(busy-want) > 1e-12 {
+		t.Errorf("total busy = %g, want %g", busy, want)
+	}
+	if res.MaxNodeBusy() <= 0 {
+		t.Error("MaxNodeBusy zero")
+	}
+}
+
+func TestPropertyConservation(t *testing.T) {
+	// Makespan is at least the per-processor serial I/O lower bound
+	// divided by available parallelism, and at least any single
+	// processor's own work.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			IONodes:       1 + rng.Intn(8),
+			StripeElems:   int64(4 << rng.Intn(4)),
+			NodeOverhead:  0.001 + rng.Float64()*0.01,
+			NodeBandwidth: 100 + rng.Float64()*10000,
+		}
+		np := 1 + rng.Intn(6)
+		procs := make([]ProcWorkload, np)
+		for p := range procs {
+			ops := rng.Intn(5)
+			for o := 0; o < ops; o++ {
+				procs[p].Ops = append(procs[p].Ops, Call("F", int64(rng.Intn(100)), int64(1+rng.Intn(40)), false))
+			}
+			procs[p].ComputeSeconds = rng.Float64()
+		}
+		res, err := Simulate(cfg, procs)
+		if err != nil {
+			return false
+		}
+		// Lower bound: each processor's own compute + service time of its
+		// ops run back-to-back with no contention.
+		for p, w := range procs {
+			min := w.ComputeSeconds
+			for range w.Ops {
+				// An op's stripe chunks may run in parallel across nodes, but
+				// the processor always waits for at least one full service
+				// overhead before issuing its next op.
+				min += cfg.NodeOverhead
+			}
+			if res.PerProc[p] < min-1e-9 {
+				return false
+			}
+		}
+		// Makespan >= max node busy (a node cannot finish before serving
+		// its queue).
+		return res.Makespan >= res.MaxNodeBusy()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

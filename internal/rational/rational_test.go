@@ -1,0 +1,302 @@
+package rational
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		p, q         int64
+		wantP, wantQ int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{7, 1, 7, 1},
+		{-9, 3, -3, 1},
+	}
+	for _, c := range cases {
+		r := New(c.p, c.q)
+		if r.Num() != c.wantP || r.Den() != c.wantQ {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.p, c.q, r.Num(), r.Den(), c.wantP, c.wantQ)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDenominator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Error("zero value not zero")
+	}
+	if got := r.Add(One); !got.Equal(One) {
+		t.Errorf("0+1 = %s", got)
+	}
+	if r.Den() != 1 {
+		t.Errorf("zero value Den = %d", r.Den())
+	}
+	if r.String() != "0" {
+		t.Errorf("zero value String = %q", r.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2+1/3 = %s", got)
+	}
+	if got := half.Sub(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2-1/3 = %s", got)
+	}
+	if got := half.Mul(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2*1/3 = %s", got)
+	}
+	if got := half.Div(third); !got.Equal(New(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %s", got)
+	}
+	if got := New(-3, 4).Neg(); !got.Equal(New(3, 4)) {
+		t.Errorf("-(-3/4) = %s", got)
+	}
+	if got := New(-3, 4).Abs(); !got.Equal(New(3, 4)) {
+		t.Errorf("|-3/4| = %s", got)
+	}
+	if got := New(2, 3).Inv(); !got.Equal(New(3, 2)) {
+		t.Errorf("inv(2/3) = %s", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("div by zero did not panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestCmpAndSign(t *testing.T) {
+	if New(1, 2).Cmp(New(2, 3)) != -1 {
+		t.Error("1/2 < 2/3 failed")
+	}
+	if New(2, 3).Cmp(New(1, 2)) != 1 {
+		t.Error("2/3 > 1/2 failed")
+	}
+	if New(3, 6).Cmp(New(1, 2)) != 0 {
+		t.Error("3/6 == 1/2 failed")
+	}
+	if New(-1, 2).Sign() != -1 || Zero.Sign() != 0 || One.Sign() != 1 {
+		t.Error("Sign failed")
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{New(4, 2), 2, 2},
+		{New(-4, 2), -2, -2},
+		{Zero, 0, 0},
+		{New(1, 3), 0, 1},
+		{New(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%s) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%s) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+func TestIntAccessors(t *testing.T) {
+	if !FromInt(5).IsInt() || FromInt(5).Int() != 5 {
+		t.Error("FromInt/Int roundtrip failed")
+	}
+	if New(1, 2).IsInt() {
+		t.Error("1/2 reported as integer")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on non-integer did not panic")
+		}
+	}()
+	New(1, 2).Int()
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 4).String(); got != "3/4" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(-6, 4).String(); got != "-3/2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FromInt(-7).String(); got != "-7" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestGCDHelpers(t *testing.T) {
+	if GCD(12, 18) != 6 || GCD(-12, 18) != 6 || GCD(0, 0) != 0 || GCD(0, 7) != 7 {
+		t.Error("GCD failed")
+	}
+	if GCDAll(4, 6, 10) != 2 || GCDAll() != 0 || GCDAll(0, 0) != 0 {
+		t.Error("GCDAll failed")
+	}
+	if LCM(4, 6) != 12 || LCM(0, 5) != 0 || LCM(-4, 6) != 12 {
+		t.Error("LCM failed")
+	}
+}
+
+func TestExtGCD(t *testing.T) {
+	cases := [][2]int64{{240, 46}, {-240, 46}, {240, -46}, {0, 5}, {5, 0}, {0, 0}, {1, 1}, {-7, -3}}
+	for _, c := range cases {
+		g, x, y := ExtGCD(c[0], c[1])
+		if g != GCD(c[0], c[1]) {
+			t.Errorf("ExtGCD(%d,%d) g=%d want %d", c[0], c[1], g, GCD(c[0], c[1]))
+		}
+		if c[0]*x+c[1]*y != g {
+			t.Errorf("ExtGCD(%d,%d): %d*%d + %d*%d != %d", c[0], c[1], c[0], x, c[1], y, g)
+		}
+	}
+}
+
+// randRat produces small random rationals for property tests.
+func randRat(r *rand.Rand) Rat {
+	p := r.Int63n(201) - 100
+	q := r.Int63n(100) + 1
+	return New(p, q)
+}
+
+func TestPropertyFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Commutativity and associativity of Add/Mul, distributivity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randRat(rng), randRat(rng), randRat(rng)
+		if !a.Add(b).Equal(b.Add(a)) {
+			return false
+		}
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			return false
+		}
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			return false
+		}
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInverses(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRat(rng)
+		if !a.Sub(a).IsZero() {
+			return false
+		}
+		if !a.Add(a.Neg()).IsZero() {
+			return false
+		}
+		if !a.IsZero() && !a.Div(a).Equal(One) {
+			return false
+		}
+		if !a.IsZero() && !a.Mul(a.Inv()).Equal(One) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFloorCeilBracket(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRat(rng)
+		fl, ce := FromInt(a.Floor()), FromInt(a.Ceil())
+		if fl.Cmp(a) > 0 || ce.Cmp(a) < 0 {
+			return false
+		}
+		if a.IsInt() {
+			return fl.Equal(ce)
+		}
+		return ce.Sub(fl).Equal(One)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNormalization(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRat(rng)
+		// Always normalized: positive denominator, coprime.
+		if a.Den() <= 0 {
+			return false
+		}
+		return GCD(a.Num(), a.Den()) <= 1 || a.Num() == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	big := FromInt(1 << 62)
+	mustPanicRat(t, func() { big.Mul(big) })
+	mustPanicRat(t, func() { big.Add(big) })
+	neg := FromInt(-(1 << 62))
+	mustPanicRat(t, func() { neg.Add(neg) })
+}
+
+func mustPanicRat(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected overflow panic")
+		}
+	}()
+	f()
+}
+
+func TestWithSignAndAbs(t *testing.T) {
+	if got := New(-3, 4).withSign(1); !got.Equal(New(3, 4)) {
+		t.Errorf("withSign(+) = %s", got)
+	}
+	if got := New(3, 4).withSign(-1); !got.Equal(New(-3, 4)) {
+		t.Errorf("withSign(-) = %s", got)
+	}
+}

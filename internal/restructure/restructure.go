@@ -1,0 +1,312 @@
+// Package restructure implements Step 1 of the paper's strategy:
+// turning arbitrary (imperfectly nested) loop structures into a
+// sequence of perfectly nested loops using loop fusion, loop
+// distribution, and code sinking.
+//
+// Input programs are trees: a node is either a loop (with children) or
+// a statement. Normalize converts a tree into []*ir.Nest:
+//
+//   - a loop whose children are all loops with identical headers is
+//     fused when legal;
+//   - a loop with multiple children is distributed over them when
+//     legal;
+//   - a statement that remains between loops is sunk into the adjacent
+//     loop with an equality guard so it executes exactly once.
+//
+// Legality checks are conservative: they may refuse a transformation
+// that a smarter analysis could prove safe, but never apply an unsafe
+// one.
+package restructure
+
+import (
+	"fmt"
+
+	"outcore/internal/deps"
+	"outcore/internal/ir"
+	"outcore/internal/matrix"
+)
+
+// Node is a tree node: exactly one of Loop or Stmt is set.
+type Node struct {
+	Loop     *LoopNode
+	Stmt     *StmtNode
+	Children []*Node // loop bodies only
+}
+
+// LoopNode is a loop header at its nesting position.
+type LoopNode struct {
+	Index  string
+	Lo, Hi int64
+}
+
+// StmtNode carries a statement whose references are expressed against
+// the loop variables of its own path; Depth records how many loops
+// enclose it in the source tree.
+type StmtNode struct {
+	Stmt  *ir.Stmt
+	Depth int
+}
+
+// NewLoop builds a loop node.
+func NewLoop(index string, lo, hi int64, children ...*Node) *Node {
+	return &Node{Loop: &LoopNode{Index: index, Lo: lo, Hi: hi}, Children: children}
+}
+
+// NewStmt builds a statement leaf at the given depth.
+func NewStmt(s *ir.Stmt, depth int) *Node {
+	return &Node{Stmt: &StmtNode{Stmt: s, Depth: depth}}
+}
+
+// Normalize converts a sequence of top-level tree nodes into perfect
+// nests. Statements at top level are rejected (there is no loop to
+// sink into at depth 0 that would preserve meaning cheaply; wrap them
+// in a trip-1 loop in the builder instead).
+func Normalize(roots []*Node) ([]*ir.Nest, error) {
+	var nests []*ir.Nest
+	id := 0
+	for _, root := range roots {
+		if root.Loop == nil {
+			return nil, fmt.Errorf("restructure: top-level statement; wrap it in a trip-1 loop")
+		}
+		ns, err := normalizeLoop(root, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ns {
+			n.ID = id
+			id++
+			nests = append(nests, n)
+		}
+	}
+	// Final fusion pass over adjacent compatible nests.
+	nests = fuseAdjacent(nests)
+	for i, n := range nests {
+		n.ID = i
+	}
+	return nests, nil
+}
+
+// normalizeLoop flattens one loop node (with the headers of its
+// ancestors in outer) into one or more perfect nests.
+func normalizeLoop(node *Node, outer []ir.Loop) ([]*ir.Nest, error) {
+	headers := append(append([]ir.Loop{}, outer...), ir.Loop{Index: node.Loop.Index, Lo: node.Loop.Lo, Hi: node.Loop.Hi})
+	// Partition children into groups; each group becomes one or more
+	// nests after distribution of this loop over the groups.
+	type group struct {
+		stmts []*ir.Stmt // statements at this level
+		loop  *Node      // or a nested loop
+	}
+	var groups []group
+	for _, ch := range node.Children {
+		if ch.Stmt != nil {
+			// Statements merge into the preceding group when it is also a
+			// statement group; otherwise start a new one.
+			if len(groups) > 0 && groups[len(groups)-1].loop == nil {
+				groups[len(groups)-1].stmts = append(groups[len(groups)-1].stmts, ch.Stmt.Stmt)
+			} else {
+				groups = append(groups, group{stmts: []*ir.Stmt{ch.Stmt.Stmt}})
+			}
+		} else {
+			groups = append(groups, group{loop: ch})
+		}
+	}
+	// Recursively normalize each group.
+	groupNests := make([][]*ir.Nest, len(groups))
+	for gi, g := range groups {
+		if g.loop != nil {
+			ns, err := normalizeLoop(g.loop, headers)
+			if err != nil {
+				return nil, err
+			}
+			groupNests[gi] = ns
+			continue
+		}
+		groupNests[gi] = []*ir.Nest{{Loops: headers, Body: padStmts(g.stmts, len(headers))}}
+	}
+	// Distribution of this loop over the groups must not reorder any
+	// backward conflict between a later and an earlier group.
+	if len(groups) > 1 {
+		for i := range groupNests {
+			for j := i + 1; j < len(groupNests); j++ {
+				if !distributionLegal(groupNests[i], groupNests[j], len(headers)) {
+					return nil, fmt.Errorf("restructure: distribution of loop %s blocked by backward dependence", node.Loop.Index)
+				}
+			}
+		}
+	}
+	var out []*ir.Nest
+	for _, ns := range groupNests {
+		out = append(out, ns...)
+	}
+	return out, nil
+}
+
+// padStmts lifts statements written for depth d to depth k by
+// appending zero columns to every access matrix. The statements keep
+// their single execution per original instance: no guard is needed
+// when the statement already sits at full depth; sunk statements get
+// guards pinning the extra inner loops to their lower bound.
+func padStmts(stmts []*ir.Stmt, depth int) []*ir.Stmt {
+	out := make([]*ir.Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = PadStmt(s, depth, nil)
+	}
+	return out
+}
+
+// PadStmt returns a copy of s rewritten for a nest of the given depth.
+// Access matrices gain zero columns; sinkLevels lists the loop levels
+// the statement was sunk through, which become equality guards at
+// those loops' lower bounds (passed as level->bound pairs).
+func PadStmt(s *ir.Stmt, depth int, sink []ir.GuardEq) *ir.Stmt {
+	if s.Out.Depth() > depth {
+		panic("restructure: statement deeper than target nest")
+	}
+	pad := func(r ir.Ref) ir.Ref {
+		if r.Depth() == depth {
+			return r
+		}
+		l := matrix.NewInt(r.Array.Rank(), depth)
+		for i := 0; i < r.L.Rows(); i++ {
+			for j := 0; j < r.L.Cols(); j++ {
+				l.Set(i, j, r.L.At(i, j))
+			}
+		}
+		return ir.NewRef(r.Array, l, r.Off)
+	}
+	ns := &ir.Stmt{Out: pad(s.Out), F: s.F, Name: s.Name}
+	for _, r := range s.In {
+		ns.In = append(ns.In, pad(r))
+	}
+	ns.Guard = append(append([]ir.GuardEq{}, s.Guard...), sink...)
+	return ns
+}
+
+// distributionLegal allows fission between an earlier and a later group
+// when no conflicting reference pair (same array, at least one write)
+// can run backwards across the split: a later-group access at common
+// iteration c1 conflicting with an earlier-group access at c2 ≻ c1.
+// The directional test is deps.CrossNestBackward.
+func distributionLegal(earlier, later []*ir.Nest, common int) bool {
+	type occ struct {
+		ref   ir.Ref
+		write bool
+	}
+	collect := func(ns []*ir.Nest) []occ {
+		var out []occ
+		for _, n := range ns {
+			for _, s := range n.Body {
+				out = append(out, occ{s.Out, true})
+				for _, r := range s.In {
+					out = append(out, occ{r, false})
+				}
+			}
+		}
+		return out
+	}
+	es, ls := collect(earlier), collect(later)
+	for _, e := range es {
+		for _, l := range ls {
+			if e.ref.Array != l.ref.Array || (!e.write && !l.write) {
+				continue
+			}
+			if deps.CrossNestBackward(l.ref, e.ref, common) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fuseAdjacent fuses neighboring nests with identical loop headers
+// when the conservative legality test allows it: fusion is applied
+// only when, for every array written in either nest and referenced in
+// the other, all references to it across both nests are uniformly
+// generated (equal access matrices) with equal offsets — i.e. the
+// fused body touches the same element in the same iteration, so the
+// interleaving change cannot reorder a dependence.
+func fuseAdjacent(nests []*ir.Nest) []*ir.Nest {
+	if len(nests) == 0 {
+		return nests
+	}
+	out := []*ir.Nest{nests[0]}
+	for _, n := range nests[1:] {
+		prev := out[len(out)-1]
+		if sameHeaders(prev, n) && sharesArray(prev, n) && fusionLegal(prev, n) {
+			prev.Body = append(prev.Body, n.Body...)
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// sharesArray reports whether two nests reference a common array.
+// Fusion is only attempted for such pairs: fusing unrelated nests has
+// no locality benefit and would coarsen the interference graph.
+func sharesArray(a, b *ir.Nest) bool {
+	in := map[*ir.Array]bool{}
+	for _, arr := range a.Arrays() {
+		in[arr] = true
+	}
+	for _, arr := range b.Arrays() {
+		if in[arr] {
+			return true
+		}
+	}
+	return false
+}
+
+func sameHeaders(a, b *ir.Nest) bool {
+	if a.Depth() != b.Depth() {
+		return false
+	}
+	for i := range a.Loops {
+		if a.Loops[i].Lo != b.Loops[i].Lo || a.Loops[i].Hi != b.Loops[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+func fusionLegal(a, b *ir.Nest) bool {
+	refsOf := func(n *ir.Nest) map[*ir.Array][]ir.Ref {
+		m := map[*ir.Array][]ir.Ref{}
+		for _, s := range n.Body {
+			for _, r := range s.Refs() {
+				m[r.Array] = append(m[r.Array], r)
+			}
+		}
+		return m
+	}
+	writesOf := func(n *ir.Nest) map[*ir.Array]bool {
+		m := map[*ir.Array]bool{}
+		for _, s := range n.Body {
+			m[s.Out.Array] = true
+		}
+		return m
+	}
+	ra, rb := refsOf(a), refsOf(b)
+	wa, wb := writesOf(a), writesOf(b)
+	for arr := range ra {
+		if _, shared := rb[arr]; !shared {
+			continue
+		}
+		if !wa[arr] && !wb[arr] {
+			continue // read-only sharing never blocks fusion
+		}
+		all := append(append([]ir.Ref{}, ra[arr]...), rb[arr]...)
+		first := all[0]
+		for _, r := range all[1:] {
+			if !r.L.Equal(first.L) {
+				return false
+			}
+			for d := range r.Off {
+				if r.Off[d] != first.Off[d] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

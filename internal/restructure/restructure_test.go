@@ -1,0 +1,303 @@
+package restructure
+
+import (
+	"math/rand"
+	"testing"
+
+	"outcore/internal/igraph"
+	"outcore/internal/ir"
+)
+
+// buildImperfect constructs the left side of the paper's Figure 1:
+//
+//	do i            do i
+//	  do j            do j
+//	    U,V             X
+//	  do j            do j
+//	    V,W             Y,X
+//
+// The first tree fuses (distinct elements per iteration), the second
+// distributes.
+func figure1Trees(n int64) (roots []*Node, arrays map[string]*ir.Array) {
+	u := ir.NewArray("U", n, n)
+	v := ir.NewArray("V", n, n)
+	w := ir.NewArray("W", n, n)
+	x := ir.NewArray("X", n, n)
+	y := ir.NewArray("Y", n, n)
+	arrays = map[string]*ir.Array{"U": u, "V": v, "W": w, "X": x, "Y": y}
+
+	// Tree 1: do i { do j { U(i,j)=V(i,j)+1 } ; do j { W(i,j)=V(i,j)+2 } }
+	// Fusible: all refs to the shared array V are identical (i,j) reads,
+	// and U, W writes don't cross.
+	s1 := ir.Assign(ir.RefIdx(u, 2, 0, 1), []ir.Ref{ir.RefIdx(v, 2, 0, 1)}, "", ir.AddConst(1))
+	s2 := ir.Assign(ir.RefIdx(w, 2, 0, 1), []ir.Ref{ir.RefIdx(v, 2, 0, 1)}, "", ir.AddConst(2))
+	tree1 := NewLoop("i", 0, n-1,
+		NewLoop("j", 0, n-1, NewStmt(s1, 2)),
+		NewLoop("j", 0, n-1, NewStmt(s2, 2)),
+	)
+
+	// Tree 2: do i { do j { X(i,j)=j } ; do j { Y(i,j)=X(i,0)+1 } }
+	// NOT fusible (X written earlier, read with a different access
+	// matrix later) but distributable: the X(i,0) read only conflicts
+	// with the write at the same outer iteration, never backwards.
+	s3 := ir.Assign(ir.RefIdx(x, 2, 0, 1), nil, "", func(_ []float64, iv []int64) float64 { return float64(iv[1]) })
+	s4 := ir.Assign(ir.RefIdx(y, 2, 0, 1), []ir.Ref{ir.RefAffine(x, [][]int64{{1, 0}, {0, 0}}, []int64{0, 0})}, "", ir.AddConst(1))
+	tree2 := NewLoop("i", 0, n-1,
+		NewLoop("j", 0, n-1, NewStmt(s3, 2)),
+		NewLoop("j", 0, n-1, NewStmt(s4, 2)),
+	)
+	return []*Node{tree1, tree2}, arrays
+}
+
+func TestNormalizeFigure1Shape(t *testing.T) {
+	roots, _ := figure1Trees(8)
+	nests, err := Normalize(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree 1 fuses into one nest; tree 2 distributes into two.
+	if len(nests) != 3 {
+		for _, n := range nests {
+			t.Logf("nest:\n%s", n)
+		}
+		t.Fatalf("got %d nests, want 3", len(nests))
+	}
+	if len(nests[0].Body) != 2 {
+		t.Errorf("fused nest has %d stmts", len(nests[0].Body))
+	}
+	for _, n := range nests {
+		if err := n.Validate(); err != nil {
+			t.Error(err)
+		}
+		if n.Depth() != 2 {
+			t.Errorf("nest depth %d", n.Depth())
+		}
+	}
+}
+
+func TestNormalizePreservesSemantics(t *testing.T) {
+	const n = 6
+	roots, arrays := figure1Trees(n)
+	nests, err := Normalize(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: execute the tree directly (loops in source order).
+	u, v, w, x, y := arrays["U"], arrays["V"], arrays["W"], arrays["X"], arrays["Y"]
+	ref := ir.NewStore(u, v, w, x, y)
+	rng := rand.New(rand.NewSource(3))
+	for i := range ref.Data(v) {
+		ref.Data(v)[i] = rng.Float64()
+	}
+	got := ref.Clone()
+
+	// Direct tree execution: tree1 then tree2 in their source order.
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			ref.Set(u, []int64{i, j}, ref.Get(v, []int64{i, j})+1)
+		}
+		for j := int64(0); j < n; j++ {
+			ref.Set(w, []int64{i, j}, ref.Get(v, []int64{i, j})+2)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			ref.Set(x, []int64{i, j}, float64(j))
+		}
+		for j := int64(0); j < n; j++ {
+			ref.Set(y, []int64{i, j}, ref.Get(x, []int64{i, 0})+1)
+		}
+	}
+
+	for _, nest := range nests {
+		nest.Execute(got)
+	}
+	for _, a := range []*ir.Array{u, v, w, x, y} {
+		if d := ir.MaxAbsDiff(ref, got, a); d != 0 {
+			t.Errorf("array %s differs after normalization: %g", a.Name, d)
+		}
+	}
+}
+
+func TestNormalizeThenComponents(t *testing.T) {
+	// Figure 1's right side: two connected components, {U,V,W} and {X,Y}.
+	roots, _ := figure1Trees(8)
+	nests, err := Normalize(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ir.Program{Name: "fig1", Nests: nests}
+	for _, n := range nests {
+		p.Arrays = append(p.Arrays, n.Arrays()...)
+	}
+	comps := igraph.Build(p).Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	names := func(c igraph.Component) map[string]bool {
+		m := map[string]bool{}
+		for _, a := range c.Arrays {
+			m[a.Name] = true
+		}
+		return m
+	}
+	c0, c1 := names(comps[0]), names(comps[1])
+	if !c0["U"] || !c0["V"] || !c0["W"] || len(c0) != 3 {
+		t.Errorf("component 0 arrays = %v", c0)
+	}
+	if !c1["X"] || !c1["Y"] || len(c1) != 2 {
+		t.Errorf("component 1 arrays = %v", c1)
+	}
+	if len(comps[0].Nests) != 1 || len(comps[1].Nests) != 2 {
+		t.Errorf("component nest counts = %d, %d", len(comps[0].Nests), len(comps[1].Nests))
+	}
+}
+
+func TestDistributionIllegalBackwardDep(t *testing.T) {
+	// do i=1.. { do j { A(i,j) = B(i-1,j) } ; do j { B(i,j) = ... } }:
+	// the earlier group reads a B row written by the later group at the
+	// PREVIOUS outer iteration. Distribution would make every A read the
+	// original B, so it must be refused.
+	n := int64(4)
+	a := ir.NewArray("A", n+1, n)
+	b := ir.NewArray("B", n+1, n)
+	s1 := ir.Assign(ir.RefIdx(a, 2, 0, 1), []ir.Ref{ir.RefAffine(b, [][]int64{{1, 0}, {0, 1}}, []int64{-1, 0})}, "", ir.AddConst(0))
+	s2 := ir.Assign(ir.RefIdx(b, 2, 0, 1), nil, "", func(_ []float64, iv []int64) float64 { return float64(iv[0]) })
+	tree := NewLoop("i", 1, n-1,
+		NewLoop("j", 0, n-1, NewStmt(s1, 2)),
+		NewLoop("j", 0, n-1, NewStmt(s2, 2)),
+	)
+	if _, err := Normalize([]*Node{tree}); err == nil {
+		t.Fatal("illegal distribution not caught")
+	}
+}
+
+func TestDistributionLegalSameIterationConflict(t *testing.T) {
+	// do i { do j { A(i,j) = B(i,j) } ; do j { B(i,j) = ... } }:
+	// the only conflict is at the SAME iteration and distribution keeps
+	// the read before the write, so it must be allowed — and preserve
+	// semantics.
+	n := int64(4)
+	a := ir.NewArray("A", n, n)
+	b := ir.NewArray("B", n, n)
+	s1 := ir.Assign(ir.RefIdx(a, 2, 0, 1), []ir.Ref{ir.RefIdx(b, 2, 0, 1)}, "", ir.AddConst(0))
+	s2 := ir.Assign(ir.RefIdx(b, 2, 0, 1), nil, "", func(_ []float64, iv []int64) float64 { return float64(iv[0] + 10) })
+	tree := NewLoop("i", 0, n-1,
+		NewLoop("j", 0, n-1, NewStmt(s1, 2)),
+		NewLoop("j", 0, n-1, NewStmt(s2, 2)),
+	)
+	nests, err := Normalize([]*Node{tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ir.NewStore(a, b)
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			ref.Set(a, []int64{i, j}, ref.Get(b, []int64{i, j}))
+		}
+		for j := int64(0); j < n; j++ {
+			ref.Set(b, []int64{i, j}, float64(i+10))
+		}
+	}
+	got := ir.NewStore(a, b)
+	for _, nst := range nests {
+		nst.Execute(got)
+	}
+	for _, arr := range []*ir.Array{a, b} {
+		if d := ir.MaxAbsDiff(ref, got, arr); d != 0 {
+			t.Errorf("array %s differs: %g", arr.Name, d)
+		}
+	}
+}
+
+func TestTopLevelStatementRejected(t *testing.T) {
+	a := ir.NewArray("A", 4)
+	s := ir.Assign(ir.RefAffine(a, [][]int64{{}}, []int64{0}), nil, "", ir.AddConst(0))
+	if _, err := Normalize([]*Node{NewStmt(s, 0)}); err == nil {
+		t.Fatal("top-level statement accepted")
+	}
+}
+
+func TestSinkInto(t *testing.T) {
+	const n = 5
+	a := ir.NewArray("A", n)
+	b := ir.NewArray("B", n, n)
+	// Shallow: A(i) = 7 at depth 1. Deep: B(i,j) = A(i) at depth 2.
+	shallow := &ir.Nest{Loops: ir.Rect(n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(a, 1, 0), nil, "", func(_ []float64, _ []int64) float64 { return 7 }),
+	}}
+	deep := &ir.Nest{Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(b, 2, 0, 1), []ir.Ref{ir.RefIdx(a, 2, 0)}, "", ir.AddConst(0)),
+	}}
+	merged, err := SinkInto(shallow, deep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Depth() != 2 || len(merged.Body) != 2 {
+		t.Fatalf("merged shape: depth %d, %d stmts", merged.Depth(), len(merged.Body))
+	}
+	// Execute both forms; results must agree.
+	ref := ir.NewStore(a, b)
+	shallow.Execute(ref)
+	deep.Execute(ref)
+	got := ir.NewStore(a, b)
+	merged.Execute(got)
+	if d := ir.MaxAbsDiff(ref, got, b); d != 0 {
+		t.Errorf("sunk nest differs: %g", d)
+	}
+	if d := ir.MaxAbsDiff(ref, got, a); d != 0 {
+		t.Errorf("sunk nest differs on A: %g", d)
+	}
+	// Mismatched headers must be rejected.
+	bad := &ir.Nest{Loops: []ir.Loop{{Index: "i", Lo: 1, Hi: n}}, Body: shallow.Body}
+	if _, err := SinkInto(bad, deep, true); err == nil {
+		t.Error("header mismatch accepted")
+	}
+	if _, err := SinkInto(deep, shallow, true); err == nil {
+		t.Error("inverted depths accepted")
+	}
+}
+
+func TestSinkIntoAfter(t *testing.T) {
+	const n = 4
+	a := ir.NewArray("A", n)
+	b := ir.NewArray("B", n, n)
+	// Shallow AFTER deep: A(i) = sum of row i of B, computed after the
+	// row is filled.
+	deep := &ir.Nest{Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(b, 2, 0, 1), nil, "", func(_ []float64, iv []int64) float64 {
+			return float64(iv[0]*10 + iv[1])
+		}),
+	}}
+	shallow := &ir.Nest{Loops: ir.Rect(n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(a, 1, 0), []ir.Ref{ir.RefAffine(b, [][]int64{{1}, {0}}, []int64{0, n - 1})}, "", ir.AddConst(0)),
+	}}
+	merged, err := SinkInto(shallow, deep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ir.NewStore(a, b)
+	deep.Execute(ref)
+	shallow.Execute(ref)
+	got := ir.NewStore(a, b)
+	merged.Execute(got)
+	if d := ir.MaxAbsDiff(ref, got, a); d != 0 {
+		t.Errorf("after-sink differs: %g", d)
+	}
+}
+
+func TestGuardedStatementExecutesOncePerOuter(t *testing.T) {
+	const n = 4
+	a := ir.NewArray("A", n)
+	count := 0
+	s := &ir.Stmt{
+		Out:   ir.RefIdx(a, 2, 0),
+		F:     func(_ []float64, _ []int64) float64 { count++; return 1 },
+		Guard: []ir.GuardEq{{Level: 1, Value: 0}},
+	}
+	nest := &ir.Nest{Loops: ir.Rect(n, n), Body: []*ir.Stmt{s}}
+	nest.Execute(ir.NewStore(a))
+	if count != n {
+		t.Errorf("guarded statement ran %d times, want %d", count, n)
+	}
+}

@@ -1,0 +1,51 @@
+package restructure
+
+import (
+	"fmt"
+
+	"outcore/internal/ir"
+)
+
+// SinkInto performs code sinking: it merges a shallow statement nest
+// (depth d) into an adjacent deeper nest (depth k > d) whose outer d
+// loop headers match. The sunk statements receive equality guards
+// pinning the extra inner loops to their lower (before=true) or upper
+// (before=false) bounds, so each original instance executes exactly
+// once, ordered before or after the deep nest's body at that outer
+// iteration.
+//
+// Sinking is the paper's third normalization tool alongside fusion and
+// distribution; it trades a guard for a perfect nest.
+func SinkInto(shallow, deep *ir.Nest, before bool) (*ir.Nest, error) {
+	d, k := shallow.Depth(), deep.Depth()
+	if d >= k {
+		return nil, fmt.Errorf("restructure: sink source depth %d not shallower than target %d", d, k)
+	}
+	for lvl := 0; lvl < d; lvl++ {
+		if shallow.Loops[lvl].Lo != deep.Loops[lvl].Lo || shallow.Loops[lvl].Hi != deep.Loops[lvl].Hi {
+			return nil, fmt.Errorf("restructure: sink outer headers differ at level %d", lvl)
+		}
+	}
+	var guards []ir.GuardEq
+	for lvl := d; lvl < k; lvl++ {
+		v := deep.Loops[lvl].Lo
+		if !before {
+			v = deep.Loops[lvl].Hi
+		}
+		guards = append(guards, ir.GuardEq{Level: lvl, Value: v})
+	}
+	var body []*ir.Stmt
+	if before {
+		for _, s := range shallow.Body {
+			body = append(body, PadStmt(s, k, guards))
+		}
+		body = append(body, deep.Body...)
+	} else {
+		body = append(body, deep.Body...)
+		for _, s := range shallow.Body {
+			body = append(body, PadStmt(s, k, guards))
+		}
+	}
+	merged := &ir.Nest{ID: deep.ID, Loops: deep.Loops, Body: body}
+	return merged, merged.Validate()
+}

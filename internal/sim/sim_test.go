@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"outcore/internal/pfs"
+	"outcore/internal/suite"
+)
+
+func testSetup(kernel string, v suite.Version, procs int) Setup {
+	k, ok := suite.ByName(kernel)
+	if !ok {
+		panic("unknown kernel " + kernel)
+	}
+	return Setup{
+		Kernel:  k,
+		Cfg:     suite.SmallConfig(),
+		Version: v,
+		Procs:   procs,
+		MemFrac: 16,
+		PFS: pfs.Config{
+			IONodes:       8,
+			StripeElems:   64,
+			NodeOverhead:  0.005,
+			NodeBandwidth: 100_000,
+		},
+		IterPerSec: 1e7,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	m, err := Run(testSetup("mat", suite.Col, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seconds <= 0 || m.Calls <= 0 || m.Elems <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	// mat runs its body Iter=2 times over a 24x24 space.
+	if m.Iterations != 2*24*24 {
+		t.Errorf("iterations = %d", m.Iterations)
+	}
+}
+
+func TestVersionsOrderingMat(t *testing.T) {
+	// For mat (one transposed operand), the integrated version must not
+	// be slower than the worst fixed layout, and h-opt must not be
+	// slower than c-opt.
+	times := map[suite.Version]float64{}
+	for _, v := range suite.Versions {
+		m, err := Run(testSetup("mat", v, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		times[v] = m.Seconds
+	}
+	worstFixed := times[suite.Col]
+	if times[suite.Row] > worstFixed {
+		worstFixed = times[suite.Row]
+	}
+	if times[suite.COpt] > worstFixed {
+		t.Errorf("c-opt %.3f slower than worst fixed %.3f", times[suite.COpt], worstFixed)
+	}
+	if times[suite.HOpt] > times[suite.COpt]*1.0001 {
+		t.Errorf("h-opt %.3f slower than c-opt %.3f", times[suite.HOpt], times[suite.COpt])
+	}
+}
+
+func TestHandoptCoalesces(t *testing.T) {
+	m, err := Run(testSetup("trans", suite.HOpt, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coalesce.CallsBefore == 0 || m.Coalesce.CallsAfter > m.Coalesce.CallsBefore {
+		t.Errorf("coalesce stats = %+v", m.Coalesce)
+	}
+	if m.Calls != m.Coalesce.CallsAfter {
+		t.Errorf("calls %d != coalesced %d", m.Calls, m.Coalesce.CallsAfter)
+	}
+}
+
+func TestPartitionedIterationConservation(t *testing.T) {
+	// Total iterations must be identical at any processor count.
+	m1, err := Run(testSetup("gfunp", suite.COpt, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Run(testSetup("gfunp", suite.COpt, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Iterations != m4.Iterations {
+		t.Errorf("iterations differ: %d vs %d", m1.Iterations, m4.Iterations)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	sp, err := Speedups(testSetup("trans", suite.COpt, 0), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[2] <= 0 || sp[4] <= 0 {
+		t.Errorf("speedups = %v", sp)
+	}
+	// More processors must not be slower in this embarrassingly
+	// parallel, I/O-light configuration... allow mild degradation but
+	// require some scaling signal.
+	if sp[4] < sp[2]*0.8 {
+		t.Errorf("speedup regressed: %v", sp)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	k, _ := suite.ByName("mat")
+	st := Setup{Kernel: k, Cfg: suite.SmallConfig(), Version: suite.Col}
+	st.defaults()
+	if st.Procs != 1 || st.MemFrac != 128 || st.PFS.IONodes != 64 || st.IterPerSec == 0 {
+		t.Errorf("defaults = %+v", st)
+	}
+	ho := st.handoptDefaults(100)
+	if !ho.Interleave || ho.MaxMergeCalls != 4 {
+		t.Errorf("handopt defaults = %+v", ho)
+	}
+	if ho.ChunkElems != 50 {
+		t.Errorf("chunk cap not bounded by budget: %d", ho.ChunkElems)
+	}
+}
+
+func TestAllKernelsRunAllVersions(t *testing.T) {
+	for _, k := range suite.Kernels {
+		for _, v := range suite.Versions {
+			m, err := Run(testSetup(k.Name, v, 2))
+			if err != nil {
+				t.Errorf("%s/%s: %v", k.Name, v, err)
+				continue
+			}
+			if m.Seconds <= 0 {
+				t.Errorf("%s/%s: non-positive time", k.Name, v)
+			}
+		}
+	}
+}
+
+func TestRunDetailedExposesPFSResult(t *testing.T) {
+	m, res, err := RunDetailed(testSetup("mat", suite.COpt, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerProc) != 4 {
+		t.Fatalf("per-proc entries = %d", len(res.PerProc))
+	}
+	if res.Makespan != m.Seconds {
+		t.Errorf("makespan %g != measurement %g", res.Makespan, m.Seconds)
+	}
+	var worst float64
+	for _, tEnd := range res.PerProc {
+		if tEnd > worst {
+			worst = tEnd
+		}
+	}
+	if worst != res.Makespan {
+		t.Errorf("makespan %g != slowest processor %g", res.Makespan, worst)
+	}
+	if len(res.NodeBusy) == 0 || res.MaxNodeBusy() <= 0 {
+		t.Error("node utilization missing")
+	}
+}
+
+func TestHOptNeverSlowerThanCOpt(t *testing.T) {
+	// With the keep-only-if-better rule, h-opt must never lose to c-opt
+	// on the same setup.
+	for _, kname := range []string{"mat", "trans", "gfunp", "vpenta", "adi"} {
+		mc, err := Run(testSetup(kname, suite.COpt, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mh, err := Run(testSetup(kname, suite.HOpt, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mh.Seconds > mc.Seconds*1.0000001 {
+			t.Errorf("%s: h-opt %.3f > c-opt %.3f", kname, mh.Seconds, mc.Seconds)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package suite
+
+import "outcore/internal/ir"
+
+// buildMat is the "mat" kernel: three 2-D arrays (Table 1). A plain
+// matrix add with one transposed operand,
+//
+//	C(i,j) = A(i,j) + B(j,i)
+//
+// so no loop order serves both B and {A, C}: the combined algorithm
+// must pick layouts per array.
+func buildMat(cfg Config) *ir.Program {
+	n := cfg.N2
+	a := ir.NewArray("A", n, n)
+	b := ir.NewArray("B", n, n)
+	c := ir.NewArray("C", n, n)
+	return &ir.Program{
+		Name:   "mat",
+		Arrays: []*ir.Array{a, b, c},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(c, 2, 0, 1),
+					[]ir.Ref{ir.RefIdx(a, 2, 0, 1), ir.RefIdx(b, 2, 1, 0)},
+					"add", ir.Sum()),
+			}},
+		},
+	}
+}
+
+// buildMxm is the Spec92 "mxm" kernel: dense matrix multiply,
+//
+//	C(i,j) = C(i,j) + A(i,k) * B(k,j)
+//
+// with three 2-D arrays. The three references want three different
+// fast directions; temporal locality on C competes with spatial
+// locality on A and B.
+func buildMxm(cfg Config) *ir.Program {
+	n := cfg.N2
+	a := ir.NewArray("A", n, n)
+	b := ir.NewArray("B", n, n)
+	c := ir.NewArray("C", n, n)
+	return &ir.Program{
+		Name:   "mxm",
+		Arrays: []*ir.Array{a, b, c},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(c, 3, 0, 1),
+					[]ir.Ref{ir.RefIdx(c, 3, 0, 1), ir.RefIdx(a, 3, 0, 2), ir.RefIdx(b, 3, 2, 1)},
+					"muladd", ir.MulAdd()),
+			}},
+		},
+	}
+}
+
+// buildSyr2k is the BLAS symmetric rank-2k update,
+//
+//	C(i,j) = C(i,j) + A(i,k)*B(j,k) + B(i,k)*A(j,k)
+//
+// with three 2-D arrays: A and B are each accessed both straight and
+// transposed in the same nest, the worst case for loop-only
+// optimization.
+func buildSyr2k(cfg Config) *ir.Program {
+	n := cfg.N2
+	a := ir.NewArray("A", n, n)
+	b := ir.NewArray("B", n, n)
+	c := ir.NewArray("C", n, n)
+	f := func(in []float64, _ []int64) float64 {
+		return in[0] + in[1]*in[2] + in[3]*in[4]
+	}
+	return &ir.Program{
+		Name:   "syr2k",
+		Arrays: []*ir.Array{a, b, c},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(c, 3, 0, 1),
+					[]ir.Ref{
+						ir.RefIdx(c, 3, 0, 1),
+						ir.RefIdx(a, 3, 0, 2), ir.RefIdx(b, 3, 1, 2),
+						ir.RefIdx(b, 3, 0, 2), ir.RefIdx(a, 3, 1, 2),
+					},
+					"syr2k", f),
+			}},
+		},
+	}
+}
+
+// buildTrans is the Nwchem out-of-core transpose: two 2-D arrays,
+//
+//	B(i,j) = A(j,i)
+//
+// the canonical case where data transformations alone suffice (Table 2
+// shows d-opt == c-opt == h-opt for trans).
+func buildTrans(cfg Config) *ir.Program {
+	n := cfg.N2
+	a := ir.NewArray("A", n, n)
+	b := ir.NewArray("B", n, n)
+	return &ir.Program{
+		Name:   "trans",
+		Arrays: []*ir.Array{a, b},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(b, 2, 0, 1), []ir.Ref{ir.RefIdx(a, 2, 1, 0)}, "copy", ir.AddConst(0)),
+			}},
+		},
+	}
+}
+
+// buildHtribk is the Eispack back-transformation kernel: five 2-D
+// arrays. Two accumulation nests share the multiplier array W, so the
+// layout chosen for W in the costlier nest propagates to the second:
+//
+//	nest 0: ZR(i,j) = ZR(i,j) + AR(i,k) * W(k,j)
+//	nest 1: ZI(i,j) = ZI(i,j) + AI(k,i) * W(k,j)
+func buildHtribk(cfg Config) *ir.Program {
+	n := cfg.N2
+	ar := ir.NewArray("AR", n, n)
+	ai := ir.NewArray("AI", n, n)
+	zr := ir.NewArray("ZR", n, n)
+	zi := ir.NewArray("ZI", n, n)
+	w := ir.NewArray("W", n, n)
+	return &ir.Program{
+		Name:   "htribk",
+		Arrays: []*ir.Array{ar, ai, zr, zi, w},
+		Nests: []*ir.Nest{
+			{ID: 0, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(zr, 3, 0, 1),
+					[]ir.Ref{ir.RefIdx(zr, 3, 0, 1), ir.RefIdx(ar, 3, 0, 2), ir.RefIdx(w, 3, 2, 1)},
+					"muladd", ir.MulAdd()),
+			}},
+			{ID: 1, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+				ir.Assign(ir.RefIdx(zi, 3, 0, 1),
+					[]ir.Ref{ir.RefIdx(zi, 3, 0, 1), ir.RefIdx(ai, 3, 2, 0), ir.RefIdx(w, 3, 2, 1)},
+					"muladd", ir.MulAdd()),
+			}},
+		},
+	}
+}

@@ -1,0 +1,126 @@
+package suite
+
+import (
+	"fmt"
+
+	"outcore/internal/ir"
+)
+
+// buildBtrix is the Spec92 block-tridiagonal solver kernel: twenty-five
+// 1-D coefficient vectors and four 4-D arrays (Table 1; the 1-D arrays
+// keep their small hard-coded extents, which the paper also left
+// unmodified). The kept structure: a coefficient-setup pass over all
+// the vectors, a forward elimination carrying a recurrence along the
+// leading dimension, and combination passes, one with a fully reversed
+// (transposed) access:
+//
+//	nest 0: d1(j) = d2(j)+d3(j); ... (coefficient setup, 25 vectors)
+//	nest 1: Q(j,k,l,m) = S(j,k,l,m)*d1(j) + T(j,k,l,m)*d2(k)
+//	nest 2: S(j,k,l,m) = S(j-1,k,l,m)*0.9 + R(j,k,l,m)   (j recurrence)
+//	nest 3: R(j,k,l,m) = T(m,l,k,j)*0.5 + Q(j,k,l,m)
+func buildBtrix(cfg Config) *ir.Program {
+	n := cfg.N4
+	ds := make([]*ir.Array, 25)
+	for i := range ds {
+		ds[i] = ir.NewArray(fmt.Sprintf("d%d", i+1), n)
+	}
+	q := ir.NewArray("Q", n, n, n, n)
+	r := ir.NewArray("R", n, n, n, n)
+	s := ir.NewArray("S", n, n, n, n)
+	tt := ir.NewArray("T", n, n, n, n)
+
+	vec := func(a *ir.Array, loop int) ir.Ref {
+		row := make([]int64, 4)
+		row[loop] = 1
+		return ir.RefAffine(a, [][]int64{row}, []int64{0})
+	}
+	vec1 := func(a *ir.Array) ir.Ref {
+		return ir.RefAffine(a, [][]int64{{1}}, []int64{0})
+	}
+	// Coefficient setup: eight ternary combinations covering d1..d25.
+	var setup []*ir.Stmt
+	for g := 0; g < 8; g++ {
+		out := ds[g*3]
+		in1, in2 := ds[g*3+1], ds[g*3+2]
+		setup = append(setup, ir.Assign(vec1(out), []ir.Ref{vec1(in1), vec1(in2)}, "coef", ir.Sum()))
+	}
+	// d25 folds back into d1.
+	setup = append(setup, ir.Assign(vec1(ds[0]), []ir.Ref{vec1(ds[24]), vec1(ds[0])}, "coef", ir.Sum()))
+
+	n0 := &ir.Nest{ID: 0, Loops: ir.Rect(n), Body: setup}
+	n1 := &ir.Nest{ID: 1, Loops: ir.Rect(n, n, n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(q, 4, 0, 1, 2, 3),
+			[]ir.Ref{
+				ir.RefIdx(s, 4, 0, 1, 2, 3), vec(ds[0], 0),
+				ir.RefIdx(tt, 4, 0, 1, 2, 3), vec(ds[1], 1),
+			},
+			"blend",
+			func(in []float64, _ []int64) float64 { return in[0]*in[1] + in[2]*in[3] }),
+	}}
+	n2 := &ir.Nest{ID: 2, Loops: []ir.Loop{
+		{Index: "i", Lo: 1, Hi: n - 1}, {Index: "j", Lo: 0, Hi: n - 1},
+		{Index: "k", Lo: 0, Hi: n - 1}, {Index: "l", Lo: 0, Hi: n - 1},
+	}, Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(s, 4, 0, 1, 2, 3),
+			[]ir.Ref{
+				ir.RefAffine(s, [][]int64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}, []int64{-1, 0, 0, 0}),
+				ir.RefIdx(r, 4, 0, 1, 2, 3),
+			},
+			"elim",
+			func(in []float64, _ []int64) float64 { return in[0]*0.9 + in[1] }),
+	}}
+	n3 := &ir.Nest{ID: 3, Loops: ir.Rect(n, n, n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(r, 4, 0, 1, 2, 3),
+			[]ir.Ref{ir.RefIdx(tt, 4, 3, 2, 1, 0), ir.RefIdx(q, 4, 0, 1, 2, 3)},
+			"comb",
+			func(in []float64, _ []int64) float64 { return in[0]*0.5 + in[1] }),
+	}}
+
+	arrays := append(append([]*ir.Array{}, ds...), q, r, s, tt)
+	return &ir.Program{Name: "btrix", Arrays: arrays, Nests: []*ir.Nest{n0, n1, n2, n3}}
+}
+
+// buildEmit is the Spec92 electromagnetic particle-emission kernel: ten
+// 1-D arrays and three 3-D field arrays. A scalar-table pass feeds a
+// field update with one fully transposed operand and a scatter pass:
+//
+//	nest 0: e1(i) = e2(i)+e3(i); e4(i) = e5(i)+e6(i); e7(i) = e8(i)+e9(i)+e10(i)
+//	nest 1: E(i,j,k) = F(i,j,k)*e1(i) + G(k,j,i)
+//	nest 2: G(i,j,k) = E(i,j,k) + e4(k)
+func buildEmit(cfg Config) *ir.Program {
+	n := cfg.N3
+	es := make([]*ir.Array, 10)
+	for i := range es {
+		es[i] = ir.NewArray(fmt.Sprintf("e%d", i+1), n)
+	}
+	e := ir.NewArray("E", n, n, n)
+	f := ir.NewArray("F", n, n, n)
+	g := ir.NewArray("G", n, n, n)
+
+	v1 := func(a *ir.Array) ir.Ref { return ir.RefAffine(a, [][]int64{{1}}, []int64{0}) }
+	n0 := &ir.Nest{ID: 0, Loops: ir.Rect(n), Body: []*ir.Stmt{
+		ir.Assign(v1(es[0]), []ir.Ref{v1(es[1]), v1(es[2])}, "tab", ir.Sum()),
+		ir.Assign(v1(es[3]), []ir.Ref{v1(es[4]), v1(es[5])}, "tab", ir.Sum()),
+		ir.Assign(v1(es[6]), []ir.Ref{v1(es[7]), v1(es[8]), v1(es[9])}, "tab", ir.Sum()),
+	}}
+	n1 := &ir.Nest{ID: 1, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(e, 3, 0, 1, 2),
+			[]ir.Ref{
+				ir.RefIdx(f, 3, 0, 1, 2),
+				ir.RefAffine(es[0], [][]int64{{1, 0, 0}}, []int64{0}),
+				ir.RefIdx(g, 3, 2, 1, 0),
+			},
+			"field",
+			func(in []float64, _ []int64) float64 { return in[0]*in[1] + in[2] }),
+	}}
+	n2 := &ir.Nest{ID: 2, Loops: ir.Rect(n, n, n), Body: []*ir.Stmt{
+		ir.Assign(ir.RefIdx(g, 3, 0, 1, 2),
+			[]ir.Ref{
+				ir.RefIdx(e, 3, 0, 1, 2),
+				ir.RefAffine(es[3], [][]int64{{0, 0, 1}}, []int64{0}),
+			},
+			"scatter", ir.Sum()),
+	}}
+	arrays := append(append([]*ir.Array{}, es...), e, f, g)
+	return &ir.Program{Name: "emit", Arrays: arrays, Nests: []*ir.Nest{n0, n1, n2}}
+}

@@ -1,0 +1,211 @@
+// Package tiling chooses tile shapes for out-of-core execution
+// (Section 3.3 of the paper).
+//
+// Two strategies are modeled:
+//
+//   - Traditional: every loop of the (transformed) nest is tiled with
+//     the same tile size B, the classical cache-oriented scheme.
+//   - OutOfCore: every loop EXCEPT the innermost is tiled; the
+//     innermost loop — which carries the spatial locality after the
+//     linear transformations — runs its full extent, so each file
+//     request covers long contiguous stretches (Figure 3(b)).
+//
+// The tile size is the largest B whose total per-tile data footprint
+// (sum over arrays of the union bounding box of their references) fits
+// the memory budget, mirroring the paper's "memory divided evenly
+// across the arrays" discipline.
+package tiling
+
+import (
+	"fmt"
+
+	"outcore/internal/ir"
+	"outcore/internal/matrix"
+)
+
+// Strategy selects which loops are tiled.
+type Strategy int
+
+const (
+	// Traditional tiles every loop (including the innermost).
+	Traditional Strategy = iota
+	// OutOfCore tiles all but the innermost loop.
+	OutOfCore
+)
+
+func (s Strategy) String() string {
+	if s == OutOfCore {
+		return "out-of-core"
+	}
+	return "traditional"
+}
+
+// RefAccess is one array reference in TRANSFORMED iteration
+// coordinates: element = M·I' + Off with M = L·Q. Group identifies the
+// in-memory tile the reference shares: references with the same
+// (Array, Group) are unioned into one footprint box; distinct groups
+// get independent tiles (codegen assigns one group per access matrix).
+type RefAccess struct {
+	Array *ir.Array
+	M     *matrix.Int
+	Off   []int64
+	Group int
+}
+
+// Spec is a concrete tiling decision over the transformed space.
+type Spec struct {
+	Strategy Strategy
+	// Lo/Hi bound the transformed iteration space (bounding box).
+	Lo, Hi []int64
+	// Sizes is the tile extent per transformed level; a level whose size
+	// covers its whole range is effectively untiled.
+	Sizes []int64
+	// B is the scalar tile parameter the sizes were derived from.
+	B int64
+}
+
+// Depth returns the loop depth.
+func (s Spec) Depth() int { return len(s.Sizes) }
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s tiling B=%d sizes=%v over [%v,%v]", s.Strategy, s.B, s.Sizes, s.Lo, s.Hi)
+}
+
+// TransformedBox returns the bounding box [lo', hi'] of T·I over the
+// rectangular original space [lo, hi] (both inclusive).
+func TransformedBox(t *matrix.Int, lo, hi []int64) (tlo, thi []int64) {
+	k := t.Rows()
+	tlo = make([]int64, k)
+	thi = make([]int64, k)
+	for r := 0; r < k; r++ {
+		var mn, mx int64
+		for j := 0; j < t.Cols(); j++ {
+			c := t.At(r, j)
+			if c > 0 {
+				mn += c * lo[j]
+				mx += c * hi[j]
+			} else {
+				mn += c * hi[j]
+				mx += c * lo[j]
+			}
+		}
+		tlo[r], thi[r] = mn, mx
+	}
+	return tlo, thi
+}
+
+// Footprint returns the total in-memory elements needed for one tile of
+// the given sizes: per array, the union bounding box of all its
+// references over a tile-shaped iteration box, clipped to the array
+// extents.
+func Footprint(refs []RefAccess, sizes []int64) int64 {
+	type key struct {
+		arr   *ir.Array
+		group int
+	}
+	type rangeBox struct {
+		lo, hi []int64
+	}
+	boxes := map[key]*rangeBox{}
+	var order []key
+	for _, r := range refs {
+		rank := r.Array.Rank()
+		k := key{r.Array, r.Group}
+		b, ok := boxes[k]
+		if !ok {
+			b = &rangeBox{lo: make([]int64, rank), hi: make([]int64, rank)}
+			for d := 0; d < rank; d++ {
+				b.lo[d] = 1 << 62
+				b.hi[d] = -(1 << 62)
+			}
+			boxes[k] = b
+			order = append(order, k)
+		}
+		for d := 0; d < rank; d++ {
+			// Range of M_d·x + off_d over 0 <= x_j < sizes_j (tile-local).
+			lo, hi := r.Off[d], r.Off[d]
+			for j := 0; j < r.M.Cols(); j++ {
+				c := r.M.At(d, j)
+				span := sizes[j] - 1
+				if span < 0 {
+					span = 0
+				}
+				if c > 0 {
+					hi += c * span
+				} else {
+					lo += c * span
+				}
+			}
+			if lo < b.lo[d] {
+				b.lo[d] = lo
+			}
+			if hi > b.hi[d] {
+				b.hi[d] = hi
+			}
+		}
+	}
+	var total int64
+	for _, k := range order {
+		b := boxes[k]
+		size := int64(1)
+		for d := 0; d < k.arr.Rank(); d++ {
+			ext := b.hi[d] - b.lo[d] + 1
+			if ext > k.arr.Dims[d] {
+				ext = k.arr.Dims[d] // a tile never holds more than the array
+			}
+			if ext < 1 {
+				ext = 1
+			}
+			size *= ext
+		}
+		total += size
+	}
+	return total
+}
+
+// Choose picks the largest scalar tile parameter B whose footprint fits
+// the memory budget (0 = unlimited) under the strategy, over the
+// transformed bounding box [tlo, thi].
+func Choose(refs []RefAccess, tlo, thi []int64, memBudget int64, strat Strategy) (Spec, error) {
+	k := len(tlo)
+	extent := make([]int64, k)
+	maxExt := int64(1)
+	for d := 0; d < k; d++ {
+		extent[d] = thi[d] - tlo[d] + 1
+		if extent[d] > maxExt {
+			maxExt = extent[d]
+		}
+	}
+	sizesFor := func(b int64) []int64 {
+		sizes := make([]int64, k)
+		for d := 0; d < k; d++ {
+			switch {
+			case strat == OutOfCore && d == k-1:
+				sizes[d] = extent[d] // innermost untiled
+			case b > extent[d]:
+				sizes[d] = extent[d]
+			default:
+				sizes[d] = b
+			}
+		}
+		return sizes
+	}
+	if memBudget <= 0 {
+		return Spec{Strategy: strat, Lo: tlo, Hi: thi, Sizes: sizesFor(maxExt), B: maxExt}, nil
+	}
+	// Binary search the largest feasible B.
+	lo, hi := int64(1), maxExt
+	if Footprint(refs, sizesFor(1)) > memBudget {
+		return Spec{}, fmt.Errorf("tiling: even B=1 exceeds the memory budget (%d > %d elements)",
+			Footprint(refs, sizesFor(1)), memBudget)
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if Footprint(refs, sizesFor(mid)) <= memBudget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return Spec{Strategy: strat, Lo: tlo, Hi: thi, Sizes: sizesFor(lo), B: lo}, nil
+}

@@ -1,0 +1,180 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/ir"
+	"outcore/internal/matrix"
+)
+
+func TestTransformedBoxIdentity(t *testing.T) {
+	lo, hi := TransformedBox(matrix.Identity(2), []int64{0, 0}, []int64{7, 9})
+	if lo[0] != 0 || lo[1] != 0 || hi[0] != 7 || hi[1] != 9 {
+		t.Errorf("box [%v,%v]", lo, hi)
+	}
+}
+
+func TestTransformedBoxSkew(t *testing.T) {
+	// T = [[1,0],[1,1]]: second coordinate spans 0..hi0+hi1.
+	tm := matrix.FromRows([][]int64{{1, 0}, {1, 1}})
+	lo, hi := TransformedBox(tm, []int64{0, 0}, []int64{3, 4})
+	if lo[1] != 0 || hi[1] != 7 {
+		t.Errorf("skew box [%v,%v]", lo, hi)
+	}
+	// Negative coefficients.
+	tm2 := matrix.FromRows([][]int64{{1, 0}, {-1, 1}})
+	lo, hi = TransformedBox(tm2, []int64{0, 0}, []int64{3, 4})
+	if lo[1] != -3 || hi[1] != 4 {
+		t.Errorf("neg-skew box [%v,%v]", lo, hi)
+	}
+}
+
+func TestFootprintSingleRef(t *testing.T) {
+	a := ir.NewArray("A", 100, 100)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	if got := Footprint(refs, []int64{4, 8}); got != 32 {
+		t.Errorf("footprint = %d", got)
+	}
+	// Clipped by array extents.
+	if got := Footprint(refs, []int64{200, 4}); got != 400 {
+		t.Errorf("clipped footprint = %d", got)
+	}
+}
+
+func TestFootprintUnionAcrossRefs(t *testing.T) {
+	a := ir.NewArray("A", 100, 100)
+	refs := []RefAccess{
+		{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}},
+		{Array: a, M: matrix.Identity(2), Off: []int64{2, 0}}, // shifted by 2 rows
+	}
+	// Union box: rows 0..(3+2), cols 0..3 = 6x4 = 24.
+	if got := Footprint(refs, []int64{4, 4}); got != 24 {
+		t.Errorf("union footprint = %d", got)
+	}
+}
+
+func TestFootprintMultipleArrays(t *testing.T) {
+	a := ir.NewArray("A", 100, 100)
+	b := ir.NewArray("B", 100, 100)
+	transpose := matrix.FromRows([][]int64{{0, 1}, {1, 0}})
+	refs := []RefAccess{
+		{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}},
+		{Array: b, M: transpose, Off: []int64{0, 0}},
+	}
+	if got := Footprint(refs, []int64{4, 8}); got != 32+32 {
+		t.Errorf("two-array footprint = %d", got)
+	}
+}
+
+func TestChooseOOCKeepsInnermostFull(t *testing.T) {
+	a := ir.NewArray("A", 64, 64)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	spec, err := Choose(refs, []int64{0, 0}, []int64{63, 63}, 512, OutOfCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Sizes[1] != 64 {
+		t.Errorf("innermost size = %d, want full 64", spec.Sizes[1])
+	}
+	// 512 budget / 64 inner = 8 rows.
+	if spec.B != 8 || spec.Sizes[0] != 8 {
+		t.Errorf("B = %d sizes = %v", spec.B, spec.Sizes)
+	}
+	if Footprint(refs, spec.Sizes) > 512 {
+		t.Error("footprint exceeds budget")
+	}
+}
+
+func TestChooseTraditionalSquare(t *testing.T) {
+	a := ir.NewArray("A", 64, 64)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	spec, err := Choose(refs, []int64{0, 0}, []int64{63, 63}, 256, Traditional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.B != 16 || spec.Sizes[0] != 16 || spec.Sizes[1] != 16 {
+		t.Errorf("B = %d sizes = %v", spec.B, spec.Sizes)
+	}
+}
+
+func TestChooseUnlimitedBudget(t *testing.T) {
+	a := ir.NewArray("A", 16, 16)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	spec, err := Choose(refs, []int64{0, 0}, []int64{15, 15}, 0, Traditional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Sizes[0] != 16 || spec.Sizes[1] != 16 {
+		t.Errorf("unlimited sizes = %v", spec.Sizes)
+	}
+}
+
+func TestChooseInfeasible(t *testing.T) {
+	a := ir.NewArray("A", 64, 64)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	// OOC B=1 still needs a full 64-wide row.
+	if _, err := Choose(refs, []int64{0, 0}, []int64{63, 63}, 8, OutOfCore); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Traditional.String() != "traditional" || OutOfCore.String() != "out-of-core" {
+		t.Error("strategy names")
+	}
+	a := ir.NewArray("A", 8, 8)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	spec, _ := Choose(refs, []int64{0, 0}, []int64{7, 7}, 0, OutOfCore)
+	if spec.String() == "" || spec.Depth() != 2 {
+		t.Error("spec rendering")
+	}
+}
+
+func TestPropertyChooseFitsBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(8 << rng.Intn(4)) // 8..64
+		a := ir.NewArray("A", n, n)
+		b := ir.NewArray("B", n, n)
+		ms := []*matrix.Int{
+			matrix.Identity(2),
+			matrix.FromRows([][]int64{{0, 1}, {1, 0}}),
+			matrix.FromRows([][]int64{{1, 1}, {0, 1}}),
+		}
+		refs := []RefAccess{
+			{Array: a, M: ms[rng.Intn(len(ms))], Off: []int64{0, 0}},
+			{Array: b, M: ms[rng.Intn(len(ms))], Off: []int64{int64(rng.Intn(3)), 0}},
+		}
+		budget := int64(4+rng.Intn(64)) * n
+		strat := Strategy(rng.Intn(2))
+		spec, err := Choose(refs, []int64{0, 0}, []int64{n - 1, n - 1}, budget, strat)
+		if err != nil {
+			return true // infeasible is a legitimate outcome
+		}
+		if Footprint(refs, spec.Sizes) > budget {
+			return false
+		}
+		// B+1 must not fit (maximality), unless B already covers the space.
+		if spec.B < n {
+			bigger := make([]int64, len(spec.Sizes))
+			copy(bigger, spec.Sizes)
+			for d := range bigger {
+				if strat == OutOfCore && d == len(bigger)-1 {
+					continue
+				}
+				if bigger[d] == spec.B {
+					bigger[d] = spec.B + 1
+				}
+			}
+			if Footprint(refs, bigger) <= budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
