@@ -1,0 +1,32 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+
+GO ?= go
+FUZZTIME ?= 20s
+
+.PHONY: build test race check fuzz vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The tile engine is concurrent; the race detector is part of the gate,
+# not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Short fuzzing sessions over the property targets. CI runs these
+# briefly; use FUZZTIME=5m locally for a deeper soak.
+fuzz:
+	$(GO) test ./internal/layout/ -fuzz FuzzRuns -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/layout/ -fuzz FuzzBoxOverlaps -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ooc/ -fuzz FuzzTileKey -fuzztime $(FUZZTIME)
+
+fmt:
+	gofmt -l -w .

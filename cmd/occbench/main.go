@@ -5,9 +5,14 @@
 //	occbench -table 3                 # Table 3 (speedups 16..128 procs)
 //	occbench -figure 1|2|3            # the three figures
 //	occbench -ablation tiling|memory|order|storage
+//	occbench -ablation engine -kernel mxm   # sequential runtime vs
+//	                                        # concurrent tile engine
 //
 // Scale and platform knobs: -n2/-n3/-n4 (array extents), -procs,
 // -ionodes, -memfrac, -kernels (comma-separated subset).
+// Overlapped-I/O knobs: -workers (tile-engine I/O goroutines),
+// -cache-tiles (LRU tile-cache capacity; > 0 also routes the table
+// measurements through the cached engine).
 package main
 
 import (
@@ -32,13 +37,18 @@ func main() {
 	procs := flag.Int("procs", 16, "processor count for Table 2")
 	ionodes := flag.Int("ionodes", 64, "I/O nodes in the simulated PFS")
 	memFrac := flag.Int64("memfrac", 128, "memory budget = data size / memfrac")
+	workers := flag.Int("workers", 0, "tile-engine I/O workers (0 = synchronous)")
+	cacheTiles := flag.Int("cache-tiles", 0, "tile-engine LRU cache capacity in tiles (0 = engine off for tables; engine ablation defaults to 8)")
+	version := flag.String("version", "c-opt", "program version for the engine ablation")
 	flag.Parse()
 
 	opts := exp.Options{
-		Cfg:     suite.Config{N2: *n2, N3: *n3, N4: *n4},
-		PFS:     exp.ScaledPFS(*n2, *ionodes),
-		MemFrac: *memFrac,
-		Procs:   *procs,
+		Cfg:        suite.Config{N2: *n2, N3: *n3, N4: *n4},
+		PFS:        exp.ScaledPFS(*n2, *ionodes),
+		MemFrac:    *memFrac,
+		Procs:      *procs,
+		Workers:    *workers,
+		CacheTiles: *cacheTiles,
 	}
 	if *kernels != "" {
 		opts.Kernels = strings.Split(*kernels, ",")
@@ -88,6 +98,20 @@ func main() {
 			res.Kernel, res.CostOrderCalls, res.ReverseOrderCalls)
 	case *ablation == "storage":
 		fmt.Print(exp.StorageDemo())
+	case *ablation == "engine":
+		// Default to a useful engine configuration, but respect an
+		// explicit -workers 0 (synchronous) or -cache-tiles 0.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["cache-tiles"] {
+			opts.CacheTiles = 8
+		}
+		if !set["workers"] {
+			opts.Workers = 4
+		}
+		res, err := exp.EngineDemo(opts, *kernel, suite.Version(*version))
+		fail(err)
+		fmt.Print(res.Render())
 	case *ablation == "blocked":
 		rows, err := exp.BlockedAblation(*n2, nil)
 		fail(err)

@@ -44,6 +44,15 @@ type Options struct {
 	// parallel-performance simulator, where only the I/O behaviour and
 	// iteration counts matter.
 	DryRun bool
+	// Engine, when non-nil, routes tile I/O through the concurrent tile
+	// engine: group tiles are acquired from its LRU cache (fetched in
+	// parallel on a miss), released with write-back dirty tracking, and
+	// the next tile's footprints are prefetched while the current tile
+	// computes. The engine's tile-count capacity replaces the Memory
+	// budget, which is not consulted on this path. The caller owns the
+	// engine: Flush/Close it before reading results or I/O stats so
+	// dirty cached tiles reach the backend.
+	Engine *ooc.Engine
 }
 
 // Schedule is an executable tiled out-of-core loop nest.
@@ -53,6 +62,7 @@ type Schedule struct {
 	Spec tiling.Spec
 
 	dryRun bool
+	engine *ooc.Engine
 	bounds *fm.Bounds
 	stmts  []schedStmt
 	groups []*refGroup
@@ -86,7 +96,7 @@ func Build(n *ir.Nest, np *core.NestPlan, opts Options) (*Schedule, error) {
 	for i, l := range n.Loops {
 		lo[i], hi[i] = l.Lo, l.Hi
 	}
-	s := &Schedule{Nest: n, Plan: np, writes: map[*ir.Array]bool{}, dryRun: opts.DryRun}
+	s := &Schedule{Nest: n, Plan: np, writes: map[*ir.Array]bool{}, dryRun: opts.DryRun, engine: opts.Engine}
 	s.bounds = fm.TransformedBounds(np.Q, lo, hi).Eliminate()
 
 	groupOf := func(r ir.Ref) int {
@@ -229,6 +239,10 @@ func (s *Schedule) ExecuteSlice(d *ooc.Disk, mem *ooc.Memory, part, parts int) (
 	nt0 := ceilDiv(s.Spec.Hi[0]-s.Spec.Lo[0]+1, s.Spec.Sizes[0])
 	t0from, t0to := blockRange(nt0, int64(part), int64(parts))
 
+	if s.engine != nil && !s.dryRun {
+		err := s.executeSliceEngine(d, t0from, t0to, &stats)
+		return stats, err
+	}
 	origin := make([]int64, k)
 	var rec func(lvl int) error
 	rec = func(lvl int) error {
@@ -256,12 +270,53 @@ func (s *Schedule) ExecuteSlice(d *ooc.Disk, mem *ooc.Memory, part, parts int) (
 	return stats, err
 }
 
-// runTile processes one tile: read group footprints, execute
-// iterations, write back.
-func (s *Schedule) runTile(d *ooc.Disk, mem *ooc.Memory, origin []int64, stats *ExecStats) error {
+// executeSliceEngine runs the partition's tiles through the concurrent
+// tile engine: the tile origins are materialized up front so that while
+// tile i computes, tile i+1's read footprints are already being
+// prefetched — the PASSION double-buffering pattern.
+func (s *Schedule) executeSliceEngine(d *ooc.Disk, t0from, t0to int64, stats *ExecStats) error {
 	k := s.Spec.Depth()
-	tLo := make([]int64, k)
-	tHi := make([]int64, k)
+	var origins [][]int64
+	origin := make([]int64, k)
+	var rec func(lvl int)
+	rec = func(lvl int) {
+		if lvl == k {
+			origins = append(origins, append([]int64(nil), origin...))
+			return
+		}
+		from, to := s.Spec.Lo[lvl], s.Spec.Hi[lvl]
+		step := s.Spec.Sizes[lvl]
+		if lvl == 0 {
+			from = s.Spec.Lo[0] + t0from*step
+			to = s.Spec.Lo[0] + t0to*step - 1
+			if to > s.Spec.Hi[0] {
+				to = s.Spec.Hi[0]
+			}
+		}
+		for o := from; o <= to; o += step {
+			origin[lvl] = o
+			rec(lvl + 1)
+		}
+	}
+	rec(0)
+	for i, org := range origins {
+		var next []int64
+		if i+1 < len(origins) {
+			next = origins[i+1]
+		}
+		if err := s.runTileEngine(d, org, next, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tileBounds returns the inclusive iteration-space bounds of the tile
+// at origin, clipped to the spec.
+func (s *Schedule) tileBounds(origin []int64) (tLo, tHi []int64) {
+	k := s.Spec.Depth()
+	tLo = make([]int64, k)
+	tHi = make([]int64, k)
 	for lvl := 0; lvl < k; lvl++ {
 		tLo[lvl] = origin[lvl]
 		tHi[lvl] = origin[lvl] + s.Spec.Sizes[lvl] - 1
@@ -269,6 +324,14 @@ func (s *Schedule) runTile(d *ooc.Disk, mem *ooc.Memory, origin []int64, stats *
 			tHi[lvl] = s.Spec.Hi[lvl]
 		}
 	}
+	return tLo, tHi
+}
+
+// runTile processes one tile: read group footprints, execute
+// iterations, write back.
+func (s *Schedule) runTile(d *ooc.Disk, mem *ooc.Memory, origin []int64, stats *ExecStats) error {
+	k := s.Spec.Depth()
+	tLo, tHi := s.tileBounds(origin)
 	if s.dryRun {
 		return s.dryRunTile(d, mem, tLo, tHi, stats)
 	}
@@ -357,6 +420,103 @@ func (s *Schedule) runTile(d *ooc.Disk, mem *ooc.Memory, origin []int64, stats *
 	return nil
 }
 
+// runTileEngine processes one tile through the concurrent engine:
+// acquire the group footprints from the cache (parallel fetch on
+// misses), kick off prefetches for the next tile's read-only
+// footprints, execute the iterations, and release with dirty marking so
+// write-back happens on eviction or flush.
+func (s *Schedule) runTileEngine(d *ooc.Disk, origin, next []int64, stats *ExecStats) error {
+	k := s.Spec.Depth()
+	tLo, tHi := s.tileBounds(origin)
+	if s.countWithin(tLo, tHi) == 0 {
+		return nil
+	}
+	var reqs []ooc.TileReq
+	var reqGroup []int
+	tiles := make([]*ooc.Tile, len(s.groups))
+	for gi, g := range s.groups {
+		box := g.footprintBox(tLo, tHi)
+		if box.Empty() {
+			continue
+		}
+		arr := d.ArrayOf(g.arr)
+		if arr == nil {
+			return fmt.Errorf("codegen: array %s not on disk", g.arr.Name)
+		}
+		reqs = append(reqs, ooc.TileReq{Arr: arr, Box: box})
+		reqGroup = append(reqGroup, gi)
+	}
+	handles, err := s.engine.AcquireAll(reqs)
+	if err != nil {
+		return err
+	}
+	for i, h := range handles {
+		tiles[reqGroup[i]] = h.Tile()
+	}
+	// Double buffering: while this tile computes, the workers read the
+	// next tile's footprints. Written arrays are excluded — their boxes
+	// may be dirtied by this tile's release, which would force the
+	// prefetched copy to be discarded and re-read (extra I/O the
+	// sequential runtime never pays). The same economics gate the whole
+	// batch on cache capacity: unless the cache can hold this tile's
+	// pinned working set plus the prefetched tiles, prefetching evicts
+	// tiles before they are used and inflates the call count instead of
+	// hiding it.
+	if next != nil {
+		nLo, nHi := s.tileBounds(next)
+		if s.countWithin(nLo, nHi) > 0 {
+			var pre []ooc.TileReq
+			for _, g := range s.groups {
+				if s.writes[g.arr] {
+					continue
+				}
+				box := g.footprintBox(nLo, nHi)
+				if box.Empty() {
+					continue
+				}
+				if arr := d.ArrayOf(g.arr); arr != nil {
+					pre = append(pre, ooc.TileReq{Arr: arr, Box: box})
+				}
+			}
+			if s.engine.Capacity() >= len(reqs)+len(pre) {
+				for _, p := range pre {
+					s.engine.Prefetch(p.Arr, p.Box)
+				}
+			}
+		}
+	}
+	stats.Tiles++
+	origIv := make([]int64, k)
+	coord := make([]int64, 0, 8)
+	s.enumerateWithin(tLo, tHi, func(iv []int64) {
+		stats.Iterations++
+		for r := 0; r < k; r++ {
+			var acc int64
+			for c := 0; c < k; c++ {
+				acc += s.Plan.Q.At(r, c) * iv[c]
+			}
+			origIv[r] = acc
+		}
+		for _, ss := range s.stmts {
+			if !ss.st.Guarded(origIv) {
+				continue
+			}
+			in := make([]float64, len(ss.inGroup))
+			for i, gi := range ss.inGroup {
+				coord = elementCoord(coord[:0], s.groups[gi].m, ss.inOff[i], iv)
+				in[i] = tiles[gi].Get(coord)
+			}
+			v := ss.st.F(in, origIv)
+			coord = elementCoord(coord[:0], s.groups[ss.outGroup].m, ss.outOff, iv)
+			tiles[ss.outGroup].Set(coord, v)
+		}
+	})
+	for i, h := range handles {
+		s.engine.Release(h, s.writes[s.groups[reqGroup[i]].arr])
+	}
+	return nil
+}
+
 // dryRunTile accounts one tile's I/O and iteration count without
 // touching data.
 func (s *Schedule) dryRunTile(d *ooc.Disk, mem *ooc.Memory, tLo, tHi []int64, stats *ExecStats) error {
@@ -366,6 +526,23 @@ func (s *Schedule) dryRunTile(d *ooc.Disk, mem *ooc.Memory, tLo, tHi []int64, st
 	}
 	stats.Iterations += iters
 	stats.Tiles++
+	if s.engine != nil {
+		// Cached dry run: the engine's tile cache decides which touches
+		// reach the backend accounting; the memory budget is replaced by
+		// the cache's tile-count capacity.
+		for _, g := range s.groups {
+			box := g.footprintBox(tLo, tHi)
+			if box.Empty() {
+				continue
+			}
+			arr := d.ArrayOf(g.arr)
+			if arr == nil {
+				return fmt.Errorf("codegen: array %s not on disk", g.arr.Name)
+			}
+			s.engine.Touch(arr, box, s.writes[g.arr])
+		}
+		return nil
+	}
 	var allocated int64
 	for _, g := range s.groups {
 		box := g.footprintBox(tLo, tHi)

@@ -36,6 +36,11 @@ type Options struct {
 	IterPerSec float64
 	Kernels    []string // subset of kernel names; nil = all ten
 	Procs      int      // Table-2 processor count (paper: 16)
+	// CacheTiles > 0 runs every measurement through the concurrent tile
+	// engine's LRU cache of that capacity (occbench -cache-tiles);
+	// Workers sizes its I/O worker pool (occbench -workers).
+	CacheTiles int
+	Workers    int
 }
 
 // Defaults fills unset fields with paper-scale values.
@@ -101,6 +106,8 @@ func (o Options) setup(k suite.Kernel, v suite.Version, procs int) sim.Setup {
 		MemFrac:    o.MemFrac,
 		PFS:        o.PFS,
 		IterPerSec: o.IterPerSec,
+		CacheTiles: o.CacheTiles,
+		Workers:    o.Workers,
 	}
 }
 

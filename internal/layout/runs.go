@@ -53,6 +53,20 @@ func (b Box) Clip(dims []int64) Box {
 	return Box{Lo: lo, Hi: hi}
 }
 
+// Overlaps reports whether the boxes share at least one element.
+// Boxes of different rank never overlap; empty boxes overlap nothing.
+func (b Box) Overlaps(o Box) bool {
+	if b.Rank() != o.Rank() || b.Empty() || o.Empty() {
+		return false
+	}
+	for d := range b.Lo {
+		if b.Lo[d] >= o.Hi[d] || o.Lo[d] >= b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports whether coordinates c lie inside the box.
 func (b Box) Contains(c []int64) bool {
 	for d := range c {

@@ -1,0 +1,521 @@
+package ooc
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"outcore/internal/layout"
+)
+
+// DefaultCacheTiles is the tile-cache capacity used when EngineOptions
+// leaves CacheTiles unset.
+const DefaultCacheTiles = 8
+
+// ErrEngineClosed is returned by operations on a closed Engine.
+var ErrEngineClosed = errors.New("ooc: engine closed")
+
+// EngineOptions configures a concurrent tile engine.
+type EngineOptions struct {
+	// Workers sets the I/O worker-pool size. 0 disables the pool:
+	// every miss is serviced synchronously on the calling goroutine and
+	// Prefetch becomes a no-op (the deterministic mode golden-trace
+	// tests rely on).
+	Workers int
+	// CacheTiles bounds the number of resident tiles (LRU eviction;
+	// <= 0 means DefaultCacheTiles). Pinned tiles are never evicted, so
+	// the cache may transiently exceed the bound while a tile set is in
+	// use; it shrinks back at release.
+	CacheTiles int
+}
+
+// EngineStats counts cache and prefetch activity.
+type EngineStats struct {
+	Hits           int64 // acquires/touches served from cache
+	Misses         int64 // acquires/touches that went to the backend
+	Evictions      int64 // entries removed by capacity pressure
+	Invalidations  int64 // entries dropped because an overlapping tile was dirtied
+	Writebacks     int64 // dirty tiles flushed to the backend
+	PrefetchIssued int64 // async tile reads dispatched ahead of use
+	PrefetchUseful int64 // acquires that found their tile prefetched
+}
+
+// Acquires returns the total tile requests seen by the cache.
+func (s EngineStats) Acquires() int64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits / Acquires (0 when idle).
+func (s EngineStats) HitRate() float64 {
+	if a := s.Acquires(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+// OverlapFactor returns the fraction of tile requests whose backend
+// read was issued ahead of use (and therefore overlapped with compute):
+// PrefetchUseful / Acquires.
+func (s EngineStats) OverlapFactor() float64 {
+	if a := s.Acquires(); a > 0 {
+		return float64(s.PrefetchUseful) / float64(a)
+	}
+	return 0
+}
+
+// entry is one cached tile. An entry is in exactly one of three states:
+// loading (ready != nil, loading true; a goroutine is reading it),
+// resident (tile != nil, or touch true for data-less accounting
+// entries), or gone (removed from the map; dropped marks removal that
+// happened while loading so the loader discards its result).
+type entry struct {
+	key  TileKey
+	arr  *Array
+	box  layout.Box
+	tile *Tile
+
+	touch      bool // accounting-only entry (dry-run disks)
+	dirty      bool
+	pins       int
+	loading    bool
+	dropped    bool
+	prefetched bool
+	ready      chan struct{} // closed when loading finishes
+	elem       *list.Element
+}
+
+// Engine is a concurrent tile engine: a size-bounded LRU tile cache
+// with write-back dirty tracking in front of a Disk, plus an optional
+// worker pool that overlaps independent tile fetches and services
+// asynchronous prefetches.
+//
+// Consistency contract: concurrent pinned tiles whose boxes overlap may
+// not include a tile that is released dirty (the codegen schedule
+// guarantees this: a written array has a single access-pattern group).
+// Under that contract the engine is linearizable with the sequential
+// ReadTile/WriteTile runtime: acquiring a box always observes every
+// previously released overlapping write, because dirty overlapping
+// tiles are flushed before a miss reads the backend and overlapping
+// cache entries (including in-flight prefetches) are invalidated when a
+// tile is dirtied.
+type Engine struct {
+	disk     *Disk
+	workers  int
+	capTiles int
+
+	mu       sync.Mutex
+	entries  map[TileKey]*entry
+	lru      *list.List // front = most recently used
+	stats    EngineStats
+	closed   bool
+	firstErr error // first asynchronous write-back failure
+
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// NewEngine starts an engine over the disk.
+func NewEngine(d *Disk, o EngineOptions) *Engine {
+	if o.CacheTiles <= 0 {
+		o.CacheTiles = DefaultCacheTiles
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	e := &Engine{
+		disk:     d,
+		workers:  o.Workers,
+		capTiles: o.CacheTiles,
+		entries:  map[TileKey]*entry{},
+		lru:      list.New(),
+	}
+	if e.workers > 0 {
+		e.jobs = make(chan func(), 4*e.workers+16)
+		for i := 0; i < e.workers; i++ {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				for job := range e.jobs {
+					job()
+				}
+			}()
+		}
+	}
+	return e
+}
+
+// Handle is a pinned cached tile. The tile stays resident (and is never
+// evicted) until Release.
+type Handle struct {
+	eng      *Engine
+	ent      *entry
+	released bool
+}
+
+// Tile returns the pinned in-memory tile.
+func (h *Handle) Tile() *Tile { return h.ent.tile }
+
+// Acquire returns the tile for (array, box), pinned: from cache on a
+// hit (including tiles still being prefetched, which it waits for), or
+// read from the backend on a miss. Concurrent acquires of the same key
+// share one backend read and one in-memory tile.
+func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
+	box = box.Clip(ar.Meta.Dims)
+	key := tileKey(ar.Meta.Name, box)
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrEngineClosed
+		}
+		if ent, ok := e.entries[key]; ok {
+			if ent.loading {
+				ready := ent.ready
+				e.mu.Unlock()
+				<-ready
+				continue // resident now, or dropped: re-resolve
+			}
+			ent.pins++
+			e.stats.Hits++
+			if ent.prefetched {
+				e.stats.PrefetchUseful++
+				ent.prefetched = false
+			}
+			e.lru.MoveToFront(ent.elem)
+			e.mu.Unlock()
+			return &Handle{eng: e, ent: ent}, nil
+		}
+		// Miss: reserve the key, make the backend current for this box,
+		// then read outside the lock so independent fetches overlap.
+		e.stats.Misses++
+		ent := &entry{key: key, arr: ar, box: box, pins: 1, loading: true, ready: make(chan struct{})}
+		e.entries[key] = ent
+		ent.elem = e.lru.PushFront(ent)
+		e.flushOverlapDirtyLocked(ar, box, key)
+		e.mu.Unlock()
+
+		t, err := ar.ReadTile(box)
+
+		e.mu.Lock()
+		ent.loading = false
+		close(ent.ready)
+		if err != nil {
+			e.removeLocked(ent)
+			e.mu.Unlock()
+			return nil, err
+		}
+		ent.tile = t
+		e.evictLocked()
+		e.mu.Unlock()
+		return &Handle{eng: e, ent: ent}, nil
+	}
+}
+
+// TileReq names one tile to acquire.
+type TileReq struct {
+	Arr *Array
+	Box layout.Box
+}
+
+// AcquireAll acquires every requested tile. With a worker-enabled
+// engine the misses are fetched concurrently — the overlap that makes
+// independent tile reads cheaper than their sum.
+func (e *Engine) AcquireAll(reqs []TileReq) ([]*Handle, error) {
+	hs := make([]*Handle, len(reqs))
+	if e.workers == 0 || len(reqs) < 2 {
+		for i, r := range reqs {
+			h, err := e.Acquire(r.Arr, r.Box)
+			if err != nil {
+				e.releaseAll(hs)
+				return nil, err
+			}
+			hs[i] = h
+		}
+		return hs, nil
+	}
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r TileReq) {
+			defer wg.Done()
+			hs[i], errs[i] = e.Acquire(r.Arr, r.Box)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			e.releaseAll(hs)
+			return nil, err
+		}
+	}
+	return hs, nil
+}
+
+func (e *Engine) releaseAll(hs []*Handle) {
+	for _, h := range hs {
+		if h != nil {
+			e.Release(h, false)
+		}
+	}
+}
+
+// Release unpins the tile; dirty records that the caller modified it.
+// A dirty tile stays cached (so later acquires of the same box reuse
+// the updated copy) and is written back on eviction or Flush; marking
+// it dirty invalidates every other cached or in-flight tile of the
+// same array that overlaps it, since their contents are now stale.
+func (e *Engine) Release(h *Handle, dirty bool) {
+	if h.released {
+		panic("ooc: tile handle released twice")
+	}
+	h.released = true
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent := h.ent
+	if ent.pins <= 0 {
+		panic("ooc: release of unpinned tile")
+	}
+	ent.pins--
+	if dirty {
+		ent.dirty = true
+		e.invalidateOverlapLocked(ent)
+	}
+	e.lru.MoveToFront(ent.elem)
+	e.evictLocked()
+}
+
+// Prefetch asynchronously reads (array, box) into the cache so a later
+// Acquire hits without waiting on the backend. It is a no-op without
+// workers, when the tile is already cached or in flight, or when the
+// box overlaps a dirty tile (the later Acquire will flush and read it
+// consistently instead).
+func (e *Engine) Prefetch(ar *Array, box layout.Box) {
+	if e.workers == 0 {
+		return
+	}
+	box = box.Clip(ar.Meta.Dims)
+	if box.Empty() {
+		return
+	}
+	key := tileKey(ar.Meta.Name, box)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if _, ok := e.entries[key]; ok {
+		e.mu.Unlock()
+		return
+	}
+	if e.overlapsDirtyLocked(ar, box) {
+		e.mu.Unlock()
+		return
+	}
+	ent := &entry{key: key, arr: ar, box: box, loading: true, prefetched: true, ready: make(chan struct{})}
+	e.entries[key] = ent
+	ent.elem = e.lru.PushFront(ent)
+	e.stats.PrefetchIssued++
+	e.mu.Unlock()
+
+	e.jobs <- func() {
+		t, err := ar.ReadTile(box)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		ent.loading = false
+		defer close(ent.ready)
+		if ent.dropped {
+			return // invalidated while in flight; discard
+		}
+		if err != nil {
+			e.removeLocked(ent) // next Acquire retries and surfaces the error
+			return
+		}
+		ent.tile = t
+		e.evictLocked()
+	}
+}
+
+// Touch is the accounting-only counterpart of Acquire+Release for
+// dry-run (data-less) disks: a miss charges TouchRead, a write marks
+// the entry dirty (TouchWrite is charged once, at eviction or Flush),
+// and a hit charges nothing — so cached dry-run schedules report the
+// calls the cached engine would really issue.
+func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
+	box = box.Clip(ar.Meta.Dims)
+	if box.Empty() {
+		return
+	}
+	key := tileKey(ar.Meta.Name, box)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.entries[key]; ok && !ent.loading {
+		e.stats.Hits++
+		e.lru.MoveToFront(ent.elem)
+		if write && !ent.dirty {
+			ent.dirty = true
+			e.invalidateOverlapLocked(ent)
+		}
+		return
+	}
+	e.stats.Misses++
+	e.flushOverlapDirtyLocked(ar, box, key)
+	ar.TouchRead(box)
+	ent := &entry{key: key, arr: ar, box: box, touch: true}
+	e.entries[key] = ent
+	ent.elem = e.lru.PushFront(ent)
+	if write {
+		ent.dirty = true
+		e.invalidateOverlapLocked(ent)
+	}
+	e.evictLocked()
+}
+
+// Flush writes every unpinned dirty tile back to the backend. Cached
+// tiles stay resident (clean).
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range e.entries {
+		if ent.dirty && ent.pins == 0 && !ent.loading {
+			e.writebackLocked(ent)
+		}
+	}
+	return e.firstErr
+}
+
+// Close drains the worker pool, flushes dirty tiles and returns the
+// first write-back error, if any. Further engine calls fail.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		err := e.firstErr
+		e.mu.Unlock()
+		return err
+	}
+	e.closed = true
+	e.mu.Unlock()
+	if e.jobs != nil {
+		close(e.jobs)
+		e.wg.Wait()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range e.entries {
+		if ent.dirty && ent.pins == 0 && !ent.loading {
+			e.writebackLocked(ent)
+		}
+	}
+	return e.firstErr
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Capacity returns the configured cache bound in tiles. Callers use it
+// to size prefetch batches: prefetching into a cache that cannot hold
+// the working set plus the prefetched tiles evicts entries before they
+// are used, turning the overlap into extra backend reads.
+func (e *Engine) Capacity() int { return e.capTiles }
+
+// Resident returns the number of cached entries (tests/telemetry).
+func (e *Engine) Resident() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.entries)
+}
+
+// writebackLocked flushes one dirty entry (data tiles via WriteTile,
+// accounting entries via TouchWrite) and marks it clean.
+func (e *Engine) writebackLocked(ent *entry) {
+	if ent.touch {
+		ent.arr.TouchWrite(ent.box)
+	} else if err := ent.tile.WriteTile(); err != nil && e.firstErr == nil {
+		e.firstErr = fmt.Errorf("ooc: engine write-back of %s %v: %w", ent.arr.Meta.Name, ent.box, err)
+	}
+	ent.dirty = false
+	e.stats.Writebacks++
+}
+
+// flushOverlapDirtyLocked makes the backend current for box: every
+// dirty resident tile of the same array overlapping box (other than
+// key itself) is written back, so a subsequent backend read observes
+// all released writes.
+func (e *Engine) flushOverlapDirtyLocked(ar *Array, box layout.Box, key TileKey) {
+	for _, ent := range e.entries {
+		if ent.key != key && ent.arr == ar && ent.dirty && !ent.loading && ent.box.Overlaps(box) {
+			e.writebackLocked(ent)
+		}
+	}
+}
+
+// overlapsDirtyLocked reports whether box overlaps any dirty tile of ar.
+func (e *Engine) overlapsDirtyLocked(ar *Array, box layout.Box) bool {
+	for _, ent := range e.entries {
+		if ent.arr == ar && ent.dirty && ent.box.Overlaps(box) {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateOverlapLocked drops every other cache entry of the same
+// array whose box overlaps the newly dirtied entry: resident clean
+// copies are stale, and in-flight prefetches may have read pre-write
+// data (they are marked dropped; the loader discards the result).
+// Pinned entries are skipped — overlapping them is outside the engine's
+// consistency contract (see the Engine doc).
+func (e *Engine) invalidateOverlapLocked(dirtied *entry) {
+	for _, ent := range e.entries {
+		if ent == dirtied || ent.arr != dirtied.arr || ent.pins > 0 || !ent.box.Overlaps(dirtied.box) {
+			continue
+		}
+		if ent.dirty && !ent.loading {
+			// Two overlapping dirty tiles violate the contract; flushing
+			// before dropping at least loses no released write entirely.
+			e.writebackLocked(ent)
+		}
+		if ent.loading {
+			ent.dropped = true
+		}
+		e.removeLocked(ent)
+		e.stats.Invalidations++
+	}
+}
+
+// evictLocked enforces the capacity bound: least-recently-used
+// unpinned, non-loading entries are written back (when dirty) and
+// dropped until the cache fits.
+func (e *Engine) evictLocked() {
+	for len(e.entries) > e.capTiles {
+		evicted := false
+		for el := e.lru.Back(); el != nil; el = el.Prev() {
+			ent := el.Value.(*entry)
+			if ent.pins > 0 || ent.loading {
+				continue
+			}
+			if ent.dirty {
+				e.writebackLocked(ent)
+			}
+			e.removeLocked(ent)
+			e.stats.Evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything pinned or loading; shrink at release
+		}
+	}
+}
+
+// removeLocked deletes the entry from the map and LRU list.
+func (e *Engine) removeLocked(ent *entry) {
+	delete(e.entries, ent.key)
+	if ent.elem != nil {
+		e.lru.Remove(ent.elem)
+		ent.elem = nil
+	}
+}

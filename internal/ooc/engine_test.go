@@ -1,0 +1,563 @@
+package ooc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+)
+
+func box2(lo0, lo1, hi0, hi1 int64) layout.Box {
+	return layout.NewBox([]int64{lo0, lo1}, []int64{hi0, hi1})
+}
+
+// engineArray builds a data-backed 2-D array filled with f(i,j) = 1000i+j.
+func engineArray(t *testing.T, name string, n, m int64) (*Disk, *Array) {
+	t.Helper()
+	d := NewDisk(0)
+	_, arr := mk2D(t, d, name, n, m, layout.RowMajor(n, m))
+	arr.Fill(func(c []int64) float64 { return float64(1000*c[0] + c[1]) })
+	d.ResetStats()
+	return d, arr
+}
+
+func TestEngineHitMissCounters(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 4})
+	defer e.Close()
+
+	b := box2(0, 0, 4, 4)
+	h1, err := e.Acquire(arr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h1.Tile().Get([]int64{2, 3}); got != 2003 {
+		t.Errorf("tile content = %v, want 2003", got)
+	}
+	e.Release(h1, false)
+	h2, err := e.Acquire(arr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Release(h2, false)
+
+	s := e.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", s.HitRate())
+	}
+	if e.Resident() != 1 {
+		t.Errorf("resident = %d, want 1", e.Resident())
+	}
+}
+
+func TestEngineLRUEvictionOrder(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 2})
+	defer e.Close()
+
+	acq := func(b layout.Box) {
+		t.Helper()
+		h, err := e.Acquire(arr, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Release(h, false)
+	}
+	bA, bB, bC := box2(0, 0, 2, 8), box2(2, 0, 4, 8), box2(4, 0, 6, 8)
+	acq(bA)
+	acq(bB)
+	acq(bA) // A is now more recent than B
+	acq(bC) // capacity 2: evicts B, keeps A+C
+
+	acq(bA) // must still be cached
+	s := e.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (B)", s.Evictions)
+	}
+	if s.Hits != 2 || s.Misses != 3 {
+		t.Errorf("stats = %+v, want 2 hits (A,A) + 3 misses (A,B,C)", s)
+	}
+	acq(bB) // and B must be gone
+	if s := e.Stats(); s.Misses != 4 {
+		t.Errorf("re-acquiring evicted B: misses = %d, want 4", s.Misses)
+	}
+}
+
+func TestEngineWritebackPersists(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 4})
+
+	b := box2(0, 0, 2, 2)
+	h, err := e.Acquire(arr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Tile().Set([]int64{1, 1}, -7)
+	e.Release(h, true)
+
+	// Not flushed yet: the backend still holds the old value, the cache
+	// the new one.
+	if raw, _ := arr.ReadTile(b); raw.Get([]int64{1, 1}) != 1001 {
+		t.Errorf("backend updated before flush: %v", raw.Get([]int64{1, 1}))
+	}
+	h2, err := e.Acquire(arr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Tile().Get([]int64{1, 1}); got != -7 {
+		t.Errorf("cached dirty tile reads %v, want -7", got)
+	}
+	e.Release(h2, false)
+
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ := arr.ReadTile(b); raw.Get([]int64{1, 1}) != -7 {
+		t.Errorf("backend after flush reads %v, want -7", raw.Get([]int64{1, 1}))
+	}
+	if s := e.Stats(); s.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", s.Writebacks)
+	}
+	// Flush leaves the tile resident and clean: a second flush is a no-op.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Writebacks != 1 {
+		t.Errorf("clean flush wrote back again: %d", s.Writebacks)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEvictionWritesBack(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 1})
+	defer e.Close()
+
+	h, err := e.Acquire(arr, box2(0, 0, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Tile().Set([]int64{0, 0}, 42)
+	e.Release(h, true)
+
+	// Capacity 1: acquiring a different tile evicts the dirty one, which
+	// must reach the backend on the way out.
+	h2, err := e.Acquire(arr, box2(4, 4, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Release(h2, false)
+	if raw, _ := arr.ReadTile(box2(0, 0, 1, 1)); raw.Get([]int64{0, 0}) != 42 {
+		t.Errorf("evicted dirty tile not written back: %v", raw.Get([]int64{0, 0}))
+	}
+	if s := e.Stats(); s.Writebacks != 1 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 writeback + 1 eviction", s)
+	}
+}
+
+func TestEngineDirtyInvalidatesOverlap(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 8})
+	defer e.Close()
+
+	small := box2(1, 1, 3, 3)
+	big := box2(0, 0, 4, 4)
+	hs, err := e.Acquire(arr, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Release(hs, false) // clean copy of the small box stays cached
+
+	hb, err := e.Acquire(arr, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.Tile().Set([]int64{2, 2}, 99)
+	e.Release(hb, true) // dirtying big must invalidate the stale small copy
+
+	if s := e.Stats(); s.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", s.Invalidations)
+	}
+	hs2, err := e.Acquire(arr, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hs2.Tile().Get([]int64{2, 2}); got != 99 {
+		t.Errorf("overlapping acquire after dirty release reads %v, want 99", got)
+	}
+	e.Release(hs2, false)
+}
+
+func TestEngineMissFlushesOverlapDirty(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 8})
+	defer e.Close()
+
+	h, err := e.Acquire(arr, box2(0, 0, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Tile().Set([]int64{1, 1}, 5)
+	e.Release(h, true)
+
+	// A miss on a box overlapping the dirty tile must observe the write:
+	// the engine flushes before reading the backend.
+	h2, err := e.Acquire(arr, box2(1, 1, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Tile().Get([]int64{1, 1}); got != 5 {
+		t.Errorf("miss over dirty tile reads %v, want 5", got)
+	}
+	e.Release(h2, false)
+}
+
+func TestEnginePrefetch(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 8, Workers: 2})
+	defer e.Close()
+
+	b := box2(0, 0, 4, 4)
+	e.Prefetch(arr, b)
+	h, err := e.Acquire(arr, b) // waits for the in-flight read, counts as hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Tile().Get([]int64{3, 2}); got != 3002 {
+		t.Errorf("prefetched tile reads %v, want 3002", got)
+	}
+	e.Release(h, false)
+	s := e.Stats()
+	if s.PrefetchIssued != 1 || s.PrefetchUseful != 1 {
+		t.Errorf("prefetch stats = %+v, want 1 issued + 1 useful", s)
+	}
+	if s.Misses != 0 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want the prefetched acquire to be a hit", s)
+	}
+
+	// Prefetch overlapping a dirty tile is declined: the later acquire
+	// must take the flush-then-read path instead.
+	hd, err := e.Acquire(arr, box2(4, 4, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd.Tile().Set([]int64{4, 4}, 1)
+	e.Release(hd, true)
+	e.Prefetch(arr, box2(5, 5, 8, 8))
+	if s := e.Stats(); s.PrefetchIssued != 1 {
+		t.Errorf("prefetch over dirty tile was issued: %+v", s)
+	}
+	// Without workers Prefetch is a no-op by contract.
+	e0 := NewEngine(d, EngineOptions{CacheTiles: 2})
+	defer e0.Close()
+	e0.Prefetch(arr, b)
+	if s := e0.Stats(); s.PrefetchIssued != 0 || e0.Resident() != 0 {
+		t.Errorf("workerless prefetch did something: %+v, resident %d", s, e0.Resident())
+	}
+}
+
+func TestEngineSingleFlight(t *testing.T) {
+	d, arr := engineArray(t, "A", 32, 32)
+	e := NewEngine(d, EngineOptions{CacheTiles: 8, Workers: 4})
+	defer e.Close()
+
+	// Many goroutines race to acquire the same tile: exactly one backend
+	// read may happen, everyone shares the entry.
+	const G = 16
+	b := box2(0, 0, 16, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := e.Acquire(arr, b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got := h.Tile().Get([]int64{7, 7}); got != 7007 {
+				t.Errorf("shared tile reads %v", got)
+			}
+			e.Release(h, false)
+		}()
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single-flight)", s.Misses)
+	}
+	if s.Hits != G-1 {
+		t.Errorf("hits = %d, want %d", s.Hits, G-1)
+	}
+}
+
+func TestEngineCloseSemantics(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 2, Workers: 2})
+	h, err := e.Acquire(arr, box2(0, 0, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Tile().Set([]int64{0, 1}, 3)
+	e.Release(h, true)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ := arr.ReadTile(box2(0, 0, 2, 2)); raw.Get([]int64{0, 1}) != 3 {
+		t.Error("Close did not flush the dirty tile")
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := e.Acquire(arr, box2(0, 0, 2, 2)); err != ErrEngineClosed {
+		t.Errorf("Acquire after Close: %v, want ErrEngineClosed", err)
+	}
+}
+
+func TestEngineDoubleReleasePanics(t *testing.T) {
+	d, arr := engineArray(t, "A", 8, 8)
+	e := NewEngine(d, EngineOptions{CacheTiles: 2})
+	defer e.Close()
+	h, err := e.Acquire(arr, box2(0, 0, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Release(h, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	e.Release(h, false)
+}
+
+func TestEngineTouchAccounting(t *testing.T) {
+	d := NewDisk(0).NoBacking()
+	_, arr := mk2D(t, d, "A", 8, 8, layout.RowMajor(8, 8))
+	e := NewEngine(d, EngineOptions{CacheTiles: 4})
+
+	b := box2(0, 0, 4, 8)
+	e.Touch(arr, b, false) // miss: charges the read
+	e.Touch(arr, b, false) // hit: free
+	e.Touch(arr, b, true)  // hit, now dirty
+	if s := e.Stats(); s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("touch stats = %+v, want 1 miss + 2 hits", s)
+	}
+	if d.Stats.ReadCalls != 1 || d.Stats.WriteCalls != 0 {
+		t.Errorf("disk charged %d reads / %d writes before flush, want 1 / 0",
+			d.Stats.ReadCalls, d.Stats.WriteCalls)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.WriteCalls != 1 {
+		t.Errorf("dirty touch entry flushed %d write calls, want 1", d.Stats.WriteCalls)
+	}
+}
+
+// TestEngineConcurrentStress is the deterministic-seed stress test the
+// race detector runs against: goroutines with disjoint write bands of W
+// plus a shared read-only array R, through one engine small enough to
+// keep evicting under load.
+func TestEngineConcurrentStress(t *testing.T) {
+	const (
+		G     = 8  // goroutines
+		steps = 60 // acquire/modify/release cycles each
+		rows  = 4  // W rows per goroutine
+		cols  = 16
+	)
+	d := NewDisk(0)
+	_, w := mk2D(t, d, "W", G*rows, cols, layout.RowMajor(G*rows, cols))
+	_, r := mk2D(t, d, "R", 64, 64, layout.RowMajor(64, 64))
+	r.Fill(func(c []int64) float64 { return float64(1000*c[0] + c[1]) })
+	e := NewEngine(d, EngineOptions{CacheTiles: 6, Workers: 4})
+
+	expected := make([][]int64, G) // per-goroutine per-column increment counts
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		expected[g] = make([]int64, cols)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			lo := int64(g * rows)
+			for k := 0; k < steps; k++ {
+				// Shared read-only tile of R: contents must always match the
+				// fill, however often it is evicted, re-read or prefetched.
+				ri, rj := int64(rng.Intn(48)), int64(rng.Intn(48))
+				rb := box2(ri, rj, ri+16, rj+16)
+				if rng.Intn(3) == 0 {
+					e.Prefetch(r, rb)
+				}
+				hr, err := e.Acquire(r, rb)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := hr.Tile().Get([]int64{ri, rj}); got != float64(1000*ri+rj) {
+					t.Errorf("goroutine %d step %d: R(%d,%d) = %v", g, k, ri, rj, got)
+				}
+
+				// Disjoint write band of W: random column sub-range, +1 each.
+				c0 := int64(rng.Intn(cols - 1))
+				c1 := c0 + 1 + int64(rng.Intn(int(cols-c0-1))+1)
+				wb := box2(lo, c0, lo+rows, c1)
+				hw, err := e.Acquire(w, wb)
+				if err != nil {
+					t.Error(err)
+					e.Release(hr, false)
+					return
+				}
+				for i := lo; i < lo+rows; i++ {
+					for j := c0; j < c1; j++ {
+						hw.Tile().Set([]int64{i, j}, hw.Tile().Get([]int64{i, j})+1)
+					}
+				}
+				e.Release(hw, true)
+				e.Release(hr, false)
+				for j := c0; j < c1; j++ {
+					expected[g][j]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := w.ReadTile(box2(0, 0, G*rows, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < G; g++ {
+		for i := int64(g * rows); i < int64((g+1)*rows); i++ {
+			for j := int64(0); j < cols; j++ {
+				if got, want := full.Get([]int64{i, j}), float64(expected[g][j]); got != want {
+					t.Fatalf("W(%d,%d) = %v, want %v", i, j, got, want)
+				}
+			}
+		}
+	}
+	s := e.Stats()
+	if s.Evictions == 0 {
+		t.Error("stress never evicted; cache too large to stress anything")
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("degenerate stress stats: %+v", s)
+	}
+}
+
+// TestPropertyEngineMatchesSequential drives a random tile schedule
+// through the sequential ReadTile/WriteTile runtime and through the
+// cached engine, and requires bitwise-identical array contents with
+// equal-or-fewer backend I/O calls.
+func TestPropertyEngineMatchesSequential(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(8 + rng.Intn(17)) // 8..24
+		m := int64(8 + rng.Intn(17))
+
+		mkDisk := func() (*Disk, *Array) {
+			d := NewDisk(0)
+			meta := ir.NewArray("A", n, m)
+			arr, err := d.CreateArray(meta, layout.RowMajor(n, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr.Fill(func(c []int64) float64 { return float64(c[0]*31 + c[1]) })
+			d.ResetStats()
+			return d, arr
+		}
+		dSeq, aSeq := mkDisk()
+		dEng, aEng := mkDisk()
+		e := NewEngine(dEng, EngineOptions{
+			CacheTiles: 1 + rng.Intn(6),
+			Workers:    rng.Intn(3), // 0 = synchronous, the rest pooled
+		})
+
+		type op struct {
+			box   layout.Box
+			delta float64
+			write bool
+		}
+		ops := make([]op, 12+rng.Intn(30))
+		for i := range ops {
+			lo0, lo1 := int64(rng.Intn(int(n))), int64(rng.Intn(int(m)))
+			h0 := lo0 + 1 + int64(rng.Intn(int(n-lo0)))
+			h1 := lo1 + 1 + int64(rng.Intn(int(m-lo1)))
+			ops[i] = op{box2(lo0, lo1, h0, h1), float64(1 + rng.Intn(9)), rng.Intn(2) == 0}
+		}
+
+		for _, o := range ops {
+			// Sequential runtime: read, modify, write the whole tile.
+			ts, err := aSeq.ReadTile(o.box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.write {
+				for i := o.box.Lo[0]; i < o.box.Hi[0]; i++ {
+					for j := o.box.Lo[1]; j < o.box.Hi[1]; j++ {
+						ts.Set([]int64{i, j}, ts.Get([]int64{i, j})+o.delta)
+					}
+				}
+				if err := ts.WriteTile(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Engine: acquire, modify in place, release dirty.
+			h, err := e.Acquire(aEng, o.box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.write {
+				for i := o.box.Lo[0]; i < o.box.Hi[0]; i++ {
+					for j := o.box.Lo[1]; j < o.box.Hi[1]; j++ {
+						h.Tile().Set([]int64{i, j}, h.Tile().Get([]int64{i, j})+o.delta)
+					}
+				}
+			}
+			e.Release(h, o.write)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seqStats, engStats := dSeq.Stats.Snapshot(), dEng.Stats.Snapshot()
+
+		full := box2(0, 0, n, m)
+		tSeq, err := aSeq.ReadTile(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tEng, err := aEng.ReadTile(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < m; j++ {
+				if tSeq.Get([]int64{i, j}) != tEng.Get([]int64{i, j}) {
+					t.Logf("seed %d: (%d,%d) seq %v vs eng %v", seed, i, j,
+						tSeq.Get([]int64{i, j}), tEng.Get([]int64{i, j}))
+					return false
+				}
+			}
+		}
+		if engStats.Calls() > seqStats.Calls() {
+			t.Logf("seed %d: engine made %d calls, sequential %d", seed,
+				engStats.Calls(), seqStats.Calls())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

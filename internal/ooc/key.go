@@ -1,0 +1,38 @@
+package ooc
+
+import (
+	"strconv"
+
+	"outcore/internal/layout"
+)
+
+// TileKey canonically identifies a cached tile: the array name plus the
+// clipped tile rectangle. Two (name, box) pairs map to the same key iff
+// the name and every box bound are equal; the encoding length-prefixes
+// the name so that names containing digits, commas or brackets cannot
+// collide with the coordinate section.
+type TileKey string
+
+// tileKey encodes (name, box) into its canonical key.
+func tileKey(name string, box layout.Box) TileKey {
+	b := make([]byte, 0, len(name)+16+8*len(box.Lo))
+	b = strconv.AppendInt(b, int64(len(name)), 10)
+	b = append(b, ':')
+	b = append(b, name...)
+	b = append(b, '[')
+	for d, lo := range box.Lo {
+		if d > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, lo, 10)
+	}
+	b = append(b, ';')
+	for d, hi := range box.Hi {
+		if d > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, hi, 10)
+	}
+	b = append(b, ')')
+	return TileKey(b)
+}

@@ -9,10 +9,34 @@
 // occupies (layout.Runs), further split by the per-call element cap
 // (the paper's "at most 8 elements per I/O call" in Figure 3, 64 KB
 // stripe units on the real PFS).
+//
+// # Thread safety
+//
+// The runtime is safe for the concurrent tile Engine:
+//
+//   - Stats fields are updated atomically; Stats.Add may be called from
+//     multiple goroutines. Reading individual fields is only safe once
+//     the writers are quiescent (after Engine.Close / a WaitGroup
+//     join); use Stats.Snapshot for a consistent copy while concurrent
+//     updates may still be in flight.
+//   - Disk accounting (global stats, per-file stats, the Record trace)
+//     is safe under concurrent ReadTile/WriteTile/TouchRead/TouchWrite
+//     from any number of goroutines. Trace entry ORDER is whatever the
+//     goroutine interleaving produced; deterministic traces require a
+//     single-threaded run (Engine with Workers = 0).
+//   - Array data access is guarded by a per-array reader/writer lock:
+//     any number of concurrent tile reads overlap, while a tile write
+//     excludes both reads and other writes of the same array.
+//   - Memory is mutex-guarded.
+//   - CreateArray, ResetStats, Close and the setup helpers (Fill,
+//     FromStore, SetAt) are NOT safe to run while tile I/O is in
+//     flight; perform setup before handing the disk to an Engine.
 package ooc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"outcore/internal/ir"
 	"outcore/internal/layout"
@@ -22,7 +46,8 @@ import (
 // in the paper's experiments).
 const ElemSize = 8
 
-// Stats accumulates I/O accounting.
+// Stats accumulates I/O accounting. Mutation (Add, Disk accounting) is
+// atomic per field; see the package doc for the read-side contract.
 type Stats struct {
 	ReadCalls    int64
 	WriteCalls   int64
@@ -36,12 +61,23 @@ func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
 // Bytes returns total bytes moved.
 func (s Stats) Bytes() int64 { return (s.ElemsRead + s.ElemsWritten) * ElemSize }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Safe for concurrent adders.
 func (s *Stats) Add(o Stats) {
-	s.ReadCalls += o.ReadCalls
-	s.WriteCalls += o.WriteCalls
-	s.ElemsRead += o.ElemsRead
-	s.ElemsWritten += o.ElemsWritten
+	atomic.AddInt64(&s.ReadCalls, o.ReadCalls)
+	atomic.AddInt64(&s.WriteCalls, o.WriteCalls)
+	atomic.AddInt64(&s.ElemsRead, o.ElemsRead)
+	atomic.AddInt64(&s.ElemsWritten, o.ElemsWritten)
+}
+
+// Snapshot returns an atomically-loaded copy, safe while concurrent
+// updates are in flight.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		ReadCalls:    atomic.LoadInt64(&s.ReadCalls),
+		WriteCalls:   atomic.LoadInt64(&s.WriteCalls),
+		ElemsRead:    atomic.LoadInt64(&s.ElemsRead),
+		ElemsWritten: atomic.LoadInt64(&s.ElemsWritten),
+	}
 }
 
 // Request is one recorded I/O call (element granularity).
@@ -63,6 +99,7 @@ type Disk struct {
 	PerFile map[string]*Stats
 	Trace   []Request
 
+	mu        sync.Mutex // guards PerFile map structure and Trace
 	arrays    map[string]*Array
 	dir       string // non-empty: back arrays with real files here
 	noBacking bool   // measurement-only arrays (no data)
@@ -77,8 +114,11 @@ func NewDisk(maxCallElems int64) *Disk {
 	}
 }
 
-// ResetStats clears accounting but keeps file contents.
+// ResetStats clears accounting but keeps file contents. Not safe while
+// tile I/O is in flight.
 func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.Stats = Stats{}
 	d.PerFile = map[string]*Stats{}
 	d.Trace = nil
@@ -90,6 +130,7 @@ type Array struct {
 	Layout  *layout.Layout
 	disk    *Disk
 	backend Backend
+	bmu     sync.RWMutex // readers: ReadTile; writers: WriteTile
 }
 
 // CreateArray allocates the file for an array under the given layout.
@@ -132,6 +173,8 @@ func (d *Disk) recordRuns(name string, runs []layout.Run, write bool) {
 	if !d.Record {
 		return
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, r := range runs {
 		if d.MaxCallElems <= 0 {
 			d.Trace = append(d.Trace, Request{Array: name, Off: r.Off, Len: r.Len, Write: write})
@@ -147,24 +190,24 @@ func (d *Disk) recordRuns(name string, runs []layout.Run, write bool) {
 	}
 }
 
-// account updates global and per-file stats.
+// account updates global and per-file stats (atomically, so concurrent
+// tile operations may account in parallel).
 func (d *Disk) account(name string, calls, elems int64, write bool) {
+	d.mu.Lock()
 	fs := d.PerFile[name]
 	if fs == nil {
 		fs = &Stats{}
 		d.PerFile[name] = fs
 	}
+	d.mu.Unlock()
+	var delta Stats
 	if write {
-		d.Stats.WriteCalls += calls
-		d.Stats.ElemsWritten += elems
-		fs.WriteCalls += calls
-		fs.ElemsWritten += elems
+		delta.WriteCalls, delta.ElemsWritten = calls, elems
 	} else {
-		d.Stats.ReadCalls += calls
-		d.Stats.ElemsRead += elems
-		fs.ReadCalls += calls
-		fs.ElemsRead += elems
+		delta.ReadCalls, delta.ElemsRead = calls, elems
 	}
+	d.Stats.Add(delta)
+	fs.Add(delta)
 }
 
 // setupChunk is the buffer size for whole-array setup helpers.
@@ -259,6 +302,9 @@ func (ar *Array) ReadTile(box layout.Box) (*Tile, error) {
 	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), false)
 	ar.disk.recordRuns(ar.Meta.Name, runs, false)
 	// Move the data: read each run, then scatter into the tile buffer.
+	// Concurrent reads overlap; a concurrent write excludes them.
+	ar.bmu.RLock()
+	defer ar.bmu.RUnlock()
 	var buf []float64
 	for _, r := range runs {
 		if int64(cap(buf)) < r.Len {
@@ -307,6 +353,8 @@ func (t *Tile) WriteTile() error {
 	runs := ar.Layout.Runs(t.Box)
 	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), t.Box.Size(), true)
 	ar.disk.recordRuns(ar.Meta.Name, runs, true)
+	ar.bmu.Lock()
+	defer ar.bmu.Unlock()
 	var buf []float64
 	for _, r := range runs {
 		if int64(cap(buf)) < r.Len {
@@ -355,9 +403,11 @@ func (t *Tile) Set(c []int64, v float64) { t.data[t.index(c)] = v }
 func (t *Tile) Size() int64 { return t.Box.Size() }
 
 // Memory enforces the in-core memory budget the paper imposes (1/128th
-// of the out-of-core data size in the experiments).
+// of the out-of-core data size in the experiments). Safe for concurrent
+// use.
 type Memory struct {
 	Capacity int64 // elements
+	mu       sync.Mutex
 	used     int64
 	peak     int64
 }
@@ -368,6 +418,8 @@ func NewMemory(capacityElems int64) *Memory { return &Memory{Capacity: capacityE
 
 // Alloc reserves n elements, failing when the budget would overflow.
 func (m *Memory) Alloc(n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.Capacity > 0 && m.used+n > m.Capacity {
 		return fmt.Errorf("ooc: memory budget exceeded: %d + %d > %d elements", m.used, n, m.Capacity)
 	}
@@ -380,6 +432,8 @@ func (m *Memory) Alloc(n int64) error {
 
 // Release returns n elements to the budget.
 func (m *Memory) Release(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.used -= n
 	if m.used < 0 {
 		panic("ooc: memory release underflow")
@@ -387,7 +441,15 @@ func (m *Memory) Release(n int64) {
 }
 
 // Used returns the current allocation.
-func (m *Memory) Used() int64 { return m.used }
+func (m *Memory) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
 
 // Peak returns the high-water mark.
-func (m *Memory) Peak() int64 { return m.peak }
+func (m *Memory) Peak() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}

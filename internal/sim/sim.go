@@ -35,6 +35,15 @@ type Setup struct {
 	// HandOpt tunes the h-opt coalescing pass (zero value: defaults
 	// derived from the stripe size).
 	HandOpt handopt.Options
+
+	// CacheTiles > 0 routes each processor's tile I/O through the
+	// concurrent engine's LRU tile cache of that capacity: re-touched
+	// tiles stop hitting the backend and writes are written back once,
+	// so the PFS sees the cached request stream. Workers sizes the
+	// engine's worker pool (only meaningful for data-backed runs; the
+	// dry-run accounting path is unaffected by it).
+	CacheTiles int
+	Workers    int
 }
 
 // Defaults fills unset fields.
@@ -79,6 +88,10 @@ type Measurement struct {
 	Elems      int64   // elements moved
 	Iterations int64   // statement iterations across all processors
 	Coalesce   handopt.Stats
+	// Cache aggregates the tile-engine counters across processors when
+	// Setup.CacheTiles > 0 (hit rate, evictions, write-backs, prefetch
+	// overlap); zero otherwise.
+	Cache ooc.EngineStats
 }
 
 // Run executes the measurement.
@@ -117,13 +130,34 @@ func RunDetailed(st Setup) (Measurement, pfs.Result, error) {
 		}
 		d.Record = true
 		mem := ooc.NewMemory(budget)
+		procOpts := opts
+		var eng *ooc.Engine
+		if st.CacheTiles > 0 {
+			eng = ooc.NewEngine(d, ooc.EngineOptions{Workers: st.Workers, CacheTiles: st.CacheTiles})
+			procOpts.Engine = eng
+		}
 		var iters int64
 		for it := 0; it < st.Kernel.Iter; it++ {
-			es, err := codegen.RunProgramSlice(prog, plan, d, mem, opts, p, st.Procs)
+			es, err := codegen.RunProgramSlice(prog, plan, d, mem, procOpts, p, st.Procs)
 			if err != nil {
 				return Measurement{}, pfs.Result{}, fmt.Errorf("sim: %s/%s proc %d: %w", st.Kernel.Name, st.Version, p, err)
 			}
 			iters += es.Iterations
+		}
+		if eng != nil {
+			// Flush dirty cached tiles so their write calls reach the trace
+			// before it is converted to PFS operations.
+			if err := eng.Close(); err != nil {
+				return Measurement{}, pfs.Result{}, fmt.Errorf("sim: %s/%s proc %d: %w", st.Kernel.Name, st.Version, p, err)
+			}
+			cs := eng.Stats()
+			m.Cache.Hits += cs.Hits
+			m.Cache.Misses += cs.Misses
+			m.Cache.Evictions += cs.Evictions
+			m.Cache.Invalidations += cs.Invalidations
+			m.Cache.Writebacks += cs.Writebacks
+			m.Cache.PrefetchIssued += cs.PrefetchIssued
+			m.Cache.PrefetchUseful += cs.PrefetchUseful
 		}
 		var ops []pfs.Op
 		if st.Version == suite.HOpt {
