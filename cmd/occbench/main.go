@@ -7,12 +7,18 @@
 //	occbench -ablation tiling|memory|order|storage
 //	occbench -ablation engine -kernel mxm   # sequential runtime vs
 //	                                        # concurrent tile engine
+//	occbench -suite -json out.json    # benchmark suite -> BENCH JSON
+//	occbench -suite -json out.json -baseline BENCH_baseline.json
+//	                                  # ...and fail on >10% regressions
 //
 // Scale and platform knobs: -n2/-n3/-n4 (array extents), -procs,
 // -ionodes, -memfrac, -kernels (comma-separated subset).
 // Overlapped-I/O knobs: -workers (tile-engine I/O goroutines),
 // -cache-tiles (LRU tile-cache capacity; > 0 also routes the table
 // measurements through the cached engine).
+// Observability: -trace-out file.json writes a Chrome trace_event
+// capture of the run (open in Perfetto), -metrics-out file.prom writes
+// the metrics registry in Prometheus text format.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"outcore/internal/exp"
+	"outcore/internal/obs"
 	"outcore/internal/suite"
 )
 
@@ -29,7 +36,11 @@ func main() {
 	table := flag.Int("table", 0, "reproduce Table 2 or 3")
 	figure := flag.Int("figure", 0, "reproduce Figure 1, 2 or 3")
 	ablation := flag.String("ablation", "", "ablation: tiling, memory, order, storage, optimal, blocked")
-	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all ten)")
+	suiteRun := flag.Bool("suite", false, "run the benchmark suite (kernels x {sequential, engine, engine+prefetch})")
+	jsonOut := flag.String("json", "", "with -suite: write the BENCH JSON report to this file")
+	baseline := flag.String("baseline", "", "with -suite: compare against this BENCH JSON and fail on regressions")
+	tolerance := flag.Float64("tolerance", 0.10, "with -baseline: allowed fractional increase in io_calls / sim makespan")
+	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all ten; suite: mat,mxm,trans,syr2k)")
 	kernel := flag.String("kernel", "mxm", "kernel for single-kernel ablations")
 	n2 := flag.Int64("n2", 128, "extent of 2-D array dimensions")
 	n3 := flag.Int64("n3", 24, "extent of 3-D array dimensions")
@@ -40,7 +51,47 @@ func main() {
 	workers := flag.Int("workers", 0, "tile-engine I/O workers (0 = synchronous)")
 	cacheTiles := flag.Int("cache-tiles", 0, "tile-engine LRU cache capacity in tiles (0 = engine off for tables; engine ablation defaults to 8)")
 	version := flag.String("version", "c-opt", "program version for the engine ablation")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON capture of the run to this file (view in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format to this file")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *suiteRun {
+		// Suite defaults are deliberately smaller than the table defaults:
+		// CI runs the data-backed leg of every cell, and the deterministic
+		// gated metrics (io_calls, sim makespan) are scale-stable anyway.
+		// Explicit flags still win.
+		if !set["n2"] {
+			*n2 = 64
+		}
+		if !set["n3"] {
+			*n3 = 12
+		}
+		if !set["n4"] {
+			*n4 = 4
+		}
+		if !set["procs"] {
+			*procs = 4
+		}
+		if !set["ionodes"] {
+			*ionodes = 16
+		}
+	}
+
+	// -trace-out / -metrics-out attach an observability sink that every
+	// run mode threads through the engine, runtime and PFS simulator.
+	var sink *obs.Sink
+	if *traceOut != "" || *metricsOut != "" {
+		sink = &obs.Sink{}
+		if *traceOut != "" {
+			sink.Trace = obs.NewTrace(obs.DefaultTraceCap)
+		}
+		if *metricsOut != "" {
+			sink.Metrics = obs.NewRegistry()
+		}
+	}
 
 	opts := exp.Options{
 		Cfg:        suite.Config{N2: *n2, N3: *n3, N4: *n4},
@@ -49,12 +100,51 @@ func main() {
 		Procs:      *procs,
 		Workers:    *workers,
 		CacheTiles: *cacheTiles,
+		Obs:        sink,
 	}
 	if *kernels != "" {
 		opts.Kernels = strings.Split(*kernels, ",")
 	}
 
+	exitCode := 0
 	switch {
+	case *suiteRun:
+		rep := exp.BenchSuite(opts)
+		fmt.Print(rep.Render())
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			fail(err)
+			fail(rep.WriteJSON(f))
+			fail(f.Close())
+			fmt.Printf("\nwrote %s\n", *jsonOut)
+		}
+		if len(rep.Failures) > 0 {
+			// A failed cell must not exit 0: CI treats the suite's exit code
+			// as the signal that every kernel still runs.
+			for _, fl := range rep.Failures {
+				fmt.Fprintf(os.Stderr, "occbench: kernel %s (%s) failed: %s\n", fl.Kernel, fl.Config, fl.Error)
+			}
+			exitCode = 1
+		}
+		if *baseline != "" {
+			f, err := os.Open(*baseline)
+			fail(err)
+			base, err := exp.LoadBenchReport(f)
+			fail(err)
+			fail(f.Close())
+			regs, err := exp.CompareBench(base, rep, *tolerance)
+			fail(err)
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "occbench: %d regression(s) vs %s (tolerance %.0f%%):\n",
+					len(regs), *baseline, 100**tolerance)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  "+r.String())
+				}
+				exitCode = 1
+			} else {
+				fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", *baseline, 100**tolerance)
+			}
+		}
 	case *table == 2:
 		res, err := exp.Table2(opts)
 		fail(err)
@@ -101,8 +191,6 @@ func main() {
 	case *ablation == "engine":
 		// Default to a useful engine configuration, but respect an
 		// explicit -workers 0 (synchronous) or -cache-tiles 0.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["cache-tiles"] {
 			opts.CacheTiles = 8
 		}
@@ -138,6 +226,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(sink.Trace.WriteChrome(f))
+		fail(f.Close())
+		fmt.Printf("wrote %s (%d events, %d dropped; open in https://ui.perfetto.dev)\n",
+			*traceOut, sink.Trace.Total()-sink.Trace.Dropped(), sink.Trace.Dropped())
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		fail(err)
+		fail(sink.Metrics.WritePrometheus(f))
+		fail(f.Close())
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	os.Exit(exitCode)
 }
 
 func fail(err error) {

@@ -20,6 +20,7 @@ package codegen
 
 import (
 	"fmt"
+	"time"
 
 	"outcore/internal/core"
 	"outcore/internal/deps"
@@ -27,6 +28,7 @@ import (
 	"outcore/internal/ir"
 	"outcore/internal/layout"
 	"outcore/internal/matrix"
+	"outcore/internal/obs"
 	"outcore/internal/ooc"
 	"outcore/internal/tiling"
 )
@@ -53,6 +55,12 @@ type Options struct {
 	// engine: Flush/Close it before reading results or I/O stats so
 	// dirty cached tiles reach the backend.
 	Engine *ooc.Engine
+	// Obs, when it carries a trace, emits one KindCompute span per
+	// executed tile (the statement-iteration work between I/O bursts) —
+	// the counterpart to the engine's fetch/prefetch spans that makes
+	// the compute/I/O overlap visible in the exported timeline. Dry
+	// runs execute no compute and emit nothing.
+	Obs *obs.Sink
 }
 
 // Schedule is an executable tiled out-of-core loop nest.
@@ -61,12 +69,14 @@ type Schedule struct {
 	Plan *core.NestPlan
 	Spec tiling.Spec
 
-	dryRun bool
-	engine *ooc.Engine
-	bounds *fm.Bounds
-	stmts  []schedStmt
-	groups []*refGroup
-	writes map[*ir.Array]bool
+	dryRun    bool
+	engine    *ooc.Engine
+	trace     *obs.Trace
+	traceName string
+	bounds    *fm.Bounds
+	stmts     []schedStmt
+	groups    []*refGroup
+	writes    map[*ir.Array]bool
 }
 
 // refGroup is one (array, access matrix) tile group.
@@ -97,6 +107,9 @@ func Build(n *ir.Nest, np *core.NestPlan, opts Options) (*Schedule, error) {
 		lo[i], hi[i] = l.Lo, l.Hi
 	}
 	s := &Schedule{Nest: n, Plan: np, writes: map[*ir.Array]bool{}, dryRun: opts.DryRun, engine: opts.Engine}
+	if s.trace = opts.Obs.TraceOf(); s.trace != nil {
+		s.traceName = fmt.Sprintf("nest-%d", n.ID)
+	}
 	s.bounds = fm.TransformedBounds(np.Q, lo, hi).Eliminate()
 
 	groupOf := func(r ir.Ref) int {
@@ -372,6 +385,7 @@ func (s *Schedule) runTile(d *ooc.Disk, mem *ooc.Memory, origin []int64, stats *
 	iterated := false
 	origIv := make([]int64, k)
 	coord := make([]int64, 0, 8)
+	t0 := s.computeStart()
 	s.enumerateWithin(tLo, tHi, func(iv []int64) {
 		if tileErr != nil {
 			return
@@ -403,6 +417,7 @@ func (s *Schedule) runTile(d *ooc.Disk, mem *ooc.Memory, origin []int64, stats *
 			tiles[ss.outGroup].Set(coord, v)
 		}
 	})
+	s.computeEnd(t0)
 	if tileErr != nil {
 		return tileErr
 	}
@@ -488,6 +503,7 @@ func (s *Schedule) runTileEngine(d *ooc.Disk, origin, next []int64, stats *ExecS
 	stats.Tiles++
 	origIv := make([]int64, k)
 	coord := make([]int64, 0, 8)
+	t0 := s.computeStart()
 	s.enumerateWithin(tLo, tHi, func(iv []int64) {
 		stats.Iterations++
 		for r := 0; r < k; r++ {
@@ -511,10 +527,29 @@ func (s *Schedule) runTileEngine(d *ooc.Disk, origin, next []int64, stats *ExecS
 			tiles[ss.outGroup].Set(coord, v)
 		}
 	})
+	s.computeEnd(t0)
 	for i, h := range handles {
 		s.engine.Release(h, s.writes[s.groups[reqGroup[i]].arr])
 	}
 	return nil
+}
+
+// computeStart/computeEnd bracket one tile's statement execution as a
+// KindCompute trace span; without an attached trace they cost a nil
+// check and a zero time.Time.
+func (s *Schedule) computeStart() time.Time {
+	if s.trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (s *Schedule) computeEnd(t0 time.Time) {
+	if s.trace == nil || t0.IsZero() {
+		return
+	}
+	s.trace.Emit(obs.Event{Kind: obs.KindCompute, Name: s.traceName,
+		Start: s.trace.Stamp(t0), Dur: time.Since(t0).Nanoseconds()})
 }
 
 // dryRunTile accounts one tile's I/O and iteration count without

@@ -74,11 +74,13 @@ func EngineDemo(o Options, kernel string, version suite.Version) (EngineResult, 
 		if err != nil {
 			return nil, ooc.Stats{}, nil, err
 		}
+		d.Observe(o.Obs)
 		d.Record = true
 		procOpts := opts
+		procOpts.Obs = o.Obs
 		var engine *ooc.Engine
 		if eng {
-			engine = ooc.NewEngine(d, ooc.EngineOptions{Workers: o.Workers, CacheTiles: o.CacheTiles})
+			engine = ooc.NewEngine(d, ooc.EngineOptions{Workers: o.Workers, CacheTiles: o.CacheTiles, Obs: o.Obs})
 			procOpts.Engine = engine
 		}
 		mem := ooc.NewMemory(budget)

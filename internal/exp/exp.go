@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"outcore/internal/obs"
 	"outcore/internal/pfs"
 	"outcore/internal/sim"
 	"outcore/internal/suite"
@@ -41,6 +42,10 @@ type Options struct {
 	// Workers sizes its I/O worker pool (occbench -workers).
 	CacheTiles int
 	Workers    int
+	// Obs observes every measurement the harness runs: trace events
+	// from the engine/PFS and metrics registry series (occbench's
+	// -trace-out / -metrics-out flags hang off it).
+	Obs *obs.Sink
 }
 
 // Defaults fills unset fields with paper-scale values.
@@ -108,6 +113,7 @@ func (o Options) setup(k suite.Kernel, v suite.Version, procs int) sim.Setup {
 		IterPerSec: o.IterPerSec,
 		CacheTiles: o.CacheTiles,
 		Workers:    o.Workers,
+		Obs:        o.Obs,
 	}
 }
 

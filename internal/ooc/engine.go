@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"outcore/internal/layout"
+	"outcore/internal/obs"
 )
 
 // DefaultCacheTiles is the tile-cache capacity used when EngineOptions
@@ -28,9 +30,18 @@ type EngineOptions struct {
 	// the cache may transiently exceed the bound while a tile set is in
 	// use; it shrinks back at release.
 	CacheTiles int
+	// Obs attaches the observability sink: tile fetches, write-backs,
+	// prefetch issue/completion and evictions are emitted as trace
+	// events, fetch latency feeds the "ooc_tile_fetch_seconds"
+	// histogram, and the cache counters are published into the registry
+	// under "ooc_engine_*" names at Close. Nil disables all of it; the
+	// counters behind EngineStats are plain atomics either way, so an
+	// unobserved engine pays nothing but a nil check.
+	Obs *obs.Sink
 }
 
-// EngineStats counts cache and prefetch activity.
+// EngineStats is a point-in-time view over the engine's obs counters
+// (each field an atomic snapshot; see Engine.Stats).
 type EngineStats struct {
 	Hits           int64 // acquires/touches served from cache
 	Misses         int64 // acquires/touches that went to the backend
@@ -102,15 +113,35 @@ type Engine struct {
 	workers  int
 	capTiles int
 
+	// Observability. The counters are standalone atomics owned by this
+	// engine (EngineStats is a view over them); trace/fetchHist/reg are
+	// nil unless a sink was attached via EngineOptions.Obs.
+	met       engineMetrics
+	trace     *obs.Trace
+	fetchHist *obs.Histogram
+	reg       *obs.Registry
+	published bool // registry publication happens once, at Close
+
 	mu       sync.Mutex
 	entries  map[TileKey]*entry
 	lru      *list.List // front = most recently used
-	stats    EngineStats
 	closed   bool
 	firstErr error // first asynchronous write-back failure
 
 	jobs chan func()
 	wg   sync.WaitGroup
+}
+
+// engineMetrics are the per-engine cache counters, updated atomically
+// on the hot paths and read back by Stats.
+type engineMetrics struct {
+	hits           obs.Counter
+	misses         obs.Counter
+	evictions      obs.Counter
+	invalidations  obs.Counter
+	writebacks     obs.Counter
+	prefetchIssued obs.Counter
+	prefetchUseful obs.Counter
 }
 
 // NewEngine starts an engine over the disk.
@@ -127,6 +158,13 @@ func NewEngine(d *Disk, o EngineOptions) *Engine {
 		capTiles: o.CacheTiles,
 		entries:  map[TileKey]*entry{},
 		lru:      list.New(),
+	}
+	if o.Obs != nil {
+		e.trace = o.Obs.Trace
+		if e.reg = o.Obs.Metrics; e.reg != nil {
+			e.fetchHist = e.reg.Histogram("ooc_tile_fetch_seconds",
+				"backend tile read latency in seconds", obs.ExpBuckets(1e-6, 4, 12))
+		}
 	}
 	if e.workers > 0 {
 		e.jobs = make(chan func(), 4*e.workers+16)
@@ -175,9 +213,9 @@ func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
 				continue // resident now, or dropped: re-resolve
 			}
 			ent.pins++
-			e.stats.Hits++
+			e.met.hits.Inc()
 			if ent.prefetched {
-				e.stats.PrefetchUseful++
+				e.met.prefetchUseful.Inc()
 				ent.prefetched = false
 			}
 			e.lru.MoveToFront(ent.elem)
@@ -186,14 +224,21 @@ func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
 		}
 		// Miss: reserve the key, make the backend current for this box,
 		// then read outside the lock so independent fetches overlap.
-		e.stats.Misses++
+		e.met.misses.Inc()
 		ent := &entry{key: key, arr: ar, box: box, pins: 1, loading: true, ready: make(chan struct{})}
 		e.entries[key] = ent
 		ent.elem = e.lru.PushFront(ent)
 		e.flushOverlapDirtyLocked(ar, box, key)
 		e.mu.Unlock()
 
+		var t0 time.Time
+		if e.timed() {
+			t0 = time.Now()
+		}
 		t, err := ar.ReadTile(box)
+		if !t0.IsZero() && err == nil {
+			e.observeSpan(obs.KindTileFetch, ar.Meta.Name, t0, box.Size()*ElemSize)
+		}
 
 		e.mu.Lock()
 		ent.loading = false
@@ -314,11 +359,22 @@ func (e *Engine) Prefetch(ar *Array, box layout.Box) {
 	ent := &entry{key: key, arr: ar, box: box, loading: true, prefetched: true, ready: make(chan struct{})}
 	e.entries[key] = ent
 	ent.elem = e.lru.PushFront(ent)
-	e.stats.PrefetchIssued++
+	e.met.prefetchIssued.Inc()
 	e.mu.Unlock()
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Kind: obs.KindPrefetchIssue, Name: ar.Meta.Name,
+			Start: e.trace.Now(), Bytes: box.Size() * ElemSize})
+	}
 
 	e.jobs <- func() {
+		var t0 time.Time
+		if e.timed() {
+			t0 = time.Now()
+		}
 		t, err := ar.ReadTile(box)
+		if !t0.IsZero() && err == nil {
+			e.observeSpan(obs.KindPrefetchDone, ar.Meta.Name, t0, box.Size()*ElemSize)
+		}
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		ent.loading = false
@@ -349,7 +405,7 @@ func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ent, ok := e.entries[key]; ok && !ent.loading {
-		e.stats.Hits++
+		e.met.hits.Inc()
 		e.lru.MoveToFront(ent.elem)
 		if write && !ent.dirty {
 			ent.dirty = true
@@ -357,7 +413,7 @@ func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
 		}
 		return
 	}
-	e.stats.Misses++
+	e.met.misses.Inc()
 	e.flushOverlapDirtyLocked(ar, box, key)
 	ar.TouchRead(box)
 	ent := &entry{key: key, arr: ar, box: box, touch: true}
@@ -370,12 +426,16 @@ func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
 	e.evictLocked()
 }
 
-// Flush writes every unpinned dirty tile back to the backend. Cached
-// tiles stay resident (clean).
+// Flush writes every unpinned dirty tile back to the backend, oldest
+// first (LRU order keeps the write-back request stream deterministic —
+// the bench regression gate diffs simulated request traces, so map
+// iteration order must never leak into the I/O schedule). Cached tiles
+// stay resident (clean).
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, ent := range e.entries {
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*entry)
 		if ent.dirty && ent.pins == 0 && !ent.loading {
 			e.writebackLocked(ent)
 		}
@@ -400,19 +460,71 @@ func (e *Engine) Close() error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, ent := range e.entries {
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*entry)
 		if ent.dirty && ent.pins == 0 && !ent.loading {
 			e.writebackLocked(ent)
 		}
 	}
+	e.publishMetricsLocked()
 	return e.firstErr
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a point-in-time view of the counters. Each field is
+// an atomic load; for a quiescent snapshot call it after Close (or
+// after all engine users joined).
 func (e *Engine) Stats() EngineStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return EngineStats{
+		Hits:           e.met.hits.Value(),
+		Misses:         e.met.misses.Value(),
+		Evictions:      e.met.evictions.Value(),
+		Invalidations:  e.met.invalidations.Value(),
+		Writebacks:     e.met.writebacks.Value(),
+		PrefetchIssued: e.met.prefetchIssued.Value(),
+		PrefetchUseful: e.met.prefetchUseful.Value(),
+	}
+}
+
+// timed reports whether fetch spans need wall-clock timestamps.
+func (e *Engine) timed() bool { return e.trace != nil || e.fetchHist != nil }
+
+// observeSpan records a completed span that started at t0: latency
+// into the fetch histogram (tile reads only) and a trace event.
+func (e *Engine) observeSpan(kind obs.Kind, name string, t0 time.Time, bytes int64) {
+	d := time.Since(t0)
+	if e.fetchHist != nil && (kind == obs.KindTileFetch || kind == obs.KindPrefetchDone) {
+		e.fetchHist.Observe(d.Seconds())
+	}
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Kind: kind, Name: name, Start: e.trace.Stamp(t0),
+			Dur: d.Nanoseconds(), Bytes: bytes})
+	}
+}
+
+// publishMetricsLocked adds the engine's lifetime counters into the
+// attached registry under shared "ooc_engine_*" names, once. Engines
+// sharing one registry (e.g. one per simulated processor) therefore
+// aggregate, which is what the exposition should show.
+func (e *Engine) publishMetricsLocked() {
+	if e.reg == nil || e.published {
+		return
+	}
+	e.published = true
+	s := e.Stats()
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"ooc_engine_hits_total", "tile requests served from the cache", s.Hits},
+		{"ooc_engine_misses_total", "tile requests that went to the backend", s.Misses},
+		{"ooc_engine_evictions_total", "cache entries removed by capacity pressure", s.Evictions},
+		{"ooc_engine_invalidations_total", "cache entries dropped by overlapping dirty tiles", s.Invalidations},
+		{"ooc_engine_writebacks_total", "dirty tiles flushed to the backend", s.Writebacks},
+		{"ooc_engine_prefetch_issued_total", "async tile reads dispatched ahead of use", s.PrefetchIssued},
+		{"ooc_engine_prefetch_useful_total", "tile requests that found their tile prefetched", s.PrefetchUseful},
+	} {
+		e.reg.Counter(c.name, c.help).Add(c.v)
+	}
 }
 
 // Capacity returns the configured cache bound in tiles. Callers use it
@@ -433,11 +545,20 @@ func (e *Engine) Resident() int {
 func (e *Engine) writebackLocked(ent *entry) {
 	if ent.touch {
 		ent.arr.TouchWrite(ent.box)
-	} else if err := ent.tile.WriteTile(); err != nil && e.firstErr == nil {
-		e.firstErr = fmt.Errorf("ooc: engine write-back of %s %v: %w", ent.arr.Meta.Name, ent.box, err)
+	} else {
+		var t0 time.Time
+		if e.trace != nil {
+			t0 = time.Now()
+		}
+		if err := ent.tile.WriteTile(); err != nil && e.firstErr == nil {
+			e.firstErr = fmt.Errorf("ooc: engine write-back of %s %v: %w", ent.arr.Meta.Name, ent.box, err)
+		}
+		if !t0.IsZero() {
+			e.observeSpan(obs.KindWriteback, ent.arr.Meta.Name, t0, ent.box.Size()*ElemSize)
+		}
 	}
 	ent.dirty = false
-	e.stats.Writebacks++
+	e.met.writebacks.Inc()
 }
 
 // flushOverlapDirtyLocked makes the backend current for box: every
@@ -445,7 +566,8 @@ func (e *Engine) writebackLocked(ent *entry) {
 // key itself) is written back, so a subsequent backend read observes
 // all released writes.
 func (e *Engine) flushOverlapDirtyLocked(ar *Array, box layout.Box, key TileKey) {
-	for _, ent := range e.entries {
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*entry)
 		if ent.key != key && ent.arr == ar && ent.dirty && !ent.loading && ent.box.Overlaps(box) {
 			e.writebackLocked(ent)
 		}
@@ -469,7 +591,10 @@ func (e *Engine) overlapsDirtyLocked(ar *Array, box layout.Box) bool {
 // Pinned entries are skipped — overlapping them is outside the engine's
 // consistency contract (see the Engine doc).
 func (e *Engine) invalidateOverlapLocked(dirtied *entry) {
-	for _, ent := range e.entries {
+	var prev *list.Element
+	for el := e.lru.Back(); el != nil; el = prev {
+		prev = el.Prev() // removeLocked below unlinks el
+		ent := el.Value.(*entry)
 		if ent == dirtied || ent.arr != dirtied.arr || ent.pins > 0 || !ent.box.Overlaps(dirtied.box) {
 			continue
 		}
@@ -482,7 +607,7 @@ func (e *Engine) invalidateOverlapLocked(dirtied *entry) {
 			ent.dropped = true
 		}
 		e.removeLocked(ent)
-		e.stats.Invalidations++
+		e.met.invalidations.Inc()
 	}
 }
 
@@ -501,7 +626,11 @@ func (e *Engine) evictLocked() {
 				e.writebackLocked(ent)
 			}
 			e.removeLocked(ent)
-			e.stats.Evictions++
+			e.met.evictions.Inc()
+			if e.trace != nil {
+				e.trace.Emit(obs.Event{Kind: obs.KindEviction, Name: ent.arr.Meta.Name,
+					Start: e.trace.Now(), Bytes: ent.box.Size() * ElemSize})
+			}
 			evicted = true
 			break
 		}

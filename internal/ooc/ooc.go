@@ -40,6 +40,7 @@ import (
 
 	"outcore/internal/ir"
 	"outcore/internal/layout"
+	"outcore/internal/obs"
 )
 
 // ElemSize is the byte size of one array element (double precision, as
@@ -103,6 +104,61 @@ type Disk struct {
 	arrays    map[string]*Array
 	dir       string // non-empty: back arrays with real files here
 	noBacking bool   // measurement-only arrays (no data)
+
+	met *diskMetrics // non-nil once Observe attached a registry
+}
+
+// diskMetrics are the registry series the disk feeds when observed:
+// call/element counters plus the per-call request-size histogram the
+// paper's I/O model is all about (small scattered calls vs few large
+// ones).
+type diskMetrics struct {
+	readCalls, writeCalls *obs.Counter
+	readElems, writeElems *obs.Counter
+	reqElems              *obs.Histogram
+}
+
+// Observe registers the disk's accounting into the sink's metrics
+// registry (shared "ooc_io_*" series; several disks may observe the
+// same registry and accumulate). A nil sink or registry is a no-op.
+// Like the other setup helpers, call it before tile I/O starts. It
+// returns d for chaining.
+func (d *Disk) Observe(sink *obs.Sink) *Disk {
+	reg := sink.MetricsOf()
+	if reg == nil {
+		return d
+	}
+	d.met = &diskMetrics{
+		readCalls:  reg.Counter("ooc_io_read_calls_total", "backend read calls issued"),
+		writeCalls: reg.Counter("ooc_io_write_calls_total", "backend write calls issued"),
+		readElems:  reg.Counter("ooc_io_read_elems_total", "elements read from the backend"),
+		writeElems: reg.Counter("ooc_io_write_elems_total", "elements written to the backend"),
+		reqElems: reg.Histogram("ooc_request_elems",
+			"elements moved per backend I/O call", obs.ExpBuckets(1, 4, 10)),
+	}
+	return d
+}
+
+// observeRuns feeds the request-size histogram with the per-call
+// lengths the runs split into (mirroring callsFor's cap splitting).
+func (d *Disk) observeRuns(runs []layout.Run) {
+	m := d.met
+	if m == nil {
+		return
+	}
+	for _, r := range runs {
+		if d.MaxCallElems <= 0 || r.Len <= d.MaxCallElems {
+			m.reqElems.Observe(float64(r.Len))
+			continue
+		}
+		for rem := r.Len; rem > 0; rem -= d.MaxCallElems {
+			l := d.MaxCallElems
+			if rem < l {
+				l = rem
+			}
+			m.reqElems.Observe(float64(l))
+		}
+	}
 }
 
 // NewDisk returns an empty disk with the given per-call element cap.
@@ -208,6 +264,15 @@ func (d *Disk) account(name string, calls, elems int64, write bool) {
 	}
 	d.Stats.Add(delta)
 	fs.Add(delta)
+	if m := d.met; m != nil {
+		if write {
+			m.writeCalls.Add(calls)
+			m.writeElems.Add(elems)
+		} else {
+			m.readCalls.Add(calls)
+			m.readElems.Add(elems)
+		}
+	}
 }
 
 // setupChunk is the buffer size for whole-array setup helpers.
@@ -301,6 +366,7 @@ func (ar *Array) ReadTile(box layout.Box) (*Tile, error) {
 	runs := ar.Layout.Runs(box)
 	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), false)
 	ar.disk.recordRuns(ar.Meta.Name, runs, false)
+	ar.disk.observeRuns(runs)
 	// Move the data: read each run, then scatter into the tile buffer.
 	// Concurrent reads overlap; a concurrent write excludes them.
 	ar.bmu.RLock()
@@ -330,6 +396,7 @@ func (ar *Array) TouchRead(box layout.Box) {
 	runs := ar.Layout.Runs(box)
 	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), false)
 	ar.disk.recordRuns(ar.Meta.Name, runs, false)
+	ar.disk.observeRuns(runs)
 }
 
 // TouchWrite accounts the I/O of writing the box without moving data.
@@ -338,6 +405,7 @@ func (ar *Array) TouchWrite(box layout.Box) {
 	runs := ar.Layout.Runs(box)
 	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), box.Size(), true)
 	ar.disk.recordRuns(ar.Meta.Name, runs, true)
+	ar.disk.observeRuns(runs)
 }
 
 // NewTileZero allocates an in-memory tile without reading (for pure
@@ -353,6 +421,7 @@ func (t *Tile) WriteTile() error {
 	runs := ar.Layout.Runs(t.Box)
 	ar.disk.account(ar.Meta.Name, ar.disk.callsFor(runs), t.Box.Size(), true)
 	ar.disk.recordRuns(ar.Meta.Name, runs, true)
+	ar.disk.observeRuns(runs)
 	ar.bmu.Lock()
 	defer ar.bmu.Unlock()
 	var buf []float64

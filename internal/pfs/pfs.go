@@ -16,7 +16,13 @@ package pfs
 import (
 	"container/heap"
 	"fmt"
+
+	"outcore/internal/obs"
 )
+
+// elemBytes is the byte size of one element (float64), mirrored from
+// the ooc runtime (pfs deliberately has no dependency on it).
+const elemBytes = 8
 
 // Config describes the simulated I/O subsystem.
 type Config struct {
@@ -25,6 +31,13 @@ type Config struct {
 	ProcOverhead  float64 // seconds of software path per I/O CALL at the processor
 	NodeOverhead  float64 // seconds of fixed cost per subrequest at a node (seek)
 	NodeBandwidth float64 // elements per second per I/O node
+
+	// Obs, when non-nil, observes the simulation: every stripe-level
+	// subrequest is emitted as a KindPFSRequest trace event in VIRTUAL
+	// time (Track = I/O node index), and the registry accumulates
+	// "pfs_*" counters plus the subrequest-size histogram and the
+	// makespan gauge.
+	Obs *obs.Sink
 }
 
 // DefaultConfig mirrors the paper's platform: 64 I/O nodes, 64 KB
@@ -42,9 +55,30 @@ func DefaultConfig() Config {
 
 func (c Config) validate() error {
 	if c.IONodes <= 0 || c.StripeElems <= 0 || c.NodeBandwidth <= 0 || c.NodeOverhead < 0 || c.ProcOverhead < 0 {
-		return fmt.Errorf("pfs: invalid config %+v", c)
+		return fmt.Errorf("pfs: invalid config IONodes=%d StripeElems=%d ProcOverhead=%g NodeOverhead=%g NodeBandwidth=%g",
+			c.IONodes, c.StripeElems, c.ProcOverhead, c.NodeOverhead, c.NodeBandwidth)
 	}
 	return nil
+}
+
+// simMetrics are the registry series one Simulate call feeds.
+type simMetrics struct {
+	ops, subops *obs.Counter
+	subopElems  *obs.Histogram
+	makespan    *obs.Gauge
+}
+
+func newSimMetrics(reg *obs.Registry) *simMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &simMetrics{
+		ops:    reg.Counter("pfs_ops_total", "I/O operations issued to the simulated PFS"),
+		subops: reg.Counter("pfs_subops_total", "stripe-level subrequests after splitting"),
+		subopElems: reg.Histogram("pfs_subop_elems",
+			"elements served per stripe-level subrequest", obs.ExpBuckets(1, 4, 10)),
+		makespan: reg.Gauge("pfs_makespan_seconds", "makespan of the most recent simulation"),
+	}
 }
 
 // Extent is one contiguous file range, in elements.
@@ -150,6 +184,8 @@ func Simulate(cfg Config, procs []ProcWorkload) (Result, error) {
 		PerProc:  make([]float64, len(procs)),
 		NodeBusy: make([]float64, cfg.IONodes),
 	}
+	trace := cfg.Obs.TraceOf()
+	met := newSimMetrics(cfg.Obs.MetricsOf())
 	nodeFree := make([]float64, cfg.IONodes)
 	next := make([]int, len(procs))    // next op index per proc
 	gap := make([]float64, len(procs)) // compute delay between ops
@@ -199,6 +235,13 @@ func Simulate(cfg Config, procs []ProcWorkload) (Result, error) {
 				if finish > done {
 					done = finish
 				}
+				if trace != nil {
+					trace.Emit(obs.Event{Kind: obs.KindPFSRequest, Track: int32(node), Name: ext.File,
+						Start: int64(start * 1e9), Dur: int64(service * 1e9), Bytes: chunk * elemBytes})
+				}
+				if met != nil {
+					met.subopElems.Observe(float64(chunk))
+				}
 				off += chunk
 				remaining -= chunk
 				res.TotalSubops++
@@ -211,6 +254,11 @@ func Simulate(cfg Config, procs []ProcWorkload) (Result, error) {
 		if t > res.Makespan {
 			res.Makespan = t
 		}
+	}
+	if met != nil {
+		met.ops.Add(res.TotalOps)
+		met.subops.Add(res.TotalSubops)
+		met.makespan.Set(res.Makespan)
 	}
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"outcore/internal/codegen"
 	"outcore/internal/handopt"
+	"outcore/internal/obs"
 	"outcore/internal/ooc"
 	"outcore/internal/pfs"
 	"outcore/internal/suite"
@@ -44,6 +45,15 @@ type Setup struct {
 	// dry-run accounting path is unaffected by it).
 	CacheTiles int
 	Workers    int
+
+	// Obs observes the whole measurement: the dry-run disks feed the
+	// "ooc_io_*" registry series, engines (when CacheTiles > 0) publish
+	// "ooc_engine_*" counters at close, the PFS simulation emits
+	// virtual-time request events and "pfs_*" series, and the final
+	// Measurement values are mirrored into "sim_*" series — so the
+	// Measurement struct is the per-run view of what the registry
+	// accumulates across runs. Nil disables all of it.
+	Obs *obs.Sink
 }
 
 // Defaults fills unset fields.
@@ -78,7 +88,9 @@ func (s *Setup) handoptDefaults(budget int64) handopt.Options {
 	return o
 }
 
-// Measurement is the outcome of one simulated run.
+// Measurement is the outcome of one simulated run: a per-run view of
+// the quantities that, when Setup.Obs is attached, also accumulate in
+// the metrics registry (see Setup.Obs).
 type Measurement struct {
 	Kernel     string
 	Version    suite.Version
@@ -104,6 +116,7 @@ func Run(st Setup) (Measurement, error) {
 // completion times, per-node utilization) for visualization.
 func RunDetailed(st Setup) (Measurement, pfs.Result, error) {
 	st.defaults()
+	st.PFS.Obs = st.Obs
 	prog := st.Kernel.Build(st.Cfg)
 	plan, err := suite.PlanFor(prog, st.Version)
 	if err != nil {
@@ -124,7 +137,7 @@ func RunDetailed(st Setup) (Measurement, pfs.Result, error) {
 	for p := 0; p < st.Procs; p++ {
 		// Measurement disks carry no data: dry-run execution only touches
 		// accounting, so backing arrays would be pure allocation churn.
-		d, err := codegen.SetupDiskOn(ooc.NewDisk(0).NoBacking(), prog, plan, nil)
+		d, err := codegen.SetupDiskOn(ooc.NewDisk(0).NoBacking().Observe(st.Obs), prog, plan, nil)
 		if err != nil {
 			return Measurement{}, pfs.Result{}, err
 		}
@@ -133,7 +146,7 @@ func RunDetailed(st Setup) (Measurement, pfs.Result, error) {
 		procOpts := opts
 		var eng *ooc.Engine
 		if st.CacheTiles > 0 {
-			eng = ooc.NewEngine(d, ooc.EngineOptions{Workers: st.Workers, CacheTiles: st.CacheTiles})
+			eng = ooc.NewEngine(d, ooc.EngineOptions{Workers: st.Workers, CacheTiles: st.CacheTiles, Obs: st.Obs})
 			procOpts.Engine = eng
 		}
 		var iters int64
@@ -221,6 +234,12 @@ func RunDetailed(st Setup) (Measurement, pfs.Result, error) {
 			}
 			m.Calls, m.Elems = calls, elems
 		}
+	}
+	if reg := st.Obs.MetricsOf(); reg != nil {
+		reg.Counter("sim_io_calls_total", "I/O library calls across simulated runs").Add(m.Calls)
+		reg.Counter("sim_elems_total", "elements moved across simulated runs").Add(m.Elems)
+		reg.Counter("sim_iterations_total", "statement iterations across simulated runs").Add(m.Iterations)
+		reg.Gauge("sim_makespan_seconds", "simulated makespan of the most recent run").Set(m.Seconds)
 	}
 	return m, res, nil
 }
