@@ -10,7 +10,7 @@ FUZZ_TARGETS := \
 	./internal/layout/:FuzzBoxOverlaps \
 	./internal/ooc/:FuzzTileKey
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline
+.PHONY: build test race check fuzz vet fmt cover suite baseline load
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,11 @@ suite:
 # Regenerate the checked-in baseline (after an intentional perf change).
 baseline:
 	$(GO) run ./cmd/occbench -suite -json BENCH_baseline.json
+
+# Serving-path load harness: in-process tile server + zipf clients.
+load:
+	$(GO) run ./cmd/occload -kernel trans -version c-opt \
+		-clients 16 -requests 4000 -zipf 1.2
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,123 @@
+// Command occd is the out-of-core tile-server daemon: it exposes a
+// disk of arrays over HTTP through internal/server, with request
+// coalescing, per-client rate limiting and bounded admission in front
+// of the shared tile engine.
+//
+// Start it empty (clients create arrays via POST /v1/arrays), or
+// pre-create a benchmark kernel's arrays so the daemon serves exactly
+// the file layouts the optimizer chose for that program version:
+//
+//	occd -addr :8080 -dir /var/lib/occd -kernel trans -version c-opt
+//
+// SIGTERM or SIGINT trigger the graceful drain: the listener stops
+// accepting, in-flight requests finish (bounded by -drain-timeout),
+// dirty tiles flush and sync to the backing files, and the process
+// exits 0. See the package comment on internal/server for the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"outcore/internal/codegen"
+	"outcore/internal/obs"
+	"outcore/internal/ooc"
+	"outcore/internal/server"
+	"outcore/internal/suite"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "backing directory for array files (empty = in-memory)")
+	keep := flag.Bool("keep", false, "with -dir: keep existing array file contents instead of truncating")
+	kernel := flag.String("kernel", "", "pre-create this benchmark kernel's arrays")
+	version := flag.String("version", "c-opt", "program version whose layouts -kernel arrays use")
+	n2 := flag.Int64("n2", 128, "extent of 2-D array dimensions")
+	n3 := flag.Int64("n3", 16, "extent of 3-D array dimensions")
+	n4 := flag.Int64("n4", 6, "extent of 4-D array dimensions")
+	maxCall := flag.Int64("maxcall", 8192, "per-call element cap (0 = unlimited)")
+	workers := flag.Int("workers", 4, "engine I/O workers")
+	cacheTiles := flag.Int("cache-tiles", 256, "resident tile bound (LRU)")
+	inflight := flag.Int("inflight", 0, "max concurrent data-plane requests (0 = 2*GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond -inflight")
+	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
+	flag.Parse()
+
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	d := ooc.NewDisk(*maxCall).Observe(sink)
+	if *dir != "" {
+		d.Dir(*dir)
+		if *keep {
+			d.KeepExisting()
+		}
+	}
+	if *kernel != "" {
+		k, ok := suite.ByName(*kernel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "occd: -kernel: unknown kernel %q (valid: %s)\n",
+				*kernel, strings.Join(suite.KernelNames(), ", "))
+			os.Exit(2)
+		}
+		ver, ok := suite.ParseVersion(*version)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "occd: -version: unknown version %q (valid: %s)\n",
+				*version, strings.Join(suite.VersionNames(), ", "))
+			os.Exit(2)
+		}
+		prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
+		plan, err := suite.PlanFor(prog, ver)
+		fail(err)
+		_, err = codegen.SetupDiskOn(d, prog, plan, nil)
+		fail(err)
+		log.Printf("occd: created %d arrays for %s/%s", len(prog.Arrays), k.Name, ver)
+	}
+
+	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
+	srv := server.New(d, eng, server.Config{
+		MaxInflight: *inflight,
+		QueueDepth:  *queue,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		Obs:         sink,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("occd: serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (bad address, port in use).
+		fail(err)
+	case <-ctx.Done():
+		stop() // a second signal kills us the hard way
+		log.Print("occd: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("occd: shutdown: %v", err)
+		}
+	}
+	fail(srv.Drain())
+	log.Print("occd: drained; dirty tiles flushed and synced")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occd:", err)
+		os.Exit(1)
+	}
+}

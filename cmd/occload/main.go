@@ -1,0 +1,151 @@
+// Command occload is the load harness for the tile server: it starts
+// an occd-equivalent server in-process, fires concurrent zipf-skewed
+// clients at one of its arrays, and reports throughput, latency
+// percentiles, engine hit rate and coalesced-request counts. With
+// -json the scorecard is written as an outcore-bench/v1 report, so the
+// serving numbers land in the same BENCH machinery occbench feeds.
+//
+//	occload -kernel trans -version c-opt -clients 16 -requests 4000 \
+//	    -zipf 1.2 -json BENCH_load.json -metrics-out load-metrics.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"outcore/internal/codegen"
+	"outcore/internal/exp"
+	"outcore/internal/obs"
+	"outcore/internal/ooc"
+	"outcore/internal/server"
+	"outcore/internal/suite"
+)
+
+func main() {
+	kernel := flag.String("kernel", "trans", "benchmark kernel whose arrays to serve")
+	version := flag.String("version", "c-opt", "program version whose layouts the arrays use")
+	n2 := flag.Int64("n2", 64, "extent of 2-D array dimensions")
+	n3 := flag.Int64("n3", 12, "extent of 3-D array dimensions")
+	n4 := flag.Int64("n4", 4, "extent of 4-D array dimensions")
+	array := flag.String("array", "", "target array (default: the kernel's largest)")
+	tileEdge := flag.Int64("tile-edge", 16, "requested tile edge in elements per dimension")
+	clients := flag.Int("clients", 16, "concurrent clients")
+	requests := flag.Int("requests", 2000, "total requests across all clients")
+	zipf := flag.Float64("zipf", 1.1, "zipf skew of tile choice (<=1 = uniform)")
+	readFrac := flag.Float64("read-frac", 0.9, "fraction of requests that are reads")
+	seed := flag.Int64("seed", 1, "deterministic tile-choice seed")
+	maxCall := flag.Int64("maxcall", 8192, "per-call element cap (0 = unlimited)")
+	workers := flag.Int("workers", 4, "engine I/O workers")
+	cacheTiles := flag.Int("cache-tiles", 64, "resident tile bound (LRU)")
+	inflight := flag.Int("inflight", 0, "max concurrent data-plane requests (0 = 2*GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
+	jsonOut := flag.String("json", "", "write the outcore-bench/v1 report here")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run")
+	flag.Parse()
+
+	k, ok := suite.ByName(*kernel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "occload: -kernel: unknown kernel %q (valid: %s)\n",
+			*kernel, strings.Join(suite.KernelNames(), ", "))
+		os.Exit(2)
+	}
+	ver, ok := suite.ParseVersion(*version)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "occload: -version: unknown version %q (valid: %s)\n",
+			*version, strings.Join(suite.VersionNames(), ", "))
+		os.Exit(2)
+	}
+
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
+	plan, err := suite.PlanFor(prog, ver)
+	fail(err)
+	d, err := codegen.SetupDiskOn(ooc.NewDisk(*maxCall).Observe(sink), prog, plan, nil)
+	fail(err)
+
+	var target *ooc.Array
+	if *array != "" {
+		if target = d.ArrayByName(*array); target == nil {
+			fail(fmt.Errorf("kernel %s has no array %q", k.Name, *array))
+		}
+	} else {
+		for _, ar := range d.Arrays() {
+			if target == nil || ar.Meta.Len() > target.Meta.Len() {
+				target = ar
+			}
+		}
+		if target == nil {
+			fail(fmt.Errorf("kernel %s builds no arrays", k.Name))
+		}
+	}
+
+	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
+	srv := server.New(d, eng, server.Config{
+		MaxInflight: *inflight,
+		QueueDepth:  *queue,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		Obs:         sink,
+	})
+	hts := httptest.NewServer(srv.Handler())
+
+	res, err := server.RunLoad(server.LoadSpec{
+		BaseURL:  hts.URL,
+		Array:    target.Meta.Name,
+		Dims:     target.Meta.Dims,
+		TileEdge: *tileEdge,
+		Clients:  *clients,
+		Requests: *requests,
+		ZipfS:    *zipf,
+		ReadFrac: *readFrac,
+		Seed:     *seed,
+	})
+	hts.Close()
+	drainErr := srv.Drain()
+	fail(err)
+	fail(drainErr)
+
+	fmt.Printf("occload: %s/%s array %s %v, %d clients x %d requests (zipf %.2f, %d%% reads)\n",
+		k.Name, ver, target.Meta.Name, target.Meta.Dims, *clients, *requests, *zipf, int(*readFrac*100))
+	fmt.Printf("  ok %d, rejected %d, errors %d in %.2fs  (%.0f req/s)\n",
+		res.OK, res.Rejected, res.Errors, res.Seconds, res.Throughput)
+	fmt.Printf("  latency p50 %.2fms, p99 %.2fms\n", res.P50*1e3, res.P99*1e3)
+	fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
+		res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
+
+	config := fmt.Sprintf("serve-%s-c%d-z%g", ver, *clients, *zipf)
+	if *jsonOut != "" {
+		rep := exp.BenchReport{
+			Schema:  exp.BenchSchema,
+			Setup:   exp.BenchSetup{N2: *n2, N3: *n3, N4: *n4},
+			Results: []exp.BenchEntry{exp.LoadBenchEntry(k.Name, config, res)},
+		}
+		f, err := os.Create(*jsonOut)
+		fail(err)
+		fail(rep.WriteJSON(f))
+		fail(f.Close())
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		fail(err)
+		fail(sink.Metrics.WritePrometheus(f))
+		fail(f.Close())
+		fmt.Printf("  wrote %s\n", *metricsOut)
+	}
+	if res.Errors > 0 {
+		fail(fmt.Errorf("%d requests failed", res.Errors))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occload:", err)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"outcore/internal/codegen"
 	"outcore/internal/exp"
@@ -33,11 +34,18 @@ func main() {
 
 	k, ok := suite.ByName(*kernel)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "occtrace: unknown kernel %q\n", *kernel)
+		fmt.Fprintf(os.Stderr, "occtrace: -kernel: unknown kernel %q (valid: %s)\n",
+			*kernel, strings.Join(suite.KernelNames(), ", "))
+		os.Exit(2)
+	}
+	ver, ok := suite.ParseVersion(*version)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "occtrace: -version: unknown version %q (valid: %s)\n",
+			*version, strings.Join(suite.VersionNames(), ", "))
 		os.Exit(2)
 	}
 	prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
-	plan, err := suite.PlanFor(prog, suite.Version(*version))
+	plan, err := suite.PlanFor(prog, ver)
 	fail(err)
 
 	d, err := codegen.SetupDisk(prog, plan, *maxCall, nil)
@@ -46,7 +54,7 @@ func main() {
 	budget := suite.MemBudget(prog, *memFrac)
 	mem := ooc.NewMemory(budget)
 	stats, err := codegen.RunProgram(prog, plan, d, mem, codegen.Options{
-		Strategy:  suite.StrategyFor(suite.Version(*version)),
+		Strategy:  suite.StrategyFor(ver),
 		MemBudget: budget,
 		DryRun:    true,
 	})

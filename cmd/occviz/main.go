@@ -33,13 +33,20 @@ func main() {
 
 	k, ok := suite.ByName(*kernel)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "occviz: unknown kernel %q\n", *kernel)
+		fmt.Fprintf(os.Stderr, "occviz: -kernel: unknown kernel %q (valid: %s)\n",
+			*kernel, strings.Join(suite.KernelNames(), ", "))
+		os.Exit(2)
+	}
+	ver, ok := suite.ParseVersion(*version)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "occviz: -version: unknown version %q (valid: %s)\n",
+			*version, strings.Join(suite.VersionNames(), ", "))
 		os.Exit(2)
 	}
 	m, res, err := sim.RunDetailed(sim.Setup{
 		Kernel:  k,
 		Cfg:     suite.Config{N2: *n2, N3: *n3, N4: *n4},
-		Version: suite.Version(*version),
+		Version: ver,
 		Procs:   *procs,
 		PFS:     exp.ScaledPFS(*n2, *ionodes),
 	})

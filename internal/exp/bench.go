@@ -43,17 +43,33 @@ var BenchConfigs = []BenchRunConfig{
 // BenchEntry is one (kernel, configuration) measurement. IOCalls,
 // IOBytes and SimMakespanSeconds come from the deterministic dry-run +
 // PFS simulation (the values the regression gate compares); HitRate,
-// OverlapFactor and WallSeconds come from a data-backed single-process
-// execution (WallSeconds is machine-dependent and informational only).
+// PrefetchUseful, OverlapFactor and WallSeconds come from a data-backed
+// single-process execution (WallSeconds is machine-dependent and
+// informational only).
+//
+// The trailing omitempty fields are the serving-layer additions the
+// load harness (cmd/occload) fills in: they are ADDITIVE, so the
+// outcore-bench/v1 schema stays backward-compatible — old readers
+// ignore them, old reports simply lack them, and CompareBench never
+// gates on them.
 type BenchEntry struct {
 	Kernel             string  `json:"kernel"`
 	Config             string  `json:"config"`
 	IOCalls            int64   `json:"io_calls"`
 	IOBytes            int64   `json:"io_bytes"`
 	HitRate            float64 `json:"hit_rate"`
+	PrefetchUseful     int64   `json:"prefetch_useful"`
 	OverlapFactor      float64 `json:"overlap_factor"`
 	SimMakespanSeconds float64 `json:"sim_makespan_seconds"`
 	WallSeconds        float64 `json:"wall_seconds"`
+
+	// Serving-layer metrics (load-harness rows only).
+	Requests          int64   `json:"requests,omitempty"`
+	ThroughputRPS     float64 `json:"throughput_rps,omitempty"`
+	LatencyP50Seconds float64 `json:"latency_p50_seconds,omitempty"`
+	LatencyP99Seconds float64 `json:"latency_p99_seconds,omitempty"`
+	CoalescedFetches  int64   `json:"coalesced_fetches,omitempty"`
+	Rejected          int64   `json:"rejected,omitempty"`
 }
 
 // BenchFailure records one (kernel, configuration) run that errored;
@@ -169,6 +185,7 @@ func benchOne(o Options, k suite.Kernel, bc BenchRunConfig) (BenchEntry, error) 
 	}
 	entry.WallSeconds = wall
 	entry.HitRate = cache.HitRate()
+	entry.PrefetchUseful = cache.PrefetchUseful
 	entry.OverlapFactor = cache.OverlapFactor()
 	return entry, nil
 }

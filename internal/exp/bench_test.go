@@ -57,7 +57,7 @@ func TestBenchSuiteSchema(t *testing.T) {
 	entry := raw["results"].([]any)[0].(map[string]any)
 	entryKeys := sortedKeys(entry)
 	want := []string{"config", "hit_rate", "io_bytes", "io_calls", "kernel",
-		"overlap_factor", "sim_makespan_seconds", "wall_seconds"}
+		"overlap_factor", "prefetch_useful", "sim_makespan_seconds", "wall_seconds"}
 	if !reflect.DeepEqual(entryKeys, want) {
 		t.Errorf("entry keys = %v, want %v", entryKeys, want)
 	}

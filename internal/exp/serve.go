@@ -1,0 +1,25 @@
+package exp
+
+import "outcore/internal/server"
+
+// LoadBenchEntry renders one load-harness run as an outcore-bench/v1
+// row. The serving-layer fields (requests, throughput, latency
+// percentiles, coalesced fetches) are the additive tail of BenchEntry;
+// the shared fields it can meaningfully fill (hit_rate, wall_seconds)
+// carry the engine-cache delta and wall time of the run. IOCalls and
+// SimMakespanSeconds stay zero — load rows are informational and the
+// regression gate never compares them.
+func LoadBenchEntry(kernel, config string, r server.LoadResult) BenchEntry {
+	return BenchEntry{
+		Kernel:            kernel,
+		Config:            config,
+		HitRate:           r.HitRate,
+		WallSeconds:       r.Seconds,
+		Requests:          int64(r.Requests),
+		ThroughputRPS:     r.Throughput,
+		LatencyP50Seconds: r.P50,
+		LatencyP99Seconds: r.P99,
+		CoalescedFetches:  r.Coalesced,
+		Rejected:          int64(r.Rejected),
+	}
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"outcore/internal/server"
+)
+
+func TestLoadBenchEntryFields(t *testing.T) {
+	e := LoadBenchEntry("trans", "serve-c-opt-c8-z1.2", server.LoadResult{
+		Requests: 600, OK: 597, Rejected: 3,
+		Seconds: 2, Throughput: 298.5,
+		P50: 0.001, P99: 0.004,
+		Hits: 590, Misses: 10, HitRate: 590.0 / 600,
+		Coalesced: 7,
+	})
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"requests", "throughput_rps", "latency_p50_seconds",
+		"latency_p99_seconds", "coalesced_fetches", "rejected",
+	} {
+		if !strings.Contains(string(raw), `"`+key+`"`) {
+			t.Errorf("load entry missing %q: %s", key, raw)
+		}
+	}
+	if e.HitRate != 590.0/600 || e.WallSeconds != 2 {
+		t.Errorf("shared fields not carried: %+v", e)
+	}
+}
+
+// TestServeFieldsAreAdditive pins the backward-compatibility contract:
+// pre-serving reports still parse under the same schema string, and
+// suite rows do not sprout the serving fields.
+func TestServeFieldsAreAdditive(t *testing.T) {
+	old := `{"schema":"outcore-bench/v1","setup":{"n2":64,"n3":12,"n4":4,"procs":4,"ionodes":16,"memfrac":128},` +
+		`"results":[{"kernel":"mat","config":"engine","io_calls":6656,"io_bytes":262144,` +
+		`"hit_rate":0,"overlap_factor":0,"sim_makespan_seconds":38.4,"wall_seconds":0.004}]}`
+	rep, err := LoadBenchReport(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("pre-serving report no longer parses: %v", err)
+	}
+	if rep.Results[0].Requests != 0 || rep.Results[0].ThroughputRPS != 0 {
+		t.Errorf("old report grew serving values: %+v", rep.Results[0])
+	}
+
+	raw, err := json.Marshal(BenchEntry{Kernel: "mat", Config: "engine", IOCalls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "throughput_rps") || strings.Contains(string(raw), "requests") {
+		t.Errorf("suite row carries serving fields: %s", raw)
+	}
+}

@@ -13,14 +13,32 @@ import (
 // tests); the file backend performs real operating-system I/O, one
 // ReadAt/WriteAt per runtime request, for running genuinely
 // disk-resident workloads.
+//
+// # Single-writer contract
+//
+// A file-backed array has exactly one writer: the Disk that created it.
+// Nothing in the runtime coordinates two processes (or two Disks in one
+// process) mutating the same backing file — their tile caches would
+// each believe their own copy is current and silently clobber the
+// other's write-backs. The file backend therefore takes an exclusive
+// lock (a sibling ".lock" file created O_EXCL) for the lifetime of the
+// open and a second open of the same path fails with a clear error
+// instead of truncating live data. The lock is released by Close; a
+// crash can leave it behind, in which case the error names the stale
+// lock file to remove.
 type Backend interface {
 	// ReadAt fills buf with the elements starting at element offset off.
 	ReadAt(buf []float64, off int64) error
 	// WriteAt stores buf at element offset off.
 	WriteAt(buf []float64, off int64) error
+	// Sync forces buffered writes down to stable storage (a no-op for
+	// memory-resident backends). The engine calls it on Flush/Close so
+	// a drained server loses nothing that was acknowledged.
+	Sync() error
 	// Size returns the backend capacity in elements.
 	Size() int64
-	// Close releases resources.
+	// Close releases resources (syncing first, where that means
+	// anything).
 	Close() error
 }
 
@@ -48,6 +66,7 @@ func (m *memBackend) WriteAt(buf []float64, off int64) error {
 }
 
 func (m *memBackend) Size() int64 { return int64(len(m.data)) }
+func (m *memBackend) Sync() error { return nil }
 func (m *memBackend) Close() error {
 	m.data = nil
 	return nil
@@ -56,21 +75,46 @@ func (m *memBackend) Close() error {
 // fileBackend stores elements as little-endian float64 in a real file.
 type fileBackend struct {
 	f    *os.File
+	lock string // sibling lock file; removed on Close
 	size int64
 }
 
-// newFileBackend creates (truncating) a zero-filled backing file of n
-// elements.
-func newFileBackend(path string, n int64) (*fileBackend, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// newFileBackend opens the backing file of n elements, locked for
+// exclusive use (see the single-writer contract on Backend). With keep
+// false the file is created zero-filled, truncating any previous
+// contents; with keep true existing contents survive (the file is still
+// resized to n elements, zero-extending when it grew).
+func newFileBackend(path string, n int64, keep bool) (*fileBackend, error) {
+	lock := path + ".lock"
+	lf, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("ooc: backing file %s is already open by another engine "+
+				"(single-writer contract); if no other process is using it, remove the stale lock %s",
+				path, lock)
+		}
+		return nil, err
+	}
+	fmt.Fprintf(lf, "%d\n", os.Getpid())
+	if err := lf.Close(); err != nil {
+		os.Remove(lock)
+		return nil, err
+	}
+	flags := os.O_RDWR | os.O_CREATE
+	if !keep {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		os.Remove(lock)
 		return nil, err
 	}
 	if err := f.Truncate(n * ElemSize); err != nil {
 		f.Close()
+		os.Remove(lock)
 		return nil, err
 	}
-	return &fileBackend{f: f, size: n}, nil
+	return &fileBackend{f: f, lock: lock, size: n}, nil
 }
 
 func (fb *fileBackend) ReadAt(buf []float64, off int64) error {
@@ -93,8 +137,19 @@ func (fb *fileBackend) WriteAt(buf []float64, off int64) error {
 	return err
 }
 
-func (fb *fileBackend) Size() int64  { return fb.size }
-func (fb *fileBackend) Close() error { return fb.f.Close() }
+func (fb *fileBackend) Size() int64 { return fb.size }
+func (fb *fileBackend) Sync() error { return fb.f.Sync() }
+
+func (fb *fileBackend) Close() error {
+	err := fb.f.Sync()
+	if cerr := fb.f.Close(); err == nil {
+		err = cerr
+	}
+	if rerr := os.Remove(fb.lock); err == nil {
+		err = rerr
+	}
+	return err
+}
 
 // nullBackend carries no data: it backs measurement-only (dry-run)
 // disks, where only accounting matters. Data access is a programming
@@ -108,12 +163,23 @@ func (n nullBackend) WriteAt([]float64, int64) error {
 	return fmt.Errorf("ooc: data access on a measurement-only (null-backed) array")
 }
 func (n nullBackend) Size() int64  { return n.size }
+func (n nullBackend) Sync() error  { return nil }
 func (n nullBackend) Close() error { return nil }
 
 // Dir configures a disk to back arrays with real files under dir.
-// Call Close to release the file handles.
+// Call Close to release the file handles (and the exclusive locks the
+// single-writer contract takes per file).
 func (d *Disk) Dir(dir string) *Disk {
 	d.dir = dir
+	return d
+}
+
+// KeepExisting configures a file-backed disk to open existing backing
+// files without truncating them: reopening a directory a previous
+// (cleanly closed) disk wrote sees its data. The default is to create
+// arrays zero-filled.
+func (d *Disk) KeepExisting() *Disk {
+	d.keepExisting = true
 	return d
 }
 
@@ -125,9 +191,21 @@ func (d *Disk) NoBacking() *Disk {
 	return d
 }
 
-// Close releases every array's backend (file handles for file-backed
-// disks; no-ops otherwise).
+// WrapBackend installs a hook that wraps every subsequently created
+// array's backend — instrumentation (call counting, injected latency,
+// fault injection) for tests and the serving layer's coalescing proofs.
+// Like the other setup helpers it must be called before arrays are
+// created.
+func (d *Disk) WrapBackend(wrap func(name string, b Backend) Backend) *Disk {
+	d.wrapBackend = wrap
+	return d
+}
+
+// Close releases every array's backend (file handles and locks for
+// file-backed disks; no-ops otherwise).
 func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var first error
 	for _, arr := range d.arrays {
 		if err := arr.backend.Close(); err != nil && first == nil {
@@ -137,15 +215,41 @@ func (d *Disk) Close() error {
 	return first
 }
 
+// Sync forces every array's buffered writes to stable storage. The
+// engine calls it after write-backs on Flush/Close; servers call it at
+// drain so acknowledged writes survive the process.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for _, arr := range d.arrays {
+		if err := arr.backend.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // newBackend picks the backend for a new array per the disk's
 // configuration.
 func (d *Disk) newBackend(name string, n int64) (Backend, error) {
+	var (
+		b   Backend
+		err error
+	)
 	switch {
 	case d.noBacking:
-		return nullBackend{size: n}, nil
+		b = nullBackend{size: n}
 	case d.dir != "":
-		return newFileBackend(filepath.Join(d.dir, name+".dat"), n)
+		b, err = newFileBackend(filepath.Join(d.dir, name+".dat"), n, d.keepExisting)
 	default:
-		return newMemBackend(n), nil
+		b = newMemBackend(n)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if d.wrapBackend != nil {
+		b = d.wrapBackend(name, b)
+	}
+	return b, nil
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"outcore/internal/ir"
@@ -124,5 +126,135 @@ func TestMemBackendBounds(t *testing.T) {
 	}
 	if err := m.Close(); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFileBackendSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	meta := ir.NewArray("A", 4, 4)
+	l := layout.RowMajor(4, 4)
+	d1 := NewDisk(0).Dir(dir)
+	if _, err := d1.CreateArray(meta, l); err != nil {
+		t.Fatal(err)
+	}
+	// A second disk opening the same backing file must fail with a
+	// clear error naming the lock, not truncate live data.
+	d2 := NewDisk(0).Dir(dir)
+	if _, err := d2.CreateArray(meta, l); err == nil {
+		t.Fatal("second open of a locked backing file succeeded")
+	} else if !strings.Contains(err.Error(), "single-writer") || !strings.Contains(err.Error(), "A.dat.lock") {
+		t.Errorf("lock error unhelpful: %v", err)
+	}
+	// Close releases the lock; the file becomes reopenable.
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "A.dat.lock")); !os.IsNotExist(err) {
+		t.Errorf("lock file survives Close: %v", err)
+	}
+	d3 := NewDisk(0).Dir(dir)
+	if _, err := d3.CreateArray(meta, l); err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	if err := d3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileBackendKeepExisting(t *testing.T) {
+	dir := t.TempDir()
+	meta := ir.NewArray("A", 4, 4)
+	l := layout.RowMajor(4, 4)
+	d1 := NewDisk(0).Dir(dir)
+	arr, err := d1.CreateArray(meta, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Fill(func(c []int64) float64 { return float64(c[0]*4 + c[1]) })
+	if err := d1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Default reopen truncates (zero-filled)...
+	d2 := NewDisk(0).Dir(dir)
+	arr2, err := d2.CreateArray(meta, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arr2.At([]int64{3, 3}); got != 0 {
+		t.Errorf("truncating open kept data: %v", got)
+	}
+	arr2.Fill(func(c []int64) float64 { return float64(c[0]*4 + c[1]) })
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...KeepExisting preserves contents across the reopen.
+	d3 := NewDisk(0).Dir(dir).KeepExisting()
+	arr3, err := d3.CreateArray(meta, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if got := arr3.At([]int64{3, 3}); got != 15 {
+		t.Errorf("KeepExisting open lost data: got %v, want 15", got)
+	}
+}
+
+// countingBackend counts backend calls; WrapBackend installs it.
+type countingBackend struct {
+	Backend
+	reads, writes, syncs atomic.Int64
+}
+
+func (c *countingBackend) ReadAt(buf []float64, off int64) error {
+	c.reads.Add(1)
+	return c.Backend.ReadAt(buf, off)
+}
+func (c *countingBackend) WriteAt(buf []float64, off int64) error {
+	c.writes.Add(1)
+	return c.Backend.WriteAt(buf, off)
+}
+func (c *countingBackend) Sync() error {
+	c.syncs.Add(1)
+	return c.Backend.Sync()
+}
+
+func TestWrapBackendAndEngineSync(t *testing.T) {
+	var cb *countingBackend
+	d := NewDisk(0).WrapBackend(func(name string, b Backend) Backend {
+		cb = &countingBackend{Backend: b}
+		return cb
+	})
+	meta := ir.NewArray("A", 4, 4)
+	arr, err := d.CreateArray(meta, layout.RowMajor(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(d, EngineOptions{CacheTiles: 2})
+	box := layout.NewBox([]int64{0, 0}, []int64{4, 4})
+	h, err := eng.Acquire(arr, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Tile().Set([]int64{1, 1}, 7)
+	eng.Release(h, true)
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cb.reads.Load() == 0 || cb.writes.Load() == 0 {
+		t.Errorf("wrap hook not on the I/O path: reads=%d writes=%d", cb.reads.Load(), cb.writes.Load())
+	}
+	// Flush and Close each sync the backends (the durability point the
+	// serving layer's drain relies on).
+	if cb.syncs.Load() == 0 {
+		t.Error("Engine.Flush did not sync the backend")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if arr.At([]int64{1, 1}) != 7 {
+		t.Error("dirty tile lost")
 	}
 }

@@ -429,8 +429,9 @@ func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
 // Flush writes every unpinned dirty tile back to the backend, oldest
 // first (LRU order keeps the write-back request stream deterministic —
 // the bench regression gate diffs simulated request traces, so map
-// iteration order must never leak into the I/O schedule). Cached tiles
-// stay resident (clean).
+// iteration order must never leak into the I/O schedule), then syncs
+// the backends so file-backed arrays are durable at the flush point.
+// Cached tiles stay resident (clean).
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -440,11 +441,15 @@ func (e *Engine) Flush() error {
 			e.writebackLocked(ent)
 		}
 	}
+	if err := e.disk.Sync(); err != nil && e.firstErr == nil {
+		e.firstErr = err
+	}
 	return e.firstErr
 }
 
-// Close drains the worker pool, flushes dirty tiles and returns the
-// first write-back error, if any. Further engine calls fail.
+// Close drains the worker pool, flushes dirty tiles, syncs the backends
+// and returns the first write-back error, if any. Further engine calls
+// fail.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -465,6 +470,9 @@ func (e *Engine) Close() error {
 		if ent.dirty && ent.pins == 0 && !ent.loading {
 			e.writebackLocked(ent)
 		}
+	}
+	if err := e.disk.Sync(); err != nil && e.firstErr == nil {
+		e.firstErr = err
 	}
 	e.publishMetricsLocked()
 	return e.firstErr

@@ -35,6 +35,7 @@ package ooc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -100,10 +101,12 @@ type Disk struct {
 	PerFile map[string]*Stats
 	Trace   []Request
 
-	mu        sync.Mutex // guards PerFile map structure and Trace
-	arrays    map[string]*Array
-	dir       string // non-empty: back arrays with real files here
-	noBacking bool   // measurement-only arrays (no data)
+	mu           sync.Mutex // guards PerFile map structure, Trace, and the arrays map
+	arrays       map[string]*Array
+	dir          string // non-empty: back arrays with real files here
+	keepExisting bool   // file backing: open without truncating
+	noBacking    bool   // measurement-only arrays (no data)
+	wrapBackend  func(name string, b Backend) Backend
 
 	met *diskMetrics // non-nil once Observe attached a registry
 }
@@ -190,8 +193,13 @@ type Array struct {
 }
 
 // CreateArray allocates the file for an array under the given layout.
-// Creating the same array twice is an error.
+// Creating the same array twice is an error. Unlike the data setup
+// helpers, creation is mutex-guarded, so a serving layer may create
+// arrays while tile I/O on OTHER arrays is in flight; I/O on the array
+// being created must still wait for CreateArray to return.
 func (d *Disk) CreateArray(a *ir.Array, l *layout.Layout) (*Array, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.arrays[a.Name]; dup {
 		return nil, fmt.Errorf("ooc: array %s already exists", a.Name)
 	}
@@ -209,7 +217,27 @@ func (d *Disk) CreateArray(a *ir.Array, l *layout.Layout) (*Array, error) {
 }
 
 // ArrayOf returns the out-of-core array for a, or nil.
-func (d *Disk) ArrayOf(a *ir.Array) *Array { return d.arrays[a.Name] }
+func (d *Disk) ArrayOf(a *ir.Array) *Array { return d.ArrayByName(a.Name) }
+
+// ArrayByName returns the array named name, or nil.
+func (d *Disk) ArrayByName(name string) *Array {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.arrays[name]
+}
+
+// Arrays returns every array on the disk, sorted by name (serving and
+// telemetry; the order is stable for listings).
+func (d *Disk) Arrays() []*Array {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Array, 0, len(d.arrays))
+	for _, arr := range d.arrays {
+		out = append(out, arr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.Name < out[j].Meta.Name })
+	return out
+}
 
 // callsFor splits contiguous runs by the per-call cap.
 func (d *Disk) callsFor(runs []layout.Run) int64 {
@@ -470,6 +498,11 @@ func (t *Tile) Set(c []int64, v float64) { t.data[t.index(c)] = v }
 
 // Size returns the tile's element count.
 func (t *Tile) Size() int64 { return t.Box.Size() }
+
+// Data returns the tile's backing slice in box-local row-major order
+// (the serving layer's wire format). Mutating it mutates the tile;
+// writers must release the tile dirty so the change is written back.
+func (t *Tile) Data() []float64 { return t.data }
 
 // Memory enforces the in-core memory budget the paper imposes (1/128th
 // of the out-of-core data size in the experiments). Safe for concurrent

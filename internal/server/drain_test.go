@@ -1,0 +1,126 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/ooc"
+)
+
+// TestGracefulDrainFlushesDirtyTiles is the acceptance proof for the
+// drain path: writes acknowledged before the shutdown signal survive
+// it, in-flight requests finish, and nothing reaches the backing file
+// only AFTER the drain flushed it — verified by reopening the backing
+// directory with a fresh disk and checking contents.
+func TestGracefulDrainFlushesDirtyTiles(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, Config{}, func(d *ooc.Disk) { d.Dir(dir) })
+	ts.createArray(t, "A", 8, 8)
+	ts.createArray(t, "B", 8, 8)
+
+	// Acknowledged write: the tile is dirty in the engine cache.
+	payload := make([]float64, 8*8)
+	for i := range payload {
+		payload[i] = float64(i) + 1
+	}
+	status, out, _ := ts.do(t, http.MethodPut, ts.url("/v1/arrays/A/tile?lo=0,0&hi=8,8"), encodePayload(payload))
+	if status != http.StatusNoContent {
+		t.Fatalf("put: %d %s", status, out)
+	}
+	// The write must still be cache-resident (write-back, not through):
+	// the backing file stays zero until drain, which is exactly what
+	// the flush-at-drain guarantee is protecting.
+	raw, err := os.ReadFile(filepath.Join(dir, "A.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range raw {
+		if b != 0 {
+			t.Fatal("dirty tile reached the backing file before drain; the test proves nothing")
+		}
+	}
+
+	// An in-flight slow read rides through the shutdown.
+	ts.back["B"].readDelay.Store(int64(400 * time.Millisecond))
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.url("/v1/arrays/B/tile?lo=0,0&hi=8,8"))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- result{status: resp.StatusCode}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for ts.back["B"].reads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow read never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The SIGTERM sequence: stop accepting and wait out in-flight
+	// requests (httptest's Close blocks on them, like
+	// http.Server.Shutdown), then drain the storage side.
+	ts.http.Close()
+	if err := ts.srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := <-inflight
+	if res.err != nil || res.status != http.StatusOK {
+		t.Fatalf("in-flight request did not finish cleanly: status %d, err %v", res.status, res.err)
+	}
+	if !ts.srv.Draining() {
+		t.Error("server does not report draining")
+	}
+
+	// Reopen the backing directory: the acknowledged write is there.
+	d2 := ooc.NewDisk(0).Dir(dir).KeepExisting()
+	defer d2.Close()
+	arr, err := d2.CreateArray(ir.NewArray("A", 8, 8), layout.RowMajor(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			if got, want := arr.At([]int64{i, j}), payload[i*8+j]; got != want {
+				t.Fatalf("reopened A[%d,%d] = %v, want %v: drain lost a dirty tile", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestDrainRejectsNewWork checks the drain flag turns the data plane
+// and health checks over to 503 while metrics stay up.
+func TestDrainRejectsNewWork(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 4, 4)
+	if err := ts.srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	status, _, hdr := ts.do(t, http.MethodGet, ts.url("/v1/arrays/A/tile?lo=0,0&hi=2,2"), nil)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("data plane after drain: status %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining 503 without Retry-After")
+	}
+	if status, _, _ := ts.do(t, http.MethodGet, ts.url("/healthz"), nil); status != http.StatusServiceUnavailable {
+		t.Errorf("healthz after drain: status %d, want 503", status)
+	}
+	if status, _, _ := ts.do(t, http.MethodGet, ts.url("/metrics"), nil); status != http.StatusOK {
+		t.Errorf("metrics after drain: status %d, want 200", status)
+	}
+}

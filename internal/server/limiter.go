@@ -1,0 +1,90 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// defaultMaxClients bounds the limiter's per-client state: beyond it,
+// the least-recently-seen client's bucket is dropped (it refills from
+// full on return, which errs toward admitting — the bound exists to cap
+// memory under client-ID churn, not to tighten the limit).
+const defaultMaxClients = 4096
+
+// rateLimiter is a per-client token bucket: each client id refills at
+// rate tokens/second up to burst, and one request costs one token.
+// It is the server's first backpressure stage (429 Too Many Requests);
+// the admission queue behind it is the second (503).
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu         sync.Mutex
+	buckets    map[string]*bucket
+	lru        *list.List // front = most recently seen; values are ids
+	maxClients int
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+	elem   *list.Element
+}
+
+// newRateLimiter returns a limiter at rate tokens/second with the given
+// burst. now is the clock (nil = time.Now; tests inject a fake).
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      float64(burst),
+		now:        now,
+		buckets:    map[string]*bucket{},
+		lru:        list.New(),
+		maxClients: defaultMaxClients,
+	}
+}
+
+// allow spends one token of id's bucket. When the bucket is empty it
+// returns false and how long until a token is available (the 429
+// Retry-After hint).
+func (l *rateLimiter) allow(id string) (ok bool, retry time.Duration) {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[id]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: t}
+		b.elem = l.lru.PushFront(id)
+		l.buckets[id] = b
+		for len(l.buckets) > l.maxClients {
+			back := l.lru.Back()
+			delete(l.buckets, back.Value.(string))
+			l.lru.Remove(back)
+		}
+	} else {
+		if dt := t.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+		}
+		b.last = t
+		l.lru.MoveToFront(b.elem)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if l.rate <= 0 {
+		return false, time.Second
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}

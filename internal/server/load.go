@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"outcore/internal/layout"
+)
+
+// LoadSpec configures the synthetic multi-client tile workload the
+// load harness (cmd/occload) fires at a running server. Tile selection
+// is zipf-skewed — the multi-client array-access regime where a few
+// hot tiles dominate, which is exactly what request coalescing and the
+// LRU cache are for.
+type LoadSpec struct {
+	BaseURL string       // server root, e.g. http://127.0.0.1:8080
+	Client  *http.Client // nil = http.DefaultClient
+
+	Array    string  // target array name
+	Dims     []int64 // its extents (tile grid derivation)
+	TileEdge int64   // tile edge in elements per dimension
+
+	Clients  int     // concurrent clients (each its own X-Client-ID)
+	Requests int     // total requests across all clients
+	ZipfS    float64 // zipf skew parameter (>1); <=1 = uniform
+	ReadFrac float64 // fraction of reads (rest are tile writes)
+	Seed     int64   // deterministic tile-choice streams
+}
+
+// LoadResult is one load run's scorecard: client-side throughput and
+// latency percentiles plus the server-side cache/coalescing deltas
+// polled from /v1/stats around the run.
+type LoadResult struct {
+	Requests   int     // requests issued
+	OK         int     // 2xx responses
+	Rejected   int     // 429/503 backpressure responses
+	Errors     int     // transport failures and other non-2xx
+	Seconds    float64 // wall time of the run
+	Throughput float64 // OK responses per second
+	P50        float64 // median latency, seconds (successful requests)
+	P99        float64 // 99th-percentile latency, seconds
+
+	Hits, Misses int64   // engine delta over the run
+	HitRate      float64 // hits / (hits + misses), from the delta
+	Coalesced    int64   // server coalesced-request delta
+}
+
+// tiles enumerates the aligned tile grid over dims.
+func (spec LoadSpec) tiles() []layout.Box {
+	edge := spec.TileEdge
+	if edge <= 0 {
+		edge = 8
+	}
+	grid := []layout.Box{{Lo: []int64{}, Hi: []int64{}}}
+	for _, n := range spec.Dims {
+		var next []layout.Box
+		for _, b := range grid {
+			for lo := int64(0); lo < n; lo += edge {
+				hi := lo + edge
+				if hi > n {
+					hi = n
+				}
+				nb := layout.Box{
+					Lo: append(append([]int64{}, b.Lo...), lo),
+					Hi: append(append([]int64{}, b.Hi...), hi),
+				}
+				next = append(next, nb)
+			}
+		}
+		grid = next
+	}
+	return grid
+}
+
+// picker returns a deterministic tile-index chooser: zipf-skewed when
+// s > 1, uniform otherwise.
+func picker(rng *rand.Rand, s float64, n int) func() int {
+	if s > 1 && n > 1 {
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(n) }
+}
+
+// RunLoad drives the workload and collates the scorecard. The server
+// must already expose spec.Array (occload creates it or serves a
+// kernel's arrays).
+func RunLoad(spec LoadSpec) (LoadResult, error) {
+	if spec.Clients <= 0 {
+		spec.Clients = 1
+	}
+	if spec.Requests <= 0 {
+		spec.Requests = spec.Clients
+	}
+	client := spec.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	tiles := spec.tiles()
+	if len(tiles) == 0 {
+		return LoadResult{}, fmt.Errorf("server: load spec yields no tiles (dims %v)", spec.Dims)
+	}
+	before, err := fetchStats(client, spec.BaseURL)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("server: load pre-stats: %w", err)
+	}
+
+	type clientTally struct {
+		ok, rejected, errs int
+		lat                []time.Duration
+	}
+	tallies := make([]clientTally, spec.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < spec.Clients; c++ {
+		per := spec.Requests / spec.Clients
+		if c < spec.Requests%spec.Clients {
+			per++
+		}
+		wg.Add(1)
+		go func(c, per int) {
+			defer wg.Done()
+			tally := &tallies[c]
+			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*7919))
+			pick := picker(rng, spec.ZipfS, len(tiles))
+			id := fmt.Sprintf("load-client-%d", c)
+			for i := 0; i < per; i++ {
+				box := tiles[pick()]
+				read := rng.Float64() < spec.ReadFrac
+				t0 := time.Now()
+				status, err := doTileRequest(client, id, spec.BaseURL, spec.Array, box, read, rng)
+				d := time.Since(t0)
+				switch {
+				case err != nil:
+					tally.errs++
+				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					tally.rejected++
+				case status >= 200 && status < 300:
+					tally.ok++
+					tally.lat = append(tally.lat, d)
+				default:
+					tally.errs++
+				}
+			}
+		}(c, per)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, spec.BaseURL)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("server: load post-stats: %w", err)
+	}
+
+	res := LoadResult{Requests: spec.Requests, Seconds: elapsed.Seconds()}
+	var lat []time.Duration
+	for i := range tallies {
+		res.OK += tallies[i].ok
+		res.Rejected += tallies[i].rejected
+		res.Errors += tallies[i].errs
+		lat = append(lat, tallies[i].lat...)
+	}
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.OK) / res.Seconds
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.P50 = percentile(lat, 0.50)
+	res.P99 = percentile(lat, 0.99)
+	res.Hits = after.Engine.Hits - before.Engine.Hits
+	res.Misses = after.Engine.Misses - before.Engine.Misses
+	if total := res.Hits + res.Misses; total > 0 {
+		res.HitRate = float64(res.Hits) / float64(total)
+	}
+	res.Coalesced = after.Coalesced - before.Coalesced
+	return res, nil
+}
+
+// doTileRequest issues one tile read or write as client id and returns
+// the HTTP status. Request bodies for writes are rng-filled payloads
+// of the box's exact size.
+func doTileRequest(client *http.Client, id, base, array string, box layout.Box, read bool, rng *rand.Rand) (int, error) {
+	url := fmt.Sprintf("%s/v1/arrays/%s/tile?lo=%s&hi=%s", base, array, coordList(box.Lo), coordList(box.Hi))
+	var req *http.Request
+	var err error
+	if read {
+		req, err = http.NewRequest(http.MethodGet, url, nil)
+	} else {
+		data := make([]float64, box.Size())
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		req, err = http.NewRequest(http.MethodPut, url, bytes.NewReader(encodePayload(data)))
+	}
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-Client-ID", id)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// coordList renders coordinates as the query form "1,2,3".
+func coordList(c []int64) string {
+	out := ""
+	for i, v := range c {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+// percentile returns the q-quantile of sorted latencies, in seconds.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Seconds()
+}
+
+// fetchStats polls /v1/stats.
+func fetchStats(client *http.Client, base string) (statsPayload, error) {
+	var out statsPayload
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("stats endpoint: %s", resp.Status)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoadSpecTiles(t *testing.T) {
+	spec := LoadSpec{Dims: []int64{10, 10}, TileEdge: 4}
+	tiles := spec.tiles()
+	if len(tiles) != 9 {
+		t.Fatalf("10x10 grid at edge 4: %d tiles, want 9", len(tiles))
+	}
+	// Edge tiles clip to the array bound.
+	last := tiles[len(tiles)-1]
+	if last.Hi[0] != 10 || last.Hi[1] != 10 || last.Lo[0] != 8 || last.Lo[1] != 8 {
+		t.Errorf("last tile = %v", last)
+	}
+	var total int64
+	for _, b := range tiles {
+		total += b.Size()
+	}
+	if total != 100 {
+		t.Errorf("tiles cover %d elements, want 100", total)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	lat := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second}
+	if p := percentile(lat, 0.5); p != 2 {
+		t.Errorf("p50 = %v, want 2", p)
+	}
+	if p := percentile(lat, 0.99); p != 4 {
+		t.Errorf("p99 = %v, want 4", p)
+	}
+}
+
+// TestRunLoadAgainstServer drives the full harness loop against an
+// in-process server: every request lands, the zipf skew produces cache
+// hits, and the scorecard fields are coherent.
+func TestRunLoadAgainstServer(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 32, 32)
+	res, err := RunLoad(LoadSpec{
+		BaseURL:  ts.http.URL,
+		Array:    "A",
+		Dims:     []int64{32, 32},
+		TileEdge: 8,
+		Clients:  4,
+		Requests: 200,
+		ZipfS:    1.2,
+		ReadFrac: 0.8,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 200 || res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("ok=%d rejected=%d errors=%d, want 200/0/0", res.OK, res.Rejected, res.Errors)
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput not positive")
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("latency percentiles incoherent: p50=%v p99=%v", res.P50, res.P99)
+	}
+	// 200 zipf-skewed requests over a 16-tile grid must reuse tiles.
+	if res.Hits == 0 || res.HitRate <= 0 {
+		t.Errorf("no cache hits under zipf reuse: %+v", res)
+	}
+	if res.Hits+res.Misses == 0 {
+		t.Error("engine saw no traffic")
+	}
+}
+
+func TestRateLimiterEvictionBound(t *testing.T) {
+	l := newRateLimiter(1, 1, func() time.Time { return time.Unix(0, 0) })
+	l.maxClients = 8
+	for i := 0; i < 100; i++ {
+		l.allow(string(rune('a' + i)))
+	}
+	if len(l.buckets) > 8 {
+		t.Errorf("limiter kept %d buckets, bound is 8", len(l.buckets))
+	}
+	if l.lru.Len() != len(l.buckets) {
+		t.Errorf("lru length %d != buckets %d", l.lru.Len(), len(l.buckets))
+	}
+}

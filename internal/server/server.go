@@ -1,0 +1,562 @@
+// Package server is occd's serving core: an HTTP API that exposes
+// disk-resident out-of-core arrays through the concurrent tile engine.
+// It is the paper's thesis turned into a service boundary — many
+// clients asking for rectangular tiles, the engine underneath turning
+// them into few, large, layout-aware backend calls.
+//
+// The serving core does real multi-tenant work on top of the engine:
+//
+//   - Request coalescing: concurrent GETs of the same tile join one
+//     flight (one acquire, one payload encode, one backend read), with
+//     an exact exported count of coalesced requests.
+//   - Admission control: per-client token-bucket rate limiting (429 +
+//     Retry-After) in front of a bounded wait queue over a bounded
+//     worker semaphore (503 + Retry-After when the queue overflows), so
+//     overload degrades with backpressure instead of collapse.
+//   - Graceful drain: new work is refused while in-flight requests
+//     finish, then every dirty tile is flushed and the backends synced
+//     and closed, so an acknowledged write survives a SIGTERM.
+//
+// API (payloads are raw little-endian float64, box-local row-major):
+//
+//	GET  /healthz                            liveness ("ok" / 503 "draining")
+//	GET  /metrics[?format=json]              obs registry exposition
+//	GET  /v1/stats                           live engine + server counters
+//	GET  /v1/arrays                          list arrays
+//	POST /v1/arrays                          create: {"name","dims",["layout"]}
+//	GET  /v1/arrays/{name}                   one array's metadata
+//	GET  /v1/arrays/{name}/tile?lo=i,j&hi=k,l   read a tile
+//	PUT  /v1/arrays/{name}/tile?lo=i,j&hi=k,l   write a tile
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/obs"
+	"outcore/internal/ooc"
+)
+
+// Config tunes the serving core. The zero value gets sane defaults
+// from New.
+type Config struct {
+	// MaxInflight bounds how many requests may operate on the engine
+	// concurrently (default 2*GOMAXPROCS). Excess admitted requests
+	// wait in the queue.
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for an inflight
+	// slot (default 64). Beyond it the server answers 503.
+	QueueDepth int
+	// RatePerSec is the per-client token refill rate; 0 disables rate
+	// limiting. Clients are keyed by the X-Client-ID header, falling
+	// back to the remote address.
+	RatePerSec float64
+	// Burst is the per-client bucket capacity (default: RatePerSec
+	// rounded up, at least 1).
+	Burst int
+	// RetryAfter is the hint returned with 503 responses (default 1s);
+	// 429 responses compute the exact token refill wait instead.
+	RetryAfter time.Duration
+	// Obs supplies the metrics registry behind /metrics (a registry is
+	// created when absent, so the endpoints always work).
+	Obs *obs.Sink
+	// Clock overrides time.Now for the rate limiter (tests).
+	Clock func() time.Time
+}
+
+// Server serves one Disk through one Engine. Create with New, mount
+// Handler, and call Drain after the HTTP server has shut down.
+type Server struct {
+	disk *ooc.Disk
+	eng  *ooc.Engine
+	cfg  Config
+	reg  *obs.Registry
+	mux  *http.ServeMux
+
+	flights   flightGroup
+	limiter   *rateLimiter // nil = unlimited
+	sem       chan struct{}
+	queued    atomic.Int64
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+
+	met serverMetrics
+}
+
+// serverMetrics are the serving-layer registry series.
+type serverMetrics struct {
+	requests      *obs.Counter
+	errors        *obs.Counter
+	coalesced     *obs.Counter
+	rejectedRate  *obs.Counter
+	rejectedQueue *obs.Counter
+	inflight      *obs.Gauge
+	latency       *obs.Histogram
+}
+
+// New wires a serving core over the disk and engine. The engine must
+// be running over the same disk; the server takes ownership of both at
+// Drain (engine closed, disk synced and closed).
+func New(d *ooc.Disk, eng *ooc.Engine, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.RatePerSec))
+	}
+	reg := cfg.Obs.MetricsOf()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		disk: d,
+		eng:  eng,
+		cfg:  cfg,
+		reg:  reg,
+		sem:  make(chan struct{}, cfg.MaxInflight),
+	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Clock)
+	}
+	s.met = serverMetrics{
+		requests:      reg.Counter("occd_requests_total", "data-plane requests admitted"),
+		errors:        reg.Counter("occd_errors_total", "data-plane requests that failed (5xx)"),
+		coalesced:     reg.Counter("occd_coalesced_requests_total", "tile reads served by joining an in-flight fetch"),
+		rejectedRate:  reg.Counter("occd_rejected_ratelimit_total", "requests rejected by the per-client rate limit (429)"),
+		rejectedQueue: reg.Counter("occd_rejected_queue_total", "requests rejected by the full admission queue (503)"),
+		inflight:      reg.Gauge("occd_inflight", "requests currently holding an engine slot"),
+		latency: reg.Histogram("occd_request_seconds",
+			"admitted request latency in seconds", obs.ExpBuckets(1e-5, 4, 10)),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/arrays", s.admit(s.handleArrayList))
+	s.mux.HandleFunc("POST /v1/arrays", s.admit(s.handleArrayCreate))
+	s.mux.HandleFunc("GET /v1/arrays/{name}", s.admit(s.handleArrayGet))
+	s.mux.HandleFunc("GET /v1/arrays/{name}/tile", s.admit(s.handleTileGet))
+	s.mux.HandleFunc("PUT /v1/arrays/{name}/tile", s.admit(s.handleTilePut))
+	return s
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain finishes the server's storage side: it stops admitting new
+// data-plane work, flushes every dirty tile through the engine, syncs
+// the backends and closes disk and engine. Call it after the HTTP
+// server's Shutdown has returned, so no request is mid-flight. It is
+// idempotent; the first error wins.
+func (s *Server) Drain() error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() {
+		err := s.eng.Close()
+		if cerr := s.disk.Close(); err == nil {
+			err = cerr
+		}
+		s.drainErr = err
+	})
+	return s.drainErr
+}
+
+// Draining reports whether Drain has begun (healthz flips to 503).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// clientID keys the rate limiter: the X-Client-ID header when present
+// (load balancers and the load harness set it), else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admit is the data-plane gate: drain check, per-client rate limit
+// (429), then the bounded queue over the inflight semaphore (503).
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if s.limiter != nil {
+			if ok, retry := s.limiter.allow(clientID(r)); !ok {
+				s.met.rejectedRate.Inc()
+				w.Header().Set("Retry-After", retrySeconds(retry))
+				http.Error(w, "per-client rate limit exceeded", http.StatusTooManyRequests)
+				return
+			}
+		}
+		release, ok := s.enter(r)
+		if !ok {
+			s.met.rejectedQueue.Inc()
+			w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
+			http.Error(w, "admission queue full", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+		s.met.requests.Inc()
+		t0 := time.Now()
+		next(w, r)
+		s.met.latency.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// enter acquires an inflight slot, waiting in the bounded queue when
+// all slots are busy. It fails when the queue is full or the client
+// gave up (request context canceled).
+func (s *Server) enter(r *http.Request) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			return nil, false
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			return nil, false
+		}
+	}
+	s.met.inflight.Set(float64(len(s.sem)))
+	return func() {
+		<-s.sem
+		s.met.inflight.Set(float64(len(s.sem)))
+	}, true
+}
+
+// retrySeconds renders a Retry-After value, rounding up to at least 1
+// (the header carries whole seconds).
+func retrySeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteJSON(w); err != nil {
+			s.met.errors.Inc()
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.met.errors.Inc()
+	}
+}
+
+// statsPayload is the /v1/stats JSON: live engine counters plus the
+// serving-layer counters the load harness reports deltas of.
+type statsPayload struct {
+	Engine            ooc.EngineStats `json:"engine"`
+	HitRate           float64         `json:"hit_rate"`
+	Requests          int64           `json:"requests"`
+	Coalesced         int64           `json:"coalesced"`
+	RejectedRateLimit int64           `json:"rejected_ratelimit"`
+	RejectedQueue     int64           `json:"rejected_queue"`
+	Inflight          int64           `json:"inflight"`
+	Queued            int64           `json:"queued"`
+	Draining          bool            `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	es := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsPayload{
+		Engine:            es,
+		HitRate:           es.HitRate(),
+		Requests:          s.met.requests.Value(),
+		Coalesced:         s.met.coalesced.Value(),
+		RejectedRateLimit: s.met.rejectedRate.Value(),
+		RejectedQueue:     s.met.rejectedQueue.Value(),
+		Inflight:          int64(len(s.sem)),
+		Queued:            s.queued.Load(),
+		Draining:          s.draining.Load(),
+	})
+}
+
+// arrayInfo is the wire form of an array's metadata.
+type arrayInfo struct {
+	Name   string  `json:"name"`
+	Dims   []int64 `json:"dims"`
+	Elems  int64   `json:"elems"`
+	Layout string  `json:"layout,omitempty"`
+}
+
+func infoOf(ar *ooc.Array) arrayInfo {
+	return arrayInfo{Name: ar.Meta.Name, Dims: ar.Meta.Dims, Elems: ar.Meta.Len()}
+}
+
+func (s *Server) handleArrayList(w http.ResponseWriter, r *http.Request) {
+	arrays := s.disk.Arrays()
+	out := make([]arrayInfo, len(arrays))
+	for i, ar := range arrays {
+		out[i] = infoOf(ar)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createRequest is the POST /v1/arrays body. Layout picks the file
+// layout the tiles are stored under: "row" (default) or "col".
+type createRequest struct {
+	Name   string  `json:"name"`
+	Dims   []int64 `json:"dims"`
+	Layout string  `json:"layout"`
+}
+
+func (s *Server) handleArrayCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad create body: %v", err)
+		return
+	}
+	if req.Name == "" || strings.ContainsAny(req.Name, "/\\ \t\n") {
+		httpError(w, http.StatusBadRequest, "bad array name %q", req.Name)
+		return
+	}
+	if len(req.Dims) == 0 {
+		httpError(w, http.StatusBadRequest, "array needs at least one dimension")
+		return
+	}
+	for _, d := range req.Dims {
+		if d <= 0 {
+			httpError(w, http.StatusBadRequest, "non-positive extent %d", d)
+			return
+		}
+	}
+	var l *layout.Layout
+	switch req.Layout {
+	case "", "row":
+		l = layout.RowMajor(req.Dims...)
+	case "col":
+		l = layout.ColMajor(req.Dims...)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown layout %q (row, col)", req.Layout)
+		return
+	}
+	ar, err := s.disk.CreateArray(ir.NewArray(req.Name, req.Dims...), l)
+	if err != nil {
+		if strings.Contains(err.Error(), "already exists") {
+			httpError(w, http.StatusConflict, "%v", err)
+		} else {
+			s.met.errors.Inc()
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(ar))
+}
+
+func (s *Server) handleArrayGet(w http.ResponseWriter, r *http.Request) {
+	ar := s.disk.ArrayByName(r.PathValue("name"))
+	if ar == nil {
+		httpError(w, http.StatusNotFound, "no array %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(ar))
+}
+
+// tileTarget resolves {name} + lo/hi query params into a clipped,
+// validated box, writing the 4xx response itself on failure.
+func (s *Server) tileTarget(w http.ResponseWriter, r *http.Request) (*ooc.Array, layout.Box, bool) {
+	ar := s.disk.ArrayByName(r.PathValue("name"))
+	if ar == nil {
+		httpError(w, http.StatusNotFound, "no array %q", r.PathValue("name"))
+		return nil, layout.Box{}, false
+	}
+	lo, err := parseCoords(r.URL.Query().Get("lo"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad lo: %v", err)
+		return nil, layout.Box{}, false
+	}
+	hi, err := parseCoords(r.URL.Query().Get("hi"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad hi: %v", err)
+		return nil, layout.Box{}, false
+	}
+	rank := len(ar.Meta.Dims)
+	if len(lo) != rank || len(hi) != rank {
+		httpError(w, http.StatusBadRequest, "tile rank %d/%d, array rank %d", len(lo), len(hi), rank)
+		return nil, layout.Box{}, false
+	}
+	for d := range lo {
+		if hi[d] < lo[d] {
+			httpError(w, http.StatusBadRequest, "hi[%d]=%d below lo[%d]=%d", d, hi[d], d, lo[d])
+			return nil, layout.Box{}, false
+		}
+	}
+	box := layout.NewBox(lo, hi).Clip(ar.Meta.Dims)
+	if box.Empty() {
+		httpError(w, http.StatusBadRequest, "tile %v is empty after clipping to %v", layout.NewBox(lo, hi), ar.Meta.Dims)
+		return nil, layout.Box{}, false
+	}
+	return ar, box, true
+}
+
+func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
+	ar, box, ok := s.tileTarget(w, r)
+	if !ok {
+		return
+	}
+	key := ar.Meta.Name + "|" + box.String()
+	payload, coalesced, err := s.flights.do(key, func() ([]byte, error) {
+		h, err := s.eng.Acquire(ar, box)
+		if err != nil {
+			return nil, err
+		}
+		defer s.eng.Release(h, false)
+		return encodePayload(h.Tile().Data()), nil
+	})
+	if coalesced {
+		s.met.coalesced.Inc()
+	}
+	if err != nil {
+		s.engineError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
+	w.Header().Set("X-Tile-Coalesced", strconv.FormatBool(coalesced))
+	w.Write(payload)
+}
+
+func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
+	ar, box, ok := s.tileTarget(w, r)
+	if !ok {
+		return
+	}
+	want := box.Size() * ooc.ElemSize
+	body, err := readBody(r, want)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "tile payload: %v (want %d bytes for %v)", err, want, box)
+		return
+	}
+	h, err := s.eng.Acquire(ar, box)
+	if err != nil {
+		s.engineError(w, err)
+		return
+	}
+	decodePayload(body, h.Tile().Data())
+	s.eng.Release(h, true)
+	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// engineError maps engine failures: a closed engine means we are
+// shutting down (503), anything else is a real 500.
+func (s *Server) engineError(w http.ResponseWriter, err error) {
+	if err == ooc.ErrEngineClosed {
+		w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
+		httpError(w, http.StatusServiceUnavailable, "engine closed")
+		return
+	}
+	s.met.errors.Inc()
+	httpError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// parseCoords parses "1,2,3" into coordinates.
+func parseCoords(s string) ([]int64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing coordinates")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %q: %w", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative coordinate %d", v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// readBody reads exactly want bytes of request body.
+func readBody(r *http.Request, want int64) ([]byte, error) {
+	body := make([]byte, want)
+	n, err := io.ReadFull(r.Body, body)
+	if err != nil {
+		return nil, fmt.Errorf("short body: %d of %d bytes", n, want)
+	}
+	// A longer body than the box holds is a malformed request, not
+	// silent truncation.
+	var extra [1]byte
+	if m, _ := r.Body.Read(extra[:]); m > 0 {
+		return nil, fmt.Errorf("body longer than the tile")
+	}
+	return body, nil
+}
+
+// encodePayload renders elements as little-endian float64 bytes (the
+// tile wire format, matching the file backend's on-disk encoding).
+func encodePayload(data []float64) []byte {
+	out := make([]byte, len(data)*ooc.ElemSize)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(out[i*ooc.ElemSize:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodePayload fills data from the wire format; len(b) must be
+// exactly len(data)*ElemSize (callers validate).
+func decodePayload(b []byte, data []float64) {
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*ooc.ElemSize:]))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}

@@ -1,0 +1,51 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent requests for the same key into one
+// execution: the first caller (the leader) runs fn, every caller that
+// arrives while the leader is in flight waits and shares the leader's
+// result. This is the serving-layer complement of the engine's
+// per-tile coalescing: the engine guarantees one BACKEND read per
+// in-flight tile, the flight group additionally collapses the
+// per-request work above it (acquire/encode/release) and — because it
+// reports whether a call was coalesced — gives the server an exact
+// coalesced-request counter to export.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress execution and its eventual result.
+type flight struct {
+	done    chan struct{} // closed when payload/err are final
+	payload []byte
+	err     error
+}
+
+// do returns fn's result for key, executing fn once per set of
+// concurrent callers. coalesced reports whether this caller joined an
+// existing flight instead of leading one. The shared payload must be
+// treated as read-only by all callers.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (payload []byte, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.payload, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.payload, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.payload, false, f.err
+}

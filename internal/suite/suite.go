@@ -67,6 +67,16 @@ func ByName(name string) (Kernel, bool) {
 	return Kernel{}, false
 }
 
+// KernelNames returns the kernel names in Table-1 order; command-line
+// tools list them in -kernel validation errors.
+func KernelNames() []string {
+	names := make([]string, len(Kernels))
+	for i, k := range Kernels {
+		names[i] = k.Name
+	}
+	return names
+}
+
 // Version names one of the paper's six program versions.
 type Version string
 
@@ -82,6 +92,26 @@ const (
 
 // Versions lists all six in the paper's column order.
 var Versions = []Version{Col, Row, LOpt, DOpt, COpt, HOpt}
+
+// VersionNames returns the six version names in the paper's order.
+func VersionNames() []string {
+	names := make([]string, len(Versions))
+	for i, v := range Versions {
+		names[i] = string(v)
+	}
+	return names
+}
+
+// ParseVersion maps a command-line value to a Version; ok is false for
+// anything that is not one of the six.
+func ParseVersion(s string) (Version, bool) {
+	for _, v := range Versions {
+		if string(v) == s {
+			return v, true
+		}
+	}
+	return "", false
+}
 
 // PlanFor derives the optimization plan for a version.
 func PlanFor(p *ir.Program, v Version) (*core.Plan, error) {
