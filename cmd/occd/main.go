@@ -50,6 +50,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth beyond -inflight")
 	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
+	maxArrayElems := flag.Int64("max-array-elems", 0, "cap on a created array's element count (0 = default, <0 = unlimited)")
+	maxTileElems := flag.Int64("max-tile-elems", 0, "cap on one tile request's element count (0 = default, <0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
 	flag.Parse()
 
@@ -84,11 +86,13 @@ func main() {
 
 	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
 	srv := server.New(d, eng, server.Config{
-		MaxInflight: *inflight,
-		QueueDepth:  *queue,
-		RatePerSec:  *rate,
-		Burst:       *burst,
-		Obs:         sink,
+		MaxInflight:   *inflight,
+		QueueDepth:    *queue,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		MaxArrayElems: *maxArrayElems,
+		MaxTileElems:  *maxTileElems,
+		Obs:           sink,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -107,6 +111,10 @@ func main() {
 		log.Print("occd: signal received, draining")
 		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Even if Shutdown gives up at the deadline with requests still
+		// in flight, srv.Drain below blocks until every one of them has
+		// released its engine handle before closing the engine — an
+		// acknowledged write is never dropped by a slow drain.
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("occd: shutdown: %v", err)
 		}

@@ -34,6 +34,7 @@
 package ooc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -192,6 +193,10 @@ type Array struct {
 	bmu     sync.RWMutex // readers: ReadTile; writers: WriteTile
 }
 
+// ErrArrayExists is returned (wrapped) by CreateArray when an array of
+// the same name is already on the disk; match it with errors.Is.
+var ErrArrayExists = errors.New("ooc: array already exists")
+
 // CreateArray allocates the file for an array under the given layout.
 // Creating the same array twice is an error. Unlike the data setup
 // helpers, creation is mutex-guarded, so a serving layer may create
@@ -201,7 +206,7 @@ func (d *Disk) CreateArray(a *ir.Array, l *layout.Layout) (*Array, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.arrays[a.Name]; dup {
-		return nil, fmt.Errorf("ooc: array %s already exists", a.Name)
+		return nil, fmt.Errorf("%w: %s", ErrArrayExists, a.Name)
 	}
 	if l.Size() != a.Len() {
 		return nil, fmt.Errorf("ooc: layout size %d != array size %d for %s", l.Size(), a.Len(), a.Name)

@@ -14,8 +14,19 @@
 //     worker semaphore (503 + Retry-After when the queue overflows), so
 //     overload degrades with backpressure instead of collapse.
 //   - Graceful drain: new work is refused while in-flight requests
-//     finish, then every dirty tile is flushed and the backends synced
-//     and closed, so an acknowledged write survives a SIGTERM.
+//     finish (Drain itself waits them out, even when the HTTP server's
+//     shutdown grace period expired first), then every dirty tile is
+//     flushed and the backends synced and closed, so an acknowledged
+//     write survives a SIGTERM.
+//   - Consistency: tile access is serialized per array — GETs share a
+//     reader lock, a PUT excludes them — so concurrent clients can
+//     never tear the pinned in-memory tile a request is encoding or
+//     decoding, and a GET issued after a PUT's 204 observes that write
+//     (the write generation versions the coalescing flight key).
+//   - Abuse limits: array creation caps the overflow-checked element
+//     count (Config.MaxArrayElems, 400) and tile requests cap the
+//     clipped per-request element count (Config.MaxTileElems, 413), so
+//     a client cannot drive unbounded allocations.
 //
 // API (payloads are raw little-endian float64, box-local row-major):
 //
@@ -32,6 +43,7 @@ package server
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -48,6 +60,17 @@ import (
 	"outcore/internal/layout"
 	"outcore/internal/obs"
 	"outcore/internal/ooc"
+)
+
+// Data-plane size limits. Both are per-server caps with sane
+// defaults; Config fields set to a negative value disable them.
+const (
+	// DefaultMaxArrayElems caps a created array's total element count
+	// (2^28 elements = 2 GiB of float64 backing).
+	DefaultMaxArrayElems = int64(1) << 28
+	// DefaultMaxTileElems caps a single tile request's element count
+	// after clipping (2^22 elements = 32 MiB payload).
+	DefaultMaxTileElems = int64(1) << 22
 )
 
 // Config tunes the serving core. The zero value gets sane defaults
@@ -70,6 +93,15 @@ type Config struct {
 	// RetryAfter is the hint returned with 503 responses (default 1s);
 	// 429 responses compute the exact token refill wait instead.
 	RetryAfter time.Duration
+	// MaxArrayElems caps the total element count of a created array
+	// (overflow-checked product of its dims). 0 means
+	// DefaultMaxArrayElems; negative disables the cap. Beyond it,
+	// POST /v1/arrays answers 400.
+	MaxArrayElems int64
+	// MaxTileElems caps one tile request's element count after
+	// clipping. 0 means DefaultMaxTileElems; negative disables the
+	// cap. Beyond it, tile GET/PUT answer 413.
+	MaxTileElems int64
 	// Obs supplies the metrics registry behind /metrics (a registry is
 	// created when absent, so the endpoints always work).
 	Obs *obs.Sink
@@ -94,7 +126,42 @@ type Server struct {
 	drainOnce sync.Once
 	drainErr  error
 
+	// locks serializes the data plane per array; see tileLock. The map
+	// only grows, bounded by the number of arrays ever addressed.
+	lockMu sync.Mutex
+	locks  map[string]*tileLock
+
 	met serverMetrics
+}
+
+// tileLock serializes tile data access for one array. Tile GETs read
+// the pinned in-memory tile's buffer and tile PUTs write that same
+// buffer in place, and the engine's consistency contract (see
+// ooc.Engine) forbids releasing a tile dirty while overlapping pinned
+// tiles are held elsewhere — a rule the schedule guarantees for
+// codegen but that two arbitrary HTTP clients can violate. Readers
+// therefore share the lock and a writer excludes them, for aligned and
+// unaligned overlapping boxes alike.
+//
+// gen counts acknowledged writes. It versions the GET flight key so a
+// read that starts after a completed PUT can never join a flight whose
+// leader acquired the tile before that write applied
+// (read-your-writes; see flightGroup).
+type tileLock struct {
+	mu  sync.RWMutex
+	gen atomic.Uint64
+}
+
+// lockFor returns (creating on first use) the array's tile lock.
+func (s *Server) lockFor(name string) *tileLock {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	l, ok := s.locks[name]
+	if !ok {
+		l = &tileLock{}
+		s.locks[name] = l
+	}
+	return l
 }
 
 // serverMetrics are the serving-layer registry series.
@@ -124,16 +191,23 @@ func New(d *ooc.Disk, eng *ooc.Engine, cfg Config) *Server {
 	if cfg.Burst <= 0 {
 		cfg.Burst = int(math.Ceil(cfg.RatePerSec))
 	}
+	if cfg.MaxArrayElems == 0 {
+		cfg.MaxArrayElems = DefaultMaxArrayElems
+	}
+	if cfg.MaxTileElems == 0 {
+		cfg.MaxTileElems = DefaultMaxTileElems
+	}
 	reg := cfg.Obs.MetricsOf()
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		disk: d,
-		eng:  eng,
-		cfg:  cfg,
-		reg:  reg,
-		sem:  make(chan struct{}, cfg.MaxInflight),
+		disk:  d,
+		eng:   eng,
+		cfg:   cfg,
+		reg:   reg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		locks: map[string]*tileLock{},
 	}
 	if cfg.RatePerSec > 0 {
 		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Clock)
@@ -164,16 +238,37 @@ func New(d *ooc.Disk, eng *ooc.Engine, cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain finishes the server's storage side: it stops admitting new
-// data-plane work, flushes every dirty tile through the engine, syncs
-// the backends and closes disk and engine. Call it after the HTTP
-// server's Shutdown has returned, so no request is mid-flight. It is
+// data-plane work, waits for every in-flight request to finish, then
+// flushes every dirty tile through the engine, syncs the backends and
+// closes disk and engine. Normally the HTTP server's Shutdown has
+// already waited out in-flight requests; when it gave up (drain
+// timeout), Drain's own barrier still guarantees no handler is
+// mid-engine-operation when the engine closes — otherwise a PUT could
+// be acknowledged with 204 while its dirty tile, pinned during Close,
+// silently missed the final flush. Requests parked in the admission
+// queue when the barrier closes proceed afterwards, observe the closed
+// engine and answer 503 — failed, not falsely acknowledged. Drain is
 // idempotent; the first error wins.
 func (s *Server) Drain() error {
 	s.draining.Store(true)
 	s.drainOnce.Do(func() {
+		// Admission of new work is off (draining flag), so filling the
+		// inflight semaphore is a barrier over every handler that holds
+		// a slot: when the loop completes, no request is touching the
+		// engine and every acknowledged write has released its dirty
+		// tile, unpinned, for Close to flush.
+		for i := 0; i < cap(s.sem); i++ {
+			s.sem <- struct{}{}
+		}
 		err := s.eng.Close()
 		if cerr := s.disk.Close(); err == nil {
 			err = cerr
+		}
+		// Release the barrier so queued waiters can run (and fail fast
+		// against the closed engine) instead of hanging until their
+		// clients give up.
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
 		}
 		s.drainErr = err
 	})
@@ -365,6 +460,15 @@ func (s *Server) handleArrayCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	elems, ok := checkedProduct(req.Dims)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "dims %v overflow the element count", req.Dims)
+		return
+	}
+	if lim := s.cfg.MaxArrayElems; lim > 0 && elems > lim {
+		httpError(w, http.StatusBadRequest, "array of %d elements exceeds the server limit of %d", elems, lim)
+		return
+	}
 	var l *layout.Layout
 	switch req.Layout {
 	case "", "row":
@@ -377,7 +481,7 @@ func (s *Server) handleArrayCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	ar, err := s.disk.CreateArray(ir.NewArray(req.Name, req.Dims...), l)
 	if err != nil {
-		if strings.Contains(err.Error(), "already exists") {
+		if errors.Is(err, ooc.ErrArrayExists) {
 			httpError(w, http.StatusConflict, "%v", err)
 		} else {
 			s.met.errors.Inc()
@@ -431,6 +535,13 @@ func (s *Server) tileTarget(w http.ResponseWriter, r *http.Request) (*ooc.Array,
 		httpError(w, http.StatusBadRequest, "tile %v is empty after clipping to %v", layout.NewBox(lo, hi), ar.Meta.Dims)
 		return nil, layout.Box{}, false
 	}
+	// The clipped size cannot overflow (array creation capped the dims
+	// product), but it can still be an unreasonable single request.
+	if lim := s.cfg.MaxTileElems; lim > 0 && box.Size() > lim {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"tile %v holds %d elements, over the per-request limit of %d", box, box.Size(), lim)
+		return nil, layout.Box{}, false
+	}
 	return ar, box, true
 }
 
@@ -439,8 +550,12 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	key := ar.Meta.Name + "|" + box.String()
-	payload, coalesced, err := s.flights.do(key, func() ([]byte, error) {
+	lk := s.lockFor(ar.Meta.Name)
+	payload, coalesced, err := s.flights.do(tileFlightKey(lk, ar.Meta.Name, box), func() ([]byte, error) {
+		// Shared lock: concurrent GETs overlap freely; a PUT to this
+		// array is excluded while the pinned tile's buffer is encoded.
+		lk.mu.RLock()
+		defer lk.mu.RUnlock()
 		h, err := s.eng.Acquire(ar, box)
 		if err != nil {
 			return nil, err
@@ -472,13 +587,24 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "tile payload: %v (want %d bytes for %v)", err, want, box)
 		return
 	}
+	// Exclusive lock: while this PUT decodes into the pinned tile's
+	// buffer and releases it dirty, no GET of the same array holds a
+	// pin — which both prevents torn reads of the shared slice and
+	// upholds the engine's contract that a dirty release never races
+	// overlapping pinned tiles (so overlap invalidation cannot skip a
+	// reader-pinned stale entry).
+	lk := s.lockFor(ar.Meta.Name)
+	lk.mu.Lock()
 	h, err := s.eng.Acquire(ar, box)
 	if err != nil {
+		lk.mu.Unlock()
 		s.engineError(w, err)
 		return
 	}
 	decodePayload(body, h.Tile().Data())
 	s.eng.Release(h, true)
+	lk.gen.Add(1) // version GET flights past this write before acknowledging
+	lk.mu.Unlock()
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -513,6 +639,30 @@ func parseCoords(s string) ([]int64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// tileFlightKey names the coalescing flight for (array, box). The
+// write generation in the key keeps read-your-writes: a GET that
+// starts after a PUT's 204 reads a bumped generation and so can only
+// land on a flight whose leader acquired the tile after that write
+// applied. Flights keyed by older generations may still be in the
+// map, but no new-generation reader can join them.
+func tileFlightKey(lk *tileLock, name string, box layout.Box) string {
+	return fmt.Sprintf("%s|g%d|%s", name, lk.gen.Load(), box.String())
+}
+
+// checkedProduct multiplies positive extents, reporting overflow
+// instead of wrapping (a created array's element count must stay a
+// valid int64 before any limit comparison happens).
+func checkedProduct(dims []int64) (int64, bool) {
+	n := int64(1)
+	for _, d := range dims {
+		if d <= 0 || n > math.MaxInt64/d {
+			return 0, false
+		}
+		n *= d
+	}
+	return n, true
 }
 
 // readBody reads exactly want bytes of request body.

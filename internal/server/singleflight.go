@@ -11,6 +11,14 @@ import "sync"
 // per-request work above it (acquire/encode/release) and — because it
 // reports whether a call was coalesced — gives the server an exact
 // coalesced-request counter to export.
+//
+// A flight group by itself is only as fresh as its leader: a caller
+// joining a flight gets data from the moment the LEADER started, so a
+// key that stays stable across writes would let a GET that begins
+// after an acknowledged PUT join a pre-write flight and time-travel
+// backwards. The server therefore versions tile flight keys with the
+// array's write generation (see tileLock): a post-write GET computes a
+// key no pre-write flight is registered under and starts fresh.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
