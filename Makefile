@@ -10,7 +10,7 @@ FUZZ_TARGETS := \
 	./internal/layout/:FuzzBoxOverlaps \
 	./internal/ooc/:FuzzTileKey
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load
+.PHONY: build test race check fuzz vet fmt cover suite baseline load chaos
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,15 @@ baseline:
 load:
 	$(GO) run ./cmd/occload -kernel trans -version c-opt \
 		-clients 16 -requests 4000 -zipf 1.2
+
+# Deterministic chaos sweep: the dst/faultfs test suites under -race,
+# then CHAOS_EPISODES seeded simulation episodes (power cuts, torn
+# writes, failing syncs). A failing episode prints its reproducer
+# seed. Nightly CI runs this plus one random seed.
+CHAOS_EPISODES ?= 50
+chaos:
+	$(GO) test -race ./internal/dst/ ./internal/faultfs/
+	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES)
 
 fmt:
 	gofmt -l -w .

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"outcore/internal/codegen"
+	"outcore/internal/faultfs"
 	"outcore/internal/obs"
 	"outcore/internal/ooc"
 	"outcore/internal/server"
@@ -53,10 +54,23 @@ func main() {
 	maxArrayElems := flag.Int64("max-array-elems", 0, "cap on a created array's element count (0 = default, <0 = unlimited)")
 	maxTileElems := flag.Int64("max-tile-elems", 0, "cap on one tile request's element count (0 = default, <0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
+	faults := flag.Int64("faults", 0, "TESTING ONLY: inject deterministic storage faults from this seed (0 = off); failures surface as 5xx")
 	flag.Parse()
 
 	sink := &obs.Sink{Metrics: obs.NewRegistry()}
 	d := ooc.NewDisk(*maxCall).Observe(sink)
+	var inj *faultfs.Injector
+	if *faults != 0 {
+		inj = faultfs.New(*faults, faultfs.Profile{
+			ReadErr:      0.05,
+			WriteErr:     0.05,
+			WriteNoSpace: 0.02,
+			TornWrite:    0.06,
+			SyncErr:      0.10,
+		}).Observe(sink)
+		d.WrapBackend(inj.Wrap)
+		log.Printf("occd: FAULT INJECTION armed (seed %d) — storage errors are deliberate; do not serve real data", *faults)
+	}
 	if *dir != "" {
 		d.Dir(*dir)
 		if *keep {
@@ -79,8 +93,14 @@ func main() {
 		prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
 		plan, err := suite.PlanFor(prog, ver)
 		fail(err)
+		if inj != nil {
+			inj.Heal() // array creation passes through; the storm starts with serving
+		}
 		_, err = codegen.SetupDiskOn(d, prog, plan, nil)
 		fail(err)
+		if inj != nil {
+			inj.Arm()
+		}
 		log.Printf("occd: created %d arrays for %s/%s", len(prog.Arrays), k.Name, ver)
 	}
 
@@ -118,6 +138,11 @@ func main() {
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("occd: shutdown: %v", err)
 		}
+	}
+	if inj != nil {
+		// Heal before the drain: the flush retry against the recovered
+		// device must land every surviving write.
+		inj.Heal()
 	}
 	fail(srv.Drain())
 	log.Print("occd: drained; dirty tiles flushed and synced")

@@ -7,6 +7,16 @@
 //
 //	occload -kernel trans -version c-opt -clients 16 -requests 4000 \
 //	    -zipf 1.2 -json BENCH_load.json -metrics-out load-metrics.prom
+//
+// Two chaos modes ride on the same binary. -faults <seed> wraps the
+// served arrays' backends in the internal/faultfs injector: a
+// deterministic storm of EIO/ENOSPC/torn-write/sync failures surfaces
+// as 5xx responses (counted, not fatal), and the injector heals before
+// the final drain so the flush-retry path must land every surviving
+// write. -crash-every <n> switches to episode mode: instead of HTTP
+// load it runs one internal/dst simulation (power cuts every ~n steps,
+// crash-consistency checks against the sequential model) and exits 1
+// on any violation — see cmd/occhaos to sweep many seeds.
 package main
 
 import (
@@ -17,12 +27,26 @@ import (
 	"strings"
 
 	"outcore/internal/codegen"
+	"outcore/internal/dst"
 	"outcore/internal/exp"
+	"outcore/internal/faultfs"
 	"outcore/internal/obs"
 	"outcore/internal/ooc"
 	"outcore/internal/server"
 	"outcore/internal/suite"
 )
+
+// loadProfile is the fault storm -faults turns on: every class of
+// device misbehaviour at rates that keep most requests succeeding.
+func loadProfile() faultfs.Profile {
+	return faultfs.Profile{
+		ReadErr:      0.05,
+		WriteErr:     0.05,
+		WriteNoSpace: 0.02,
+		TornWrite:    0.06,
+		SyncErr:      0.10,
+	}
+}
 
 func main() {
 	kernel := flag.String("kernel", "trans", "benchmark kernel whose arrays to serve")
@@ -46,7 +70,14 @@ func main() {
 	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
 	jsonOut := flag.String("json", "", "write the outcore-bench/v1 report here")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run")
+	faults := flag.Int64("faults", 0, "inject deterministic storage faults from this seed (0 = off)")
+	crashEvery := flag.Int("crash-every", 0, "episode mode: run one dst simulation with a power cut every ~n steps instead of HTTP load (0 = off)")
 	flag.Parse()
+
+	if *crashEvery != 0 {
+		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles)
+		return
+	}
 
 	k, ok := suite.ByName(*kernel)
 	if !ok {
@@ -65,8 +96,18 @@ func main() {
 	prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
 	plan, err := suite.PlanFor(prog, ver)
 	fail(err)
-	d, err := codegen.SetupDiskOn(ooc.NewDisk(*maxCall).Observe(sink), prog, plan, nil)
+	base := ooc.NewDisk(*maxCall).Observe(sink)
+	var inj *faultfs.Injector
+	if *faults != 0 {
+		inj = faultfs.New(*faults, loadProfile()).Observe(sink)
+		inj.Heal() // array creation writes pass through; the storm starts with the load
+		base.WrapBackend(inj.Wrap)
+	}
+	d, err := codegen.SetupDiskOn(base, prog, plan, nil)
 	fail(err)
+	if inj != nil {
+		inj.Arm()
+	}
 
 	var target *ooc.Array
 	if *array != "" {
@@ -106,6 +147,12 @@ func main() {
 		Seed:     *seed,
 	})
 	hts.Close()
+	if inj != nil {
+		// Heal before the drain: the engine's flush retry against the
+		// recovered device must land every surviving write — a drain
+		// failure here is a real bug, not an injected one.
+		inj.Heal()
+	}
 	drainErr := srv.Drain()
 	fail(err)
 	fail(drainErr)
@@ -117,6 +164,10 @@ func main() {
 	fmt.Printf("  latency p50 %.2fms, p99 %.2fms\n", res.P50*1e3, res.P99*1e3)
 	fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
 		res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
+	if inj != nil {
+		fmt.Printf("  faults: seed %d, %d injected (healed before drain; errors above are expected)\n",
+			*faults, inj.Injected())
+	}
 
 	config := fmt.Sprintf("serve-%s-c%d-z%g", ver, *clients, *zipf)
 	if *jsonOut != "" {
@@ -138,8 +189,36 @@ func main() {
 		fail(f.Close())
 		fmt.Printf("  wrote %s\n", *metricsOut)
 	}
-	if res.Errors > 0 {
+	if res.Errors > 0 && inj == nil {
 		fail(fmt.Errorf("%d requests failed", res.Errors))
+	}
+}
+
+// runEpisode is -crash-every: one deterministic dst simulation in
+// place of the HTTP load, reusing the load-shape flags (requests as
+// scheduler steps, clients as logical clients).
+func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles int) {
+	var prof faultfs.Profile
+	if seed != 0 {
+		prof = loadProfile()
+	}
+	res := dst.Run(dst.Options{
+		Seed:       seed,
+		Ops:        ops,
+		Clients:    clients,
+		CrashEvery: crashEvery,
+		Workers:    workers,
+		CacheTiles: cacheTiles,
+		Profile:    prof,
+	})
+	fmt.Println("occload: episode", res.Summary())
+	if res.Failed() {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "occload:   violation:", v)
+		}
+		fmt.Fprintf(os.Stderr, "occload: reproduce with: occload -faults %d -crash-every %d -requests %d -clients %d -workers %d -cache-tiles %d\n",
+			seed, crashEvery, ops, clients, workers, cacheTiles)
+		os.Exit(1)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // Backend stores an array's file contents. Offsets and lengths are in
@@ -201,13 +202,26 @@ func (d *Disk) WrapBackend(wrap func(name string, b Backend) Backend) *Disk {
 	return d
 }
 
+// sortedArraysLocked returns the arrays in name order. Close and Sync
+// walk backends in this order so instrumented backends (fault
+// injection, call recording) see a deterministic call sequence — map
+// iteration order must never leak into a replayable fault schedule.
+func (d *Disk) sortedArraysLocked() []*Array {
+	out := make([]*Array, 0, len(d.arrays))
+	for _, arr := range d.arrays {
+		out = append(out, arr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.Name < out[j].Meta.Name })
+	return out
+}
+
 // Close releases every array's backend (file handles and locks for
-// file-backed disks; no-ops otherwise).
+// file-backed disks; no-ops otherwise), in name order.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var first error
-	for _, arr := range d.arrays {
+	for _, arr := range d.sortedArraysLocked() {
 		if err := arr.backend.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -215,14 +229,15 @@ func (d *Disk) Close() error {
 	return first
 }
 
-// Sync forces every array's buffered writes to stable storage. The
-// engine calls it after write-backs on Flush/Close; servers call it at
-// drain so acknowledged writes survive the process.
+// Sync forces every array's buffered writes to stable storage, in
+// name order. The engine calls it after write-backs on Flush/Close;
+// servers call it at drain so acknowledged writes survive the
+// process.
 func (d *Disk) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var first error
-	for _, arr := range d.arrays {
+	for _, arr := range d.sortedArraysLocked() {
 		if err := arr.backend.Sync(); err != nil && first == nil {
 			first = err
 		}

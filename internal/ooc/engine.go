@@ -43,13 +43,14 @@ type EngineOptions struct {
 // EngineStats is a point-in-time view over the engine's obs counters
 // (each field an atomic snapshot; see Engine.Stats).
 type EngineStats struct {
-	Hits           int64 // acquires/touches served from cache
-	Misses         int64 // acquires/touches that went to the backend
-	Evictions      int64 // entries removed by capacity pressure
-	Invalidations  int64 // entries dropped because an overlapping tile was dirtied
-	Writebacks     int64 // dirty tiles flushed to the backend
-	PrefetchIssued int64 // async tile reads dispatched ahead of use
-	PrefetchUseful int64 // acquires that found their tile prefetched
+	Hits            int64 // acquires/touches served from cache
+	Misses          int64 // acquires/touches that went to the backend
+	Evictions       int64 // entries removed by capacity pressure
+	Invalidations   int64 // entries dropped because an overlapping tile was dirtied
+	Writebacks      int64 // dirty tiles flushed to the backend
+	WritebackErrors int64 // write-backs that failed (the tile stays dirty and is retried)
+	PrefetchIssued  int64 // async tile reads dispatched ahead of use
+	PrefetchUseful  int64 // acquires that found their tile prefetched
 }
 
 // Acquires returns the total tile requests seen by the cache.
@@ -135,13 +136,14 @@ type Engine struct {
 // engineMetrics are the per-engine cache counters, updated atomically
 // on the hot paths and read back by Stats.
 type engineMetrics struct {
-	hits           obs.Counter
-	misses         obs.Counter
-	evictions      obs.Counter
-	invalidations  obs.Counter
-	writebacks     obs.Counter
-	prefetchIssued obs.Counter
-	prefetchUseful obs.Counter
+	hits            obs.Counter
+	misses          obs.Counter
+	evictions       obs.Counter
+	invalidations   obs.Counter
+	writebacks      obs.Counter
+	writebackErrors obs.Counter
+	prefetchIssued  obs.Counter
+	prefetchUseful  obs.Counter
 }
 
 // NewEngine starts an engine over the disk.
@@ -228,7 +230,17 @@ func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
 		ent := &entry{key: key, arr: ar, box: box, pins: 1, loading: true, ready: make(chan struct{})}
 		e.entries[key] = ent
 		ent.elem = e.lru.PushFront(ent)
-		e.flushOverlapDirtyLocked(ar, box, key)
+		if ferr := e.flushOverlapDirtyLocked(ar, box, key); ferr != nil {
+			// Reading the backend now would observe data older than a
+			// released overlapping write; fail the acquire instead of
+			// serving a stale tile. The dirty tile stays cached for a
+			// retry against a healed backend.
+			ent.loading = false
+			close(ent.ready)
+			e.removeLocked(ent)
+			e.mu.Unlock()
+			return nil, ferr
+		}
 		e.mu.Unlock()
 
 		var t0 time.Time
@@ -414,7 +426,9 @@ func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
 		return
 	}
 	e.met.misses.Inc()
-	e.flushOverlapDirtyLocked(ar, box, key)
+	// Accounting-only disks have no data to lose: TouchWrite cannot
+	// fail, so the flush error is structurally nil here.
+	_ = e.flushOverlapDirtyLocked(ar, box, key)
 	ar.TouchRead(box)
 	ent := &entry{key: key, arr: ar, box: box, touch: true}
 	e.entries[key] = ent
@@ -432,19 +446,38 @@ func (e *Engine) Touch(ar *Array, box layout.Box, write bool) {
 // iteration order must never leak into the I/O schedule), then syncs
 // the backends so file-backed arrays are durable at the flush point.
 // Cached tiles stay resident (clean).
+// A failed Flush is NOT sticky: it reports this pass's first failure
+// (failed tiles stay dirty and cached), and a later Flush against a
+// healed backend can succeed — the durability acknowledgement point
+// fault-tolerant callers retry against.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+// flushLocked writes back every unpinned dirty tile and syncs the
+// backends, returning the first error of THIS pass (nil when
+// everything, including the sync, succeeded).
+func (e *Engine) flushLocked() error {
+	var first error
 	for el := e.lru.Back(); el != nil; el = el.Prev() {
 		ent := el.Value.(*entry)
 		if ent.dirty && ent.pins == 0 && !ent.loading {
-			e.writebackLocked(ent)
+			if err := e.writebackLocked(ent); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	if err := e.disk.Sync(); err != nil && e.firstErr == nil {
-		e.firstErr = err
+	if err := e.disk.Sync(); err != nil {
+		if first == nil {
+			first = err
+		}
+		if e.firstErr == nil {
+			e.firstErr = err
+		}
 	}
-	return e.firstErr
+	return first
 }
 
 // Close drains the worker pool, flushes dirty tiles, syncs the backends
@@ -465,17 +498,34 @@ func (e *Engine) Close() error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for el := e.lru.Back(); el != nil; el = el.Prev() {
-		ent := el.Value.(*entry)
-		if ent.dirty && ent.pins == 0 && !ent.loading {
-			e.writebackLocked(ent)
-		}
-	}
-	if err := e.disk.Sync(); err != nil && e.firstErr == nil {
-		e.firstErr = err
-	}
+	e.flushLocked()
 	e.publishMetricsLocked()
 	return e.firstErr
+}
+
+// Abandon stops the engine WITHOUT flushing dirty tiles: the crash
+// path for fault-injection harnesses, where cached writes are memory
+// and a power cut loses them. Workers stop, the cache is discarded,
+// and further calls fail with ErrEngineClosed. Production shutdown
+// wants Close (or Server.Drain); Abandon deliberately forfeits every
+// write the backend has not yet acknowledged.
+func (e *Engine) Abandon() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	if e.jobs != nil {
+		close(e.jobs)
+		e.wg.Wait()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.entries = map[TileKey]*entry{}
+	e.lru = list.New()
+	e.publishMetricsLocked()
 }
 
 // Stats returns a point-in-time view of the counters. Each field is
@@ -483,13 +533,14 @@ func (e *Engine) Close() error {
 // after all engine users joined).
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Hits:           e.met.hits.Value(),
-		Misses:         e.met.misses.Value(),
-		Evictions:      e.met.evictions.Value(),
-		Invalidations:  e.met.invalidations.Value(),
-		Writebacks:     e.met.writebacks.Value(),
-		PrefetchIssued: e.met.prefetchIssued.Value(),
-		PrefetchUseful: e.met.prefetchUseful.Value(),
+		Hits:            e.met.hits.Value(),
+		Misses:          e.met.misses.Value(),
+		Evictions:       e.met.evictions.Value(),
+		Invalidations:   e.met.invalidations.Value(),
+		Writebacks:      e.met.writebacks.Value(),
+		WritebackErrors: e.met.writebackErrors.Value(),
+		PrefetchIssued:  e.met.prefetchIssued.Value(),
+		PrefetchUseful:  e.met.prefetchUseful.Value(),
 	}
 }
 
@@ -528,6 +579,7 @@ func (e *Engine) publishMetricsLocked() {
 		{"ooc_engine_evictions_total", "cache entries removed by capacity pressure", s.Evictions},
 		{"ooc_engine_invalidations_total", "cache entries dropped by overlapping dirty tiles", s.Invalidations},
 		{"ooc_engine_writebacks_total", "dirty tiles flushed to the backend", s.Writebacks},
+		{"ooc_engine_writeback_errors_total", "tile write-backs that failed (retried while dirty)", s.WritebackErrors},
 		{"ooc_engine_prefetch_issued_total", "async tile reads dispatched ahead of use", s.PrefetchIssued},
 		{"ooc_engine_prefetch_useful_total", "tile requests that found their tile prefetched", s.PrefetchUseful},
 	} {
@@ -549,8 +601,12 @@ func (e *Engine) Resident() int {
 }
 
 // writebackLocked flushes one dirty entry (data tiles via WriteTile,
-// accounting entries via TouchWrite) and marks it clean.
-func (e *Engine) writebackLocked(ent *entry) {
+// accounting entries via TouchWrite) and marks it clean. On failure
+// the entry STAYS dirty — the data still exists only in memory, so
+// clearing the flag would silently drop an acknowledged write; the
+// next flush/eviction/close retries, and once the backend heals the
+// write-back succeeds.
+func (e *Engine) writebackLocked(ent *entry) error {
 	if ent.touch {
 		ent.arr.TouchWrite(ent.box)
 	} else {
@@ -558,8 +614,13 @@ func (e *Engine) writebackLocked(ent *entry) {
 		if e.trace != nil {
 			t0 = time.Now()
 		}
-		if err := ent.tile.WriteTile(); err != nil && e.firstErr == nil {
-			e.firstErr = fmt.Errorf("ooc: engine write-back of %s %v: %w", ent.arr.Meta.Name, ent.box, err)
+		if err := ent.tile.WriteTile(); err != nil {
+			err = fmt.Errorf("ooc: engine write-back of %s %v: %w", ent.arr.Meta.Name, ent.box, err)
+			if e.firstErr == nil {
+				e.firstErr = err
+			}
+			e.met.writebackErrors.Inc()
+			return err
 		}
 		if !t0.IsZero() {
 			e.observeSpan(obs.KindWriteback, ent.arr.Meta.Name, t0, ent.box.Size()*ElemSize)
@@ -567,19 +628,25 @@ func (e *Engine) writebackLocked(ent *entry) {
 	}
 	ent.dirty = false
 	e.met.writebacks.Inc()
+	return nil
 }
 
 // flushOverlapDirtyLocked makes the backend current for box: every
 // dirty resident tile of the same array overlapping box (other than
 // key itself) is written back, so a subsequent backend read observes
-// all released writes.
-func (e *Engine) flushOverlapDirtyLocked(ar *Array, box layout.Box, key TileKey) {
+// all released writes. A write-back failure is returned — reading
+// the backend anyway would serve data older than a released write.
+func (e *Engine) flushOverlapDirtyLocked(ar *Array, box layout.Box, key TileKey) error {
+	var first error
 	for el := e.lru.Back(); el != nil; el = el.Prev() {
 		ent := el.Value.(*entry)
 		if ent.key != key && ent.arr == ar && ent.dirty && !ent.loading && ent.box.Overlaps(box) {
-			e.writebackLocked(ent)
+			if err := e.writebackLocked(ent); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
+	return first
 }
 
 // overlapsDirtyLocked reports whether box overlaps any dirty tile of ar.
@@ -609,7 +676,11 @@ func (e *Engine) invalidateOverlapLocked(dirtied *entry) {
 		if ent.dirty && !ent.loading {
 			// Two overlapping dirty tiles violate the contract; flushing
 			// before dropping at least loses no released write entirely.
-			e.writebackLocked(ent)
+			// If even the flush fails, keep the entry — dropping it
+			// would lose the write outright.
+			if e.writebackLocked(ent) != nil {
+				continue
+			}
 		}
 		if ent.loading {
 			ent.dropped = true
@@ -631,7 +702,13 @@ func (e *Engine) evictLocked() {
 				continue
 			}
 			if ent.dirty {
-				e.writebackLocked(ent)
+				if e.writebackLocked(ent) != nil {
+					// Evicting a tile whose write-back failed would lose
+					// the only copy of its data; keep it dirty and try
+					// another victim. The cache may transiently exceed
+					// its bound while the backend is unhealthy.
+					continue
+				}
 			}
 			e.removeLocked(ent)
 			e.met.evictions.Inc()

@@ -36,7 +36,6 @@ package ooc
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -236,12 +235,7 @@ func (d *Disk) ArrayByName(name string) *Array {
 func (d *Disk) Arrays() []*Array {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]*Array, 0, len(d.arrays))
-	for _, arr := range d.arrays {
-		out = append(out, arr)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Meta.Name < out[j].Meta.Name })
-	return out
+	return d.sortedArraysLocked()
 }
 
 // callsFor splits contiguous runs by the per-call cap.

@@ -1,0 +1,136 @@
+package tiling
+
+import (
+	"reflect"
+	"testing"
+
+	"outcore/internal/ir"
+	"outcore/internal/matrix"
+)
+
+// TestChooseEdgeCases pins Choose's behaviour at the boundaries the
+// main tests skip over: rank-1 nests, zero-trip iteration spaces, and
+// budgets so large the tile parameter clears every extent.
+func TestChooseEdgeCases(t *testing.T) {
+	ref1 := func(n int64) []RefAccess {
+		return []RefAccess{{Array: ir.NewArray("A", n), M: matrix.Identity(1), Off: []int64{0}}}
+	}
+	ref2 := func(r, c int64) []RefAccess {
+		return []RefAccess{{Array: ir.NewArray("A", r, c), M: matrix.Identity(2), Off: []int64{0, 0}}}
+	}
+
+	cases := []struct {
+		name      string
+		refs      []RefAccess
+		tlo, thi  []int64
+		budget    int64
+		strat     Strategy
+		wantB     int64
+		wantSizes []int64
+		wantErr   bool
+	}{
+		{
+			name: "1d traditional splits to the budget",
+			refs: ref1(100), tlo: []int64{0}, thi: []int64{99},
+			budget: 10, strat: Traditional,
+			wantB: 10, wantSizes: []int64{10},
+		},
+		{
+			name: "1d out-of-core cannot tile its only (innermost) dim",
+			refs: ref1(100), tlo: []int64{0}, thi: []int64{99},
+			budget: 10, strat: OutOfCore,
+			wantErr: true,
+		},
+		{
+			name: "1d out-of-core feasible when the row fits",
+			refs: ref1(8), tlo: []int64{0}, thi: []int64{7},
+			budget: 10, strat: OutOfCore,
+			wantB: 8, wantSizes: []int64{8},
+		},
+		{
+			name: "1d unlimited budget takes the whole extent",
+			refs: ref1(100), tlo: []int64{0}, thi: []int64{99},
+			budget: 0, strat: Traditional,
+			wantB: 100, wantSizes: []int64{100},
+		},
+		{
+			name: "zero-trip nest collapses to an empty tile",
+			refs: ref1(8), tlo: []int64{0}, thi: []int64{-1}, // hi < lo: zero iterations
+			budget: 4, strat: Traditional,
+			wantB: 1, wantSizes: []int64{0},
+		},
+		{
+			name: "zero-trip out-of-core keeps the empty innermost extent",
+			refs: ref1(8), tlo: []int64{0}, thi: []int64{-1},
+			budget: 4, strat: OutOfCore,
+			wantB: 1, wantSizes: []int64{0},
+		},
+		{
+			name: "zero-trip outer dim still tiles the inner one",
+			refs: ref2(8, 64), tlo: []int64{0, 0}, thi: []int64{-1, 63},
+			budget: 16, strat: Traditional,
+			wantB: 16, wantSizes: []int64{0, 16},
+		},
+		{
+			name: "tile parameter larger than a ragged extent clamps per-dim",
+			refs: ref2(4, 64), tlo: []int64{0, 0}, thi: []int64{3, 63},
+			budget: 256, strat: Traditional,
+			wantB: 64, wantSizes: []int64{4, 64},
+		},
+		{
+			name: "budget beyond the whole space stops at the extents",
+			refs: ref2(8, 8), tlo: []int64{0, 0}, thi: []int64{7, 7},
+			budget: 1 << 20, strat: Traditional,
+			wantB: 8, wantSizes: []int64{8, 8},
+		},
+		{
+			name: "single-iteration nest",
+			refs: ref1(8), tlo: []int64{3}, thi: []int64{3},
+			budget: 1, strat: Traditional,
+			wantB: 1, wantSizes: []int64{1},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := Choose(tc.refs, tc.tlo, tc.thi, tc.budget, tc.strat)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Choose = %+v, want error", spec)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.B != tc.wantB {
+				t.Errorf("B = %d, want %d", spec.B, tc.wantB)
+			}
+			if !reflect.DeepEqual(spec.Sizes, tc.wantSizes) {
+				t.Errorf("Sizes = %v, want %v", spec.Sizes, tc.wantSizes)
+			}
+			if tc.budget > 0 {
+				if fp := Footprint(tc.refs, spec.Sizes); fp > tc.budget {
+					t.Errorf("footprint %d exceeds budget %d", fp, tc.budget)
+				}
+			}
+		})
+	}
+}
+
+// TestFootprintDegenerateSizes: zero and one-element tile sizes must
+// not underflow the per-dimension extents (a zero-size dimension still
+// touches the single point the offsets name).
+func TestFootprintDegenerateSizes(t *testing.T) {
+	a := ir.NewArray("A", 16, 16)
+	refs := []RefAccess{{Array: a, M: matrix.Identity(2), Off: []int64{0, 0}}}
+	if got := Footprint(refs, []int64{0, 0}); got != 1 {
+		t.Errorf("zero-size footprint = %d, want 1", got)
+	}
+	if got := Footprint(refs, []int64{1, 1}); got != 1 {
+		t.Errorf("unit footprint = %d, want 1", got)
+	}
+	if got := Footprint(refs, []int64{0, 16}); got != 16 {
+		t.Errorf("mixed footprint = %d, want 16", got)
+	}
+}
