@@ -10,7 +10,7 @@ FUZZ_TARGETS := \
 	./internal/layout/:FuzzBoxOverlaps \
 	./internal/ooc/:FuzzTileKey
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load chaos
+.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep chaos
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ baseline:
 load:
 	$(GO) run ./cmd/occload -kernel trans -version c-opt \
 		-clients 16 -requests 4000 -zipf 1.2
+
+# Shard sweep: the identical read-heavy workload once per shard count,
+# reporting throughput vs N. This is the recipe whose rows ride in
+# BENCH_baseline.json (informational — serving rows never gate).
+sweep:
+	$(GO) run ./cmd/occload -kernel trans -version c-opt \
+		-clients 32 -read-frac 1 -requests 100000 -shard-sweep 1,2,4,8
 
 # Deterministic chaos sweep: the dst/faultfs test suites under -race,
 # then CHAOS_EPISODES seeded simulation episodes (power cuts, torn

@@ -47,6 +47,7 @@ func main() {
 	maxCall := flag.Int64("maxcall", 8192, "per-call element cap (0 = unlimited)")
 	workers := flag.Int("workers", 4, "engine I/O workers")
 	cacheTiles := flag.Int("cache-tiles", 256, "resident tile bound (LRU)")
+	shards := flag.Int("shards", 1, "shard the tile plane this many ways (1 = single engine); with -dir, backing files stripe to match")
 	inflight := flag.Int("inflight", 0, "max concurrent data-plane requests (0 = 2*GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue depth beyond -inflight")
 	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
@@ -57,17 +58,16 @@ func main() {
 	faults := flag.Int64("faults", 0, "TESTING ONLY: inject deterministic storage faults from this seed (0 = off); failures surface as 5xx")
 	flag.Parse()
 
+	if err := server.ValidateShards(*shards); err != nil {
+		fmt.Fprintf(os.Stderr, "occd: -shards: %v\n", err)
+		os.Exit(2)
+	}
+
 	sink := &obs.Sink{Metrics: obs.NewRegistry()}
 	d := ooc.NewDisk(*maxCall).Observe(sink)
 	var inj *faultfs.Injector
 	if *faults != 0 {
-		inj = faultfs.New(*faults, faultfs.Profile{
-			ReadErr:      0.05,
-			WriteErr:     0.05,
-			WriteNoSpace: 0.02,
-			TornWrite:    0.06,
-			SyncErr:      0.10,
-		}).Observe(sink)
+		inj = faultfs.NewStorm(*faults).Observe(sink)
 		d.WrapBackend(inj.Wrap)
 		log.Printf("occd: FAULT INJECTION armed (seed %d) — storage errors are deliberate; do not serve real data", *faults)
 	}
@@ -75,6 +75,11 @@ func main() {
 		d.Dir(*dir)
 		if *keep {
 			d.KeepExisting()
+		}
+		if *shards > 1 {
+			// PFS-style layout: stripe each backing file across as many
+			// sub-files as the plane has shards.
+			d.Stripe(*shards, 0)
 		}
 	}
 	if *kernel != "" {
@@ -104,7 +109,7 @@ func main() {
 		log.Printf("occd: created %d arrays for %s/%s", len(prog.Arrays), k.Name, ver)
 	}
 
-	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
+	eng := server.BuildEngine(d, *shards, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
 	srv := server.New(d, eng, server.Config{
 		MaxInflight:   *inflight,
 		QueueDepth:    *queue,

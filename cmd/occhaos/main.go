@@ -23,9 +23,11 @@ import (
 
 	"outcore/internal/dst"
 	"outcore/internal/faultfs"
+	"outcore/internal/server"
 )
 
 func main() {
+	storm := faultfs.StormProfile()
 	episodes := flag.Int("episodes", 50, "number of seeded episodes to run")
 	seed := flag.Int64("seed", 0, "first seed; episodes use seed, seed+1, ...")
 	random := flag.Bool("random", false, "append one wall-clock-derived seed (printed)")
@@ -35,14 +37,20 @@ func main() {
 	putFrac := flag.Float64("put-frac", 0.4, "fraction of client ops that are PUTs")
 	flushEvery := flag.Int("flush-every", 20, "~one flush per this many steps (<0 disables)")
 	crashEvery := flag.Int("crash-every", 50, "~one power cut per this many steps (<0 disables)")
-	readErr := flag.Float64("read-err", 0.05, "probability a backend read fails EIO")
-	writeErr := flag.Float64("write-err", 0.05, "probability a backend write fails EIO")
-	noSpace := flag.Float64("nospace", 0.02, "probability a backend write fails ENOSPC")
-	torn := flag.Float64("torn", 0.06, "probability a backend write tears (strict prefix applied)")
-	syncErr := flag.Float64("sync-err", 0.10, "probability a sync fails (writes stay volatile)")
+	shards := flag.Int("shards", 1, "run episodes against a sharded tile plane (1 = single engine); scheduled crashes then mix power cuts with single-shard crashes")
+	readErr := flag.Float64("read-err", storm.ReadErr, "probability a backend read fails EIO")
+	writeErr := flag.Float64("write-err", storm.WriteErr, "probability a backend write fails EIO")
+	noSpace := flag.Float64("nospace", storm.WriteNoSpace, "probability a backend write fails ENOSPC")
+	torn := flag.Float64("torn", storm.TornWrite, "probability a backend write tears (strict prefix applied)")
+	syncErr := flag.Float64("sync-err", storm.SyncErr, "probability a sync fails (writes stay volatile)")
 	syncDrop := flag.Float64("sync-drop", 0, "probability a sync LIES (reports success, persists nothing) — episodes are expected to fail")
 	verbose := flag.Bool("v", false, "print every episode verdict; with a failure, dump its op log and fault schedule")
 	flag.Parse()
+
+	if err := server.ValidateShards(*shards); err != nil {
+		fmt.Fprintf(os.Stderr, "occhaos: -shards: %v\n", err)
+		os.Exit(2)
+	}
 
 	prof := faultfs.Profile{
 		ReadErr:      *readErr,
@@ -51,7 +59,7 @@ func main() {
 		TornWrite:    *torn,
 		SyncErr:      *syncErr,
 		SyncDrop:     *syncDrop,
-		LatencyTicks: 8,
+		LatencyTicks: faultfs.StormLatencyTicks,
 	}
 
 	seeds := make([]int64, 0, *episodes+1)
@@ -76,6 +84,7 @@ func main() {
 			PutFrac:    *putFrac,
 			FlushEvery: *flushEvery,
 			CrashEvery: *crashEvery,
+			Shards:     *shards,
 			Profile:    prof,
 		})
 		faults += res.FaultsInjected

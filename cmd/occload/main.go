@@ -8,6 +8,12 @@
 //	occload -kernel trans -version c-opt -clients 16 -requests 4000 \
 //	    -zipf 1.2 -json BENCH_load.json -metrics-out load-metrics.prom
 //
+// -shards N serves through a sharded tile plane (ooc.ShardedEngine)
+// and prints the per-shard scorecard; -shard-sweep "1,2,4,8" runs the
+// identical workload once per shard count and reports throughput
+// versus N (each pass appends a row to the -json report, config
+// suffixed "-s<N>").
+//
 // Two chaos modes ride on the same binary. -faults <seed> wraps the
 // served arrays' backends in the internal/faultfs injector: a
 // deterministic storm of EIO/ENOSPC/torn-write/sync failures surfaces
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 
 	"outcore/internal/codegen"
@@ -35,18 +42,6 @@ import (
 	"outcore/internal/server"
 	"outcore/internal/suite"
 )
-
-// loadProfile is the fault storm -faults turns on: every class of
-// device misbehaviour at rates that keep most requests succeeding.
-func loadProfile() faultfs.Profile {
-	return faultfs.Profile{
-		ReadErr:      0.05,
-		WriteErr:     0.05,
-		WriteNoSpace: 0.02,
-		TornWrite:    0.06,
-		SyncErr:      0.10,
-	}
-}
 
 func main() {
 	kernel := flag.String("kernel", "trans", "benchmark kernel whose arrays to serve")
@@ -63,19 +58,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic tile-choice seed")
 	maxCall := flag.Int64("maxcall", 8192, "per-call element cap (0 = unlimited)")
 	workers := flag.Int("workers", 4, "engine I/O workers")
-	cacheTiles := flag.Int("cache-tiles", 64, "resident tile bound (LRU)")
+	cacheTiles := flag.Int("cache-tiles", 64, "resident tile bound (LRU), plane-wide (split across shards)")
+	shards := flag.Int("shards", 1, "shard the tile plane this many ways (1 = single engine)")
+	shardSweep := flag.String("shard-sweep", "", "comma-separated shard counts (e.g. 1,2,4,8): run the identical workload once per count and report throughput vs N (overrides -shards)")
 	inflight := flag.Int("inflight", 0, "max concurrent data-plane requests (0 = 2*GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue depth")
 	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
 	jsonOut := flag.String("json", "", "write the outcore-bench/v1 report here")
-	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run (last sweep pass)")
 	faults := flag.Int64("faults", 0, "inject deterministic storage faults from this seed (0 = off)")
 	crashEvery := flag.Int("crash-every", 0, "episode mode: run one dst simulation with a power cut every ~n steps instead of HTTP load (0 = off)")
 	flag.Parse()
 
+	if err := server.ValidateShards(*shards); err != nil {
+		fmt.Fprintf(os.Stderr, "occload: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	counts := []int{*shards}
+	sweeping := *shardSweep != ""
+	if sweeping {
+		var err error
+		if counts, err = parseShardSweep(*shardSweep); err != nil {
+			fmt.Fprintf(os.Stderr, "occload: -shard-sweep: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *crashEvery != 0 {
-		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles)
+		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles, *shards)
 		return
 	}
 
@@ -92,89 +103,123 @@ func main() {
 		os.Exit(2)
 	}
 
-	sink := &obs.Sink{Metrics: obs.NewRegistry()}
-	prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
-	plan, err := suite.PlanFor(prog, ver)
-	fail(err)
-	base := ooc.NewDisk(*maxCall).Observe(sink)
-	var inj *faultfs.Injector
-	if *faults != 0 {
-		inj = faultfs.New(*faults, loadProfile()).Observe(sink)
-		inj.Heal() // array creation writes pass through; the storm starts with the load
-		base.WrapBackend(inj.Wrap)
-	}
-	d, err := codegen.SetupDiskOn(base, prog, plan, nil)
-	fail(err)
-	if inj != nil {
-		inj.Arm()
-	}
-
-	var target *ooc.Array
-	if *array != "" {
-		if target = d.ArrayByName(*array); target == nil {
-			fail(fmt.Errorf("kernel %s has no array %q", k.Name, *array))
+	var rows []exp.BenchEntry
+	var lastSink *obs.Sink
+	var prevThroughput float64
+	for pass, n := range counts {
+		sink := &obs.Sink{Metrics: obs.NewRegistry()}
+		lastSink = sink
+		prog := k.Build(suite.Config{N2: *n2, N3: *n3, N4: *n4})
+		plan, err := suite.PlanFor(prog, ver)
+		fail(err)
+		base := ooc.NewDisk(*maxCall).Observe(sink)
+		var inj *faultfs.Injector
+		if *faults != 0 {
+			inj = faultfs.NewStorm(*faults).Observe(sink)
+			inj.Heal() // array creation writes pass through; the storm starts with the load
+			base.WrapBackend(inj.Wrap)
 		}
-	} else {
-		for _, ar := range d.Arrays() {
-			if target == nil || ar.Meta.Len() > target.Meta.Len() {
-				target = ar
+		d, err := codegen.SetupDiskOn(base, prog, plan, nil)
+		fail(err)
+		if inj != nil {
+			inj.Arm()
+		}
+
+		var target *ooc.Array
+		if *array != "" {
+			if target = d.ArrayByName(*array); target == nil {
+				fail(fmt.Errorf("kernel %s has no array %q", k.Name, *array))
+			}
+		} else {
+			for _, ar := range d.Arrays() {
+				if target == nil || ar.Meta.Len() > target.Meta.Len() {
+					target = ar
+				}
+			}
+			if target == nil {
+				fail(fmt.Errorf("kernel %s builds no arrays", k.Name))
 			}
 		}
-		if target == nil {
-			fail(fmt.Errorf("kernel %s builds no arrays", k.Name))
+
+		eng := server.BuildEngine(d, n, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
+		srv := server.New(d, eng, server.Config{
+			MaxInflight: *inflight,
+			QueueDepth:  *queue,
+			RatePerSec:  *rate,
+			Burst:       *burst,
+			Obs:         sink,
+		})
+		hts := httptest.NewServer(srv.Handler())
+
+		res, err := server.RunLoad(server.LoadSpec{
+			BaseURL:  hts.URL,
+			Array:    target.Meta.Name,
+			Dims:     target.Meta.Dims,
+			TileEdge: *tileEdge,
+			Clients:  *clients,
+			Requests: *requests,
+			ZipfS:    *zipf,
+			ReadFrac: *readFrac,
+			Seed:     *seed,
+		})
+		hts.Close()
+		// The per-shard scorecard reads live shard counters, so capture it
+		// before Drain closes the engine.
+		var scorecard []ooc.EngineStats
+		if se, ok := eng.(*ooc.ShardedEngine); ok {
+			scorecard = se.ShardStats()
+		}
+		if inj != nil {
+			// Heal before the drain: the engine's flush retry against the
+			// recovered device must land every surviving write — a drain
+			// failure here is a real bug, not an injected one.
+			inj.Heal()
+		}
+		drainErr := srv.Drain()
+		fail(err)
+		fail(drainErr)
+
+		if pass == 0 {
+			fmt.Printf("occload: %s/%s array %s %v, %d clients x %d requests (zipf %.2f, %d%% reads)\n",
+				k.Name, ver, target.Meta.Name, target.Meta.Dims, *clients, *requests, *zipf, int(*readFrac*100))
+		}
+		if sweeping {
+			fmt.Printf("shards %d:\n", n)
+		}
+		fmt.Printf("  ok %d, rejected %d, errors %d in %.2fs  (%.0f req/s)\n",
+			res.OK, res.Rejected, res.Errors, res.Seconds, res.Throughput)
+		fmt.Printf("  latency p50 %.2fms, p99 %.2fms\n", res.P50*1e3, res.P99*1e3)
+		fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
+			res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
+		for i, ss := range scorecard {
+			fmt.Printf("    shard %d: %d hits / %d misses (hit rate %.1f%%), %d evictions, %d writebacks\n",
+				i, ss.Hits, ss.Misses, 100*ss.HitRate(), ss.Evictions, ss.Writebacks)
+		}
+		if inj != nil {
+			fmt.Printf("  faults: seed %d, %d injected (healed before drain; errors above are expected)\n",
+				*faults, inj.Injected())
+		}
+		if sweeping && pass > 0 && res.Throughput < prevThroughput {
+			fmt.Printf("  note: throughput dropped vs previous pass (%.0f < %.0f req/s)\n",
+				res.Throughput, prevThroughput)
+		}
+		prevThroughput = res.Throughput
+
+		config := fmt.Sprintf("serve-%s-c%d-z%g", ver, *clients, *zipf)
+		if sweeping || n > 1 {
+			config += fmt.Sprintf("-s%d", n)
+		}
+		rows = append(rows, exp.LoadBenchEntry(k.Name, config, res))
+		if res.Errors > 0 && inj == nil {
+			fail(fmt.Errorf("%d requests failed", res.Errors))
 		}
 	}
 
-	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
-	srv := server.New(d, eng, server.Config{
-		MaxInflight: *inflight,
-		QueueDepth:  *queue,
-		RatePerSec:  *rate,
-		Burst:       *burst,
-		Obs:         sink,
-	})
-	hts := httptest.NewServer(srv.Handler())
-
-	res, err := server.RunLoad(server.LoadSpec{
-		BaseURL:  hts.URL,
-		Array:    target.Meta.Name,
-		Dims:     target.Meta.Dims,
-		TileEdge: *tileEdge,
-		Clients:  *clients,
-		Requests: *requests,
-		ZipfS:    *zipf,
-		ReadFrac: *readFrac,
-		Seed:     *seed,
-	})
-	hts.Close()
-	if inj != nil {
-		// Heal before the drain: the engine's flush retry against the
-		// recovered device must land every surviving write — a drain
-		// failure here is a real bug, not an injected one.
-		inj.Heal()
-	}
-	drainErr := srv.Drain()
-	fail(err)
-	fail(drainErr)
-
-	fmt.Printf("occload: %s/%s array %s %v, %d clients x %d requests (zipf %.2f, %d%% reads)\n",
-		k.Name, ver, target.Meta.Name, target.Meta.Dims, *clients, *requests, *zipf, int(*readFrac*100))
-	fmt.Printf("  ok %d, rejected %d, errors %d in %.2fs  (%.0f req/s)\n",
-		res.OK, res.Rejected, res.Errors, res.Seconds, res.Throughput)
-	fmt.Printf("  latency p50 %.2fms, p99 %.2fms\n", res.P50*1e3, res.P99*1e3)
-	fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
-		res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
-	if inj != nil {
-		fmt.Printf("  faults: seed %d, %d injected (healed before drain; errors above are expected)\n",
-			*faults, inj.Injected())
-	}
-
-	config := fmt.Sprintf("serve-%s-c%d-z%g", ver, *clients, *zipf)
 	if *jsonOut != "" {
 		rep := exp.BenchReport{
 			Schema:  exp.BenchSchema,
 			Setup:   exp.BenchSetup{N2: *n2, N3: *n3, N4: *n4},
-			Results: []exp.BenchEntry{exp.LoadBenchEntry(k.Name, config, res)},
+			Results: rows,
 		}
 		f, err := os.Create(*jsonOut)
 		fail(err)
@@ -185,22 +230,35 @@ func main() {
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		fail(err)
-		fail(sink.Metrics.WritePrometheus(f))
+		fail(lastSink.Metrics.WritePrometheus(f))
 		fail(f.Close())
 		fmt.Printf("  wrote %s\n", *metricsOut)
 	}
-	if res.Errors > 0 && inj == nil {
-		fail(fmt.Errorf("%d requests failed", res.Errors))
+}
+
+// parseShardSweep parses "1,2,4,8" into validated shard counts.
+func parseShardSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard count %q: %v", part, err)
+		}
+		if err := server.ValidateShards(n); err != nil {
+			return nil, err
+		}
+		out = append(out, n)
 	}
+	return out, nil
 }
 
 // runEpisode is -crash-every: one deterministic dst simulation in
 // place of the HTTP load, reusing the load-shape flags (requests as
 // scheduler steps, clients as logical clients).
-func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles int) {
+func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shards int) {
 	var prof faultfs.Profile
 	if seed != 0 {
-		prof = loadProfile()
+		prof = faultfs.StormProfile()
 	}
 	res := dst.Run(dst.Options{
 		Seed:       seed,
@@ -209,6 +267,7 @@ func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles int) {
 		CrashEvery: crashEvery,
 		Workers:    workers,
 		CacheTiles: cacheTiles,
+		Shards:     shards,
 		Profile:    prof,
 	})
 	fmt.Println("occload: episode", res.Summary())
@@ -216,8 +275,8 @@ func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles int) {
 		for _, v := range res.Violations {
 			fmt.Fprintln(os.Stderr, "occload:   violation:", v)
 		}
-		fmt.Fprintf(os.Stderr, "occload: reproduce with: occload -faults %d -crash-every %d -requests %d -clients %d -workers %d -cache-tiles %d\n",
-			seed, crashEvery, ops, clients, workers, cacheTiles)
+		fmt.Fprintf(os.Stderr, "occload: reproduce with: occload -faults %d -crash-every %d -requests %d -clients %d -workers %d -cache-tiles %d -shards %d\n",
+			seed, crashEvery, ops, clients, workers, cacheTiles, shards)
 		os.Exit(1)
 	}
 }

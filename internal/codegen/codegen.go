@@ -54,7 +54,7 @@ type Options struct {
 	// budget, which is not consulted on this path. The caller owns the
 	// engine: Flush/Close it before reading results or I/O stats so
 	// dirty cached tiles reach the backend.
-	Engine *ooc.Engine
+	Engine ooc.TileEngine
 	// Obs, when it carries a trace, emits one KindCompute span per
 	// executed tile (the statement-iteration work between I/O bursts) —
 	// the counterpart to the engine's fetch/prefetch spans that makes
@@ -70,7 +70,7 @@ type Schedule struct {
 	Spec tiling.Spec
 
 	dryRun    bool
-	engine    *ooc.Engine
+	engine    ooc.TileEngine
 	trace     *obs.Trace
 	traceName string
 	bounds    *fm.Bounds

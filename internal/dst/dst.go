@@ -69,6 +69,7 @@ type Options struct {
 	Profile      faultfs.Profile // fault probabilities (zero = fault-free)
 	Workers      int             // engine workers; 0 keeps the episode replayable
 	CacheTiles   int             // engine cache bound (default 4: smaller than Tiles, forces eviction traffic)
+	Shards       int             // >1 runs the episode against a sharded tile plane (scheduled crashes then alternate between full power cuts and single-shard crashes)
 	MaxCallElems int64           // per-call element cap on the disk (default 0 = unlimited)
 
 	// SkipFinalCheck leaves out the episode epilogue (heal faults,
@@ -113,6 +114,7 @@ type Result struct {
 	Replayable bool // Workers == 0: the schedule is a pure function of the seed
 
 	Ops, Gets, Puts, Flushes, Crashes int
+	ShardCrashes                      int // single-shard crashes (sharded episodes only; cache lost, no power cut)
 	AckedFlushes                      int // flushes that returned nil (durability acknowledgements)
 	GetErrors, PutErrors, FlushErrors int // operations failed by injected faults (surfaced, not hidden)
 	FaultsInjected                    int64
@@ -137,8 +139,12 @@ func (r *Result) Summary() string {
 	if r.Failed() {
 		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
 	}
-	return fmt.Sprintf("seed=%d ops=%d gets=%d puts=%d flushes=%d(%d acked) crashes=%d faults=%d errs=%d/%d/%d %s",
-		r.Seed, r.Ops, r.Gets, r.Puts, r.Flushes, r.AckedFlushes, r.Crashes,
+	shard := ""
+	if r.ShardCrashes > 0 {
+		shard = fmt.Sprintf("+%ds", r.ShardCrashes)
+	}
+	return fmt.Sprintf("seed=%d ops=%d gets=%d puts=%d flushes=%d(%d acked) crashes=%d%s faults=%d errs=%d/%d/%d %s",
+		r.Seed, r.Ops, r.Gets, r.Puts, r.Flushes, r.AckedFlushes, r.Crashes, shard,
 		r.FaultsInjected, r.GetErrors, r.PutErrors, r.FlushErrors, verdict)
 }
 
@@ -153,7 +159,7 @@ type episode struct {
 
 	disk *ooc.Disk
 	arr  *ooc.Array
-	eng  *ooc.Engine
+	eng  ooc.TileEngine
 
 	// The sequential map-of-tiles model, element-exact.
 	volatileT [][]float64 // expected current contents per tile
@@ -192,7 +198,14 @@ func Run(o Options) *Result {
 		ep.res.Ops++
 		switch {
 		case o.CrashEvery > 0 && ep.rng.Float64() < 1/float64(o.CrashEvery):
-			ep.crash("scheduled")
+			// The extra coin flip only exists in sharded episodes, so a
+			// single-engine episode's schedule is byte-identical whether or
+			// not this branch exists.
+			if o.Shards > 1 && ep.rng.Intn(2) == 1 {
+				ep.crashShard("scheduled")
+			} else {
+				ep.crash("scheduled")
+			}
 		case o.FlushEvery > 0 && ep.rng.Float64() < 1/float64(o.FlushEvery):
 			ep.flush()
 		default:
@@ -230,7 +243,12 @@ func (ep *episode) open() {
 		panic(fmt.Sprintf("dst: creating %s: %v", arrayName, err))
 	}
 	ep.arr = arr
-	ep.eng = ooc.NewEngine(ep.disk, ooc.EngineOptions{Workers: ep.o.Workers, CacheTiles: ep.o.CacheTiles})
+	eo := ooc.EngineOptions{Workers: ep.o.Workers, CacheTiles: ep.o.CacheTiles}
+	if ep.o.Shards > 1 {
+		ep.eng = ooc.NewShardedEngine(ep.disk, ep.o.Shards, eo)
+	} else {
+		ep.eng = ooc.NewEngine(ep.disk, eo)
+	}
 }
 
 // tileBox returns tile t's box.
@@ -361,6 +379,43 @@ func (ep *episode) crash(why string) {
 		ep.pending[t] = nil
 	}
 	ep.open()
+}
+
+// crashShard kills one shard of a sharded plane: its cached (dirty)
+// tiles are lost, but nothing else is — no power cut, so the store
+// keeps volatile write-backs and the other shards keep their caches.
+// The surviving store contents for the dead shard's tiles must still
+// come from the model's acked-or-pending set, and become the model's
+// current contents (what a fresh shard reads on the next miss).
+func (ep *episode) crashShard(why string) {
+	ep.res.ShardCrashes++
+	se := ep.eng.(*ooc.ShardedEngine)
+	i := ep.rng.Intn(ep.o.Shards)
+	ep.logf("shard-crash %d (%s)", i, why)
+	se.CrashShard(i)
+
+	buf := make([]float64, ep.o.TileElems)
+	for t := 0; t < ep.o.Tiles; t++ {
+		if ooc.ShardOf(arrayName, ep.tileBox(t), ep.o.Shards) != i {
+			continue
+		}
+		if err := ep.inj.ReadDurable(arrayName, buf, int64(t)*ep.o.TileElems); err != nil {
+			ep.violate("shard-crash: reading tile %d: %v", t, err)
+			continue
+		}
+		ack, pend := ep.acked[t], ep.pending[t]
+		for k := range buf {
+			if buf[k] != ack[k] && !contains(pend, buf[k]) {
+				ep.violate("shard-crash: tile %d elem %d = %v, not the acked %v nor any of %d pending writes",
+					t, k, buf[k], ack[k], len(pend))
+				break
+			}
+		}
+		// The dead shard's next miss reads the store: adopt it as the
+		// tile's current contents. Durability bookkeeping is untouched —
+		// power didn't fail.
+		copy(ep.volatileT[t], buf)
+	}
 }
 
 func contains(vals []float64, v float64) bool {

@@ -6,17 +6,12 @@ import (
 	"outcore/internal/faultfs"
 )
 
-// stormProfile is the standard adversary: every fault class on at
-// once, at rates that leave most operations succeeding.
+// stormProfile is the standard adversary: the canonical storm every
+// command arms, plus the chaos harness's simulated latency.
 func stormProfile() faultfs.Profile {
-	return faultfs.Profile{
-		ReadErr:      0.05,
-		WriteErr:     0.05,
-		WriteNoSpace: 0.02,
-		TornWrite:    0.06,
-		SyncErr:      0.10,
-		LatencyTicks: 8,
-	}
+	p := faultfs.StormProfile()
+	p.LatencyTicks = faultfs.StormLatencyTicks
+	return p
 }
 
 // TestEpisodeDeterministicReplay is the acceptance test for the
@@ -184,6 +179,71 @@ func TestCrashDropsUnsyncedWrite(t *testing.T) {
 	}
 	if res.AckedFlushes != 0 {
 		t.Fatalf("SyncErr=1 episode acked %d flushes", res.AckedFlushes)
+	}
+}
+
+// TestShardedEpisodesPass runs the storm against sharded planes: the
+// same crash-consistency invariants must hold when the tile plane is
+// partitioned, with scheduled crashes mixing full power cuts and
+// single-shard crashes.
+func TestShardedEpisodesPass(t *testing.T) {
+	var shardCrashes, powerCuts int64
+	for _, shards := range []int{2, 4} {
+		for seed := int64(0); seed < 25; seed++ {
+			res := Run(Options{Seed: seed, Ops: 250, Shards: shards, Profile: stormProfile()})
+			if res.Failed() {
+				t.Errorf("shards=%d seed %d failed: %s", shards, seed, res.Summary())
+				for _, v := range res.Violations {
+					t.Errorf("  %s", v)
+				}
+			}
+			shardCrashes += int64(res.ShardCrashes)
+			powerCuts += int64(res.Crashes)
+		}
+	}
+	if shardCrashes == 0 || powerCuts == 0 {
+		t.Fatalf("degenerate sharded storm: %d shard crashes, %d power cuts", shardCrashes, powerCuts)
+	}
+}
+
+// TestShardedEpisodeDeterministicReplay extends the determinism
+// contract to sharded planes: with Workers=0 the whole plane's backend
+// stream is still a pure function of the seed.
+func TestShardedEpisodeDeterministicReplay(t *testing.T) {
+	opts := Options{Seed: 4321, Ops: 300, Shards: 4, Profile: stormProfile()}
+	a, b := Run(opts), Run(opts)
+	if !a.Replayable {
+		t.Fatal("Workers=0 sharded episodes must report Replayable")
+	}
+	if a.OpLog != b.OpLog || a.FaultSchedule != b.FaultSchedule || a.Summary() != b.Summary() {
+		t.Fatalf("sharded replay diverged: %q vs %q", a.Summary(), b.Summary())
+	}
+}
+
+// TestShardedMatchesSingleEngineSchedule pins the compatibility
+// guarantee that made adding Shards a safe option: a single-engine
+// episode's op log and fault schedule are byte-identical whether the
+// Shards field exists or not (Shards<=1 draws no extra randomness).
+func TestShardedMatchesSingleEngineSchedule(t *testing.T) {
+	a := Run(Options{Seed: 99, Ops: 250, Profile: stormProfile()})
+	b := Run(Options{Seed: 99, Ops: 250, Shards: 1, Profile: stormProfile()})
+	if a.OpLog != b.OpLog || a.FaultSchedule != b.FaultSchedule {
+		t.Fatal("Shards=1 changed the single-engine schedule")
+	}
+}
+
+// TestShardedConcurrentEpisodes puts worker pools under the sharded
+// plane for -race coverage of the cross-shard barrier and
+// invalidation paths.
+func TestShardedConcurrentEpisodes(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		res := Run(Options{Seed: seed, Ops: 200, Workers: 4, Shards: 4, Profile: stormProfile()})
+		if res.Failed() {
+			t.Errorf("concurrent sharded seed %d failed: %s", seed, res.Summary())
+			for _, v := range res.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
 	}
 }
 

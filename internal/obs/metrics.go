@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -184,16 +185,34 @@ func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
+// baseName strips a label suffix from a metric name: counters and
+// gauges may be registered under labeled names like
+// `ooc_shard_hits_total{shard="0"}`, which belong to the family
+// `ooc_shard_hits_total`. (Histograms render their own labeled sample
+// lines and must be registered under plain names.)
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 // WritePrometheus writes the registry in the Prometheus text
-// exposition format (version 0.0.4).
+// exposition format (version 0.0.4). Metrics registered under labeled
+// names (see baseName) share one HELP/TYPE header per family, emitted
+// once before the family's first sample.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	headered := map[string]bool{}
 	for _, m := range r.sorted() {
 		typ := [...]string{"counter", "gauge", "histogram"}[m.kind]
-		if m.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+		if fam := baseName(m.name); !headered[fam] {
+			headered[fam] = true
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", fam, m.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, typ)
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typ)
 		switch m.kind {
 		case kindCounter:
 			fmt.Fprintf(bw, "%s %d\n", m.name, m.c.Value())

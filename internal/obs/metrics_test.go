@@ -173,3 +173,56 @@ func TestSinkNilSafety(t *testing.T) {
 		t.Fatal("empty sink must expose nil trace and metrics")
 	}
 }
+
+// TestWritePrometheusLabeled pins the labeled exposition: counters
+// registered under `family{label="v"}` names share exactly one
+// HELP/TYPE header per family, emitted before the family's first
+// sample, and each label value renders its own sample line. This is
+// the contract the per-shard ooc_shard_* counters rely on.
+func TestWritePrometheusLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ooc_shard_hits_total{shard="0"}`, "tile cache hits by shard").Add(3)
+	r.Counter(`ooc_shard_hits_total{shard="1"}`, "tile cache hits by shard").Add(5)
+	r.Counter("ooc_io_read_calls_total", "backend read calls").Add(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ooc_io_read_calls_total backend read calls
+# TYPE ooc_io_read_calls_total counter
+ooc_io_read_calls_total 1
+# HELP ooc_shard_hits_total tile cache hits by shard
+# TYPE ooc_shard_hits_total counter
+ooc_shard_hits_total{shard="0"} 3
+ooc_shard_hits_total{shard="1"} 5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("labeled exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The JSON rendering keys each series by its full labeled name.
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]jsonMetric
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("labeled JSON exposition invalid: %v", err)
+	}
+	for _, k := range []string{`ooc_shard_hits_total{shard="0"}`, `ooc_shard_hits_total{shard="1"}`} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("JSON exposition missing labeled series %q", k)
+		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		`ooc_shard_hits_total{shard="7"}`: "ooc_shard_hits_total",
+		"ooc_io_read_calls_total":         "ooc_io_read_calls_total",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

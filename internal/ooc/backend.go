@@ -86,6 +86,11 @@ type fileBackend struct {
 // contents; with keep true existing contents survive (the file is still
 // resized to n elements, zero-extending when it grew).
 func newFileBackend(path string, n int64, keep bool) (*fileBackend, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	lock := path + ".lock"
 	lf, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -255,6 +260,8 @@ func (d *Disk) newBackend(name string, n int64) (Backend, error) {
 	switch {
 	case d.noBacking:
 		b = nullBackend{size: n}
+	case d.stripeN > 1:
+		b, err = d.newStripedDiskBackend(name, n)
 	case d.dir != "":
 		b, err = newFileBackend(filepath.Join(d.dir, name+".dat"), n, d.keepExisting)
 	default:

@@ -1,0 +1,287 @@
+package ooc_test
+
+// The differential conformance suite: seeded operation streams are
+// replayed, in lockstep, against a single-engine plane and sharded
+// planes (N = 2, 4, 8) over identical data, and every observable —
+// tile bytes on reads, durable bytes after power cuts, final array
+// contents, aggregate stats invariants — must agree byte for byte.
+// This is the proof obligation behind ooc.ShardedEngine's claim of
+// being observably identical to one ooc.Engine.
+//
+// The faultfs injector runs with a zero (fault-free) profile: no
+// errors are injected, but its undo-log crash semantics still apply,
+// so Crash() reverts exactly the writes not yet acknowledged by a
+// backend Sync. Since syncs only happen at Flush (and Close), the
+// durable state after every crash must equal the model's contents at
+// the last acknowledged flush — for every plane identically.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"outcore/internal/faultfs"
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/ooc"
+)
+
+const (
+	confEdge      = 64 // array is confEdge x confEdge
+	confTile      = 8  // aligned tile edge
+	confCache     = 8  // plane-wide cache budget (tiles)
+	confOps       = 150
+	confSeeds     = 20
+	confElemCount = confEdge * confEdge
+)
+
+// confPlane is one plane under test plus its private injector/disk.
+type confPlane struct {
+	name   string
+	shards int
+	inj    *faultfs.Injector
+	disk   *ooc.Disk
+	arr    *ooc.Array
+	eng    ooc.TileEngine
+
+	acquires int64 // Acquire calls since the last (re)open
+}
+
+func newConfPlane(t *testing.T, seed int64, shards int) *confPlane {
+	t.Helper()
+	p := &confPlane{
+		name:   fmt.Sprintf("shards=%d", shards),
+		shards: shards,
+		inj:    faultfs.New(seed, faultfs.Profile{}),
+	}
+	p.open(t)
+	return p
+}
+
+// open builds (or, after Crash, rebuilds over the surviving stores)
+// the plane's disk, array and engine.
+func (p *confPlane) open(t *testing.T) {
+	t.Helper()
+	p.disk = ooc.NewDisk(0).WrapBackend(p.inj.Wrap)
+	arr, err := p.disk.CreateArray(ir.NewArray("A", confEdge, confEdge), layout.RowMajor(confEdge, confEdge))
+	if err != nil {
+		t.Fatalf("%s: create: %v", p.name, err)
+	}
+	p.arr = arr
+	eo := ooc.EngineOptions{Workers: 0, CacheTiles: confCache}
+	if p.shards > 1 {
+		p.eng = ooc.NewShardedEngine(p.disk, p.shards, eo)
+	} else {
+		p.eng = ooc.NewEngine(p.disk, eo)
+	}
+	p.acquires = 0
+}
+
+// confModel is the sequential reference: the array's expected current
+// and last-acknowledged-flush contents.
+type confModel struct {
+	volatileA []float64
+	acked     []float64
+}
+
+// want returns the model's contents of box in box-local row-major
+// order.
+func (m *confModel) want(box layout.Box) []float64 {
+	out := make([]float64, 0, box.Size())
+	for r := box.Lo[0]; r < box.Hi[0]; r++ {
+		for c := box.Lo[1]; c < box.Hi[1]; c++ {
+			out = append(out, m.volatileA[r*confEdge+c])
+		}
+	}
+	return out
+}
+
+// fill records a whole-box write of v.
+func (m *confModel) fill(box layout.Box, v float64) {
+	for r := box.Lo[0]; r < box.Hi[0]; r++ {
+		for c := box.Lo[1]; c < box.Hi[1]; c++ {
+			m.volatileA[r*confEdge+c] = v
+		}
+	}
+}
+
+// alignedTile returns tile (tr, tc) of the aligned grid.
+func alignedTile(tr, tc int64) layout.Box {
+	return layout.NewBox(
+		[]int64{tr * confTile, tc * confTile},
+		[]int64{(tr + 1) * confTile, (tc + 1) * confTile},
+	)
+}
+
+// readDurable reads the plane's full durable array image.
+func (p *confPlane) readDurable(t *testing.T) []float64 {
+	t.Helper()
+	buf := make([]float64, confElemCount)
+	if err := p.inj.ReadDurable("A", buf, 0); err != nil {
+		t.Fatalf("%s: ReadDurable: %v", p.name, err)
+	}
+	return buf
+}
+
+func equalSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConformance replays identical seeded op streams against the
+// single and sharded planes and asserts observable equivalence. CI
+// runs it under -race.
+func TestConformance(t *testing.T) {
+	for seed := int64(1); seed <= confSeeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runConformanceSeed(t, seed)
+		})
+	}
+}
+
+func runConformanceSeed(t *testing.T, seed int64) {
+	planes := []*confPlane{
+		newConfPlane(t, seed, 1),
+		newConfPlane(t, seed, 2),
+		newConfPlane(t, seed, 4),
+		newConfPlane(t, seed, 8),
+	}
+	model := &confModel{
+		volatileA: make([]float64, confElemCount),
+		acked:     make([]float64, confElemCount),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nextVal := float64(0)
+	tilesPerEdge := int64(confEdge / confTile)
+
+	get := func(box layout.Box) {
+		want := model.want(box)
+		for _, p := range planes {
+			h, err := p.eng.Acquire(p.arr, box)
+			if err != nil {
+				t.Fatalf("%s: acquire %v: %v", p.name, box, err)
+			}
+			p.acquires++
+			if got := h.Tile().Data(); !equalSlices(got, want) {
+				t.Fatalf("%s: read %v diverged from the model", p.name, box)
+			}
+			p.eng.Release(h, false)
+		}
+	}
+
+	for op := 0; op < confOps; op++ {
+		switch u := rng.Float64(); {
+		case u < 0.40: // aligned whole-tile write of a fresh value
+			box := alignedTile(rng.Int63n(tilesPerEdge), rng.Int63n(tilesPerEdge))
+			nextVal++
+			for _, p := range planes {
+				h, err := p.eng.Acquire(p.arr, box)
+				if err != nil {
+					t.Fatalf("%s: acquire %v: %v", p.name, box, err)
+				}
+				p.acquires++
+				data := h.Tile().Data()
+				for i := range data {
+					data[i] = nextVal
+				}
+				p.eng.Release(h, true)
+			}
+			model.fill(box, nextVal)
+
+		case u < 0.75: // aligned read
+			get(alignedTile(rng.Int63n(tilesPerEdge), rng.Int63n(tilesPerEdge)))
+
+		case u < 0.90: // unaligned read straddling tile (and shard) borders
+			lo := []int64{rng.Int63n(confEdge), rng.Int63n(confEdge)}
+			hi := []int64{lo[0] + 1 + rng.Int63n(12), lo[1] + 1 + rng.Int63n(12)}
+			get(layout.NewBox(lo, hi).Clip([]int64{confEdge, confEdge}))
+
+		case u < 0.97: // flush: fault-free, so it must acknowledge
+			for _, p := range planes {
+				if err := p.eng.Flush(); err != nil {
+					t.Fatalf("%s: flush: %v", p.name, err)
+				}
+			}
+			copy(model.acked, model.volatileA)
+
+		default: // power cut: durable state must be the last acked flush
+			var ref []float64
+			for _, p := range planes {
+				p.eng.Abandon()
+				p.inj.Crash()
+				got := p.readDurable(t)
+				if !equalSlices(got, model.acked) {
+					t.Fatalf("%s: post-crash durable state diverged from the acked model", p.name)
+				}
+				if ref == nil {
+					ref = got
+				} else if !equalSlices(got, ref) {
+					t.Fatalf("%s: post-crash durable state diverged across planes", p.name)
+				}
+				p.open(t)
+			}
+			copy(model.volatileA, model.acked)
+		}
+	}
+
+	// Epilogue: flush everything, close cleanly, and require
+	// byte-identical final array contents across all planes.
+	for _, p := range planes {
+		if err := p.eng.Flush(); err != nil {
+			t.Fatalf("%s: epilogue flush: %v", p.name, err)
+		}
+	}
+	copy(model.acked, model.volatileA)
+
+	// Stats invariants before Close: every plane saw the same acquire
+	// stream since its last reopen, hits+misses accounts for all of it,
+	// evictions never exceed misses, and a sharded plane's aggregate is
+	// exactly the sum of its per-shard scorecard.
+	for _, p := range planes {
+		st := p.eng.Stats()
+		if st.Acquires() != p.acquires {
+			t.Errorf("%s: stats acquires = %d, issued %d", p.name, st.Acquires(), p.acquires)
+		}
+		if st.Evictions > st.Misses {
+			t.Errorf("%s: evictions %d > misses %d", p.name, st.Evictions, st.Misses)
+		}
+		if se, ok := p.eng.(*ooc.ShardedEngine); ok {
+			var sum ooc.EngineStats
+			for _, ss := range se.ShardStats() {
+				sum.Hits += ss.Hits
+				sum.Misses += ss.Misses
+				sum.Evictions += ss.Evictions
+				sum.Invalidations += ss.Invalidations
+				sum.Writebacks += ss.Writebacks
+				sum.WritebackErrors += ss.WritebackErrors
+			}
+			if sum != st {
+				t.Errorf("%s: ShardStats sum %+v != Stats %+v", p.name, sum, st)
+			}
+		}
+	}
+
+	var ref []float64
+	for _, p := range planes {
+		if err := p.eng.Close(); err != nil {
+			t.Fatalf("%s: close: %v", p.name, err)
+		}
+		got := p.readDurable(t)
+		if !equalSlices(got, model.volatileA) {
+			t.Fatalf("%s: final array contents diverged from the model", p.name)
+		}
+		if ref == nil {
+			ref = got
+		} else if !equalSlices(got, ref) {
+			t.Fatalf("%s: final array contents diverged across planes", p.name)
+		}
+	}
+}

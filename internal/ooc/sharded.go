@@ -1,0 +1,427 @@
+package ooc
+
+import (
+	"fmt"
+	"sync"
+
+	"outcore/internal/layout"
+	"outcore/internal/obs"
+)
+
+// TileEngine is the tile-plane surface the serving layer, the codegen
+// runtime and the DST harness consume: everything they call on an
+// *Engine, satisfied by both the single engine and the sharded plane.
+type TileEngine interface {
+	Acquire(ar *Array, box layout.Box) (*Handle, error)
+	AcquireAll(reqs []TileReq) ([]*Handle, error)
+	Release(h *Handle, dirty bool)
+	Prefetch(ar *Array, box layout.Box)
+	Touch(ar *Array, box layout.Box, write bool)
+	Flush() error
+	Close() error
+	Abandon()
+	Stats() EngineStats
+	Capacity() int
+	Resident() int
+}
+
+var (
+	_ TileEngine = (*Engine)(nil)
+	_ TileEngine = (*ShardedEngine)(nil)
+)
+
+// ShardOf deterministically maps a tile to a shard: an FNV-1a hash of
+// the canonical tile key (array name + clipped box bounds) modulo the
+// shard count. The hash is a pure function of its inputs — stable
+// across processes, runs and machines — so a tile's owning shard never
+// moves while the shard count is fixed. Callers pass the box exactly
+// as the engine caches it (clipped to the array's dims).
+func ShardOf(name string, box layout.Box, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	key := tileKey(name, box)
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211 // FNV-64 prime
+	}
+	// FNV's low bits mix poorly over the highly structured key family a
+	// tile grid produces (adjacent coordinates differ in one digit), and
+	// the modulo below keeps only those bits. A 64-bit avalanche
+	// finalizer (the murmur3 fmix64 constants) spreads every input bit
+	// across the whole word first, which is what makes the placement
+	// balance the conformance/property tests pin actually hold.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}
+
+// ShardedEngine partitions the tile plane across N independent Engine
+// shards over one shared Disk — PFS-style striping of the cache layer:
+// each tile key hashes to exactly one shard (ShardOf), which owns its
+// LRU slot, pins and dirty state, so unrelated tiles never contend on
+// one global cache lock. N is fixed at open.
+//
+// Consistency across shards follows the same rule the single engine
+// applies inside its own cache, stretched over shard boundaries:
+//
+//   - before a shard reads the backend for a miss, every OTHER shard
+//     writes back its dirty tiles overlapping the requested box
+//     (FlushOverlapping) — sibling shards only ever pay this scan when
+//     their dirty count is non-zero;
+//   - when a tile is released dirty, every other shard drops its
+//     overlapping entries (InvalidateOverlapping), so no shard keeps a
+//     stale copy resident.
+//
+// Under the engine's consistency contract (no overlapping pinned tile
+// while one is released dirty) the sharded plane is therefore
+// observably identical to a single engine — the property the
+// differential conformance suite (conformance_test.go) checks byte for
+// byte across seeded op streams, crashes included.
+type ShardedEngine struct {
+	disk *Disk
+	per  EngineOptions // per-shard options, after dividing the totals
+
+	mu        sync.RWMutex
+	shards    []*Engine // replaced wholesale by CrashShard
+	published bool
+
+	reg *obs.Registry
+}
+
+// NewShardedEngine starts an n-shard plane over the disk. The options
+// carry plane-wide totals: CacheTiles and Workers are divided across
+// the shards (rounding up, at least one tile each; zero Workers stays
+// zero, keeping the plane as deterministic as an unsharded engine).
+func NewShardedEngine(d *Disk, n int, o EngineOptions) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	if o.CacheTiles <= 0 {
+		o.CacheTiles = DefaultCacheTiles
+	}
+	per := o
+	per.CacheTiles = (o.CacheTiles + n - 1) / n
+	if o.Workers > 0 {
+		per.Workers = (o.Workers + n - 1) / n
+	}
+	se := &ShardedEngine{disk: d, per: per, shards: make([]*Engine, n)}
+	for i := range se.shards {
+		se.shards[i] = NewEngine(d, per)
+	}
+	if o.Obs != nil {
+		se.reg = o.Obs.MetricsOf()
+	}
+	// Register the per-shard series up front so /metrics exposes the
+	// families while the plane is live; the lifetime totals land at
+	// Close/Abandon (same publication point as the aggregate
+	// "ooc_engine_*" counters every shard already feeds).
+	for i := range se.shards {
+		for _, name := range shardMetricNames {
+			se.shardCounter(name.metric, i, name.help)
+		}
+	}
+	return se
+}
+
+// shardMetricNames are the per-shard labeled registry series.
+var shardMetricNames = []struct{ metric, help string }{
+	{"ooc_shard_hits_total", "tile requests served from this shard's cache"},
+	{"ooc_shard_misses_total", "tile requests this shard sent to the backend"},
+	{"ooc_shard_evictions_total", "cache entries this shard evicted under capacity pressure"},
+	{"ooc_shard_writebacks_total", "dirty tiles this shard flushed to the backend"},
+}
+
+// shardCounter returns the labeled per-shard counter, nil without a
+// registry.
+func (se *ShardedEngine) shardCounter(name string, shard int, help string) *obs.Counter {
+	if se.reg == nil {
+		return nil
+	}
+	return se.reg.Counter(fmt.Sprintf("%s{shard=%q}", name, fmt.Sprint(shard)), help)
+}
+
+// snapshot returns the current shard slice. CrashShard replaces the
+// whole slice, so a snapshot stays internally consistent for the
+// duration of one operation.
+func (se *ShardedEngine) snapshot() []*Engine {
+	se.mu.RLock()
+	defer se.mu.RUnlock()
+	return se.shards
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.snapshot()) }
+
+// ShardFor returns the shard index owning (name, box). The box must be
+// the clipped box the engine would cache (tests and the DST harness
+// use aligned in-range tiles, which are their own clip).
+func (se *ShardedEngine) ShardFor(name string, box layout.Box) int {
+	return ShardOf(name, box, se.Shards())
+}
+
+// flushSiblings is the cross-shard read barrier: every shard except
+// own writes back its dirty tiles overlapping box, so the owning
+// shard's backend read observes all released writes. Shards with a
+// zero dirty count are skipped without taking their lock.
+func flushSiblings(shards []*Engine, own int, ar *Array, box layout.Box) error {
+	for i, sh := range shards {
+		if i == own || sh.DirtyTiles() == 0 {
+			continue
+		}
+		if err := sh.FlushOverlapping(ar, box); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Acquire pins (array, box) via its owning shard, after the sibling
+// shards have written back any overlapping dirty tiles — the same
+// "backend is current before the miss read" rule Engine.Acquire
+// applies within its own cache.
+func (se *ShardedEngine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
+	box = box.Clip(ar.Meta.Dims)
+	shards := se.snapshot()
+	own := ShardOf(ar.Meta.Name, box, len(shards))
+	if err := flushSiblings(shards, own, ar, box); err != nil {
+		return nil, err
+	}
+	return shards[own].Acquire(ar, box)
+}
+
+// AcquireAll acquires every requested tile, concurrently when the
+// shards run worker pools (each acquire touches at most one shard lock
+// at a time, so concurrent acquires across shards cannot deadlock).
+func (se *ShardedEngine) AcquireAll(reqs []TileReq) ([]*Handle, error) {
+	hs := make([]*Handle, len(reqs))
+	if se.per.Workers == 0 || len(reqs) < 2 {
+		for i, r := range reqs {
+			h, err := se.Acquire(r.Arr, r.Box)
+			if err != nil {
+				se.releaseAll(hs)
+				return nil, err
+			}
+			hs[i] = h
+		}
+		return hs, nil
+	}
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r TileReq) {
+			defer wg.Done()
+			hs[i], errs[i] = se.Acquire(r.Arr, r.Box)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			se.releaseAll(hs)
+			return nil, err
+		}
+	}
+	return hs, nil
+}
+
+func (se *ShardedEngine) releaseAll(hs []*Handle) {
+	for _, h := range hs {
+		if h != nil {
+			h.eng.Release(h, false)
+		}
+	}
+}
+
+// Release unpins the tile via its owning shard. A dirty release then
+// invalidates overlapping entries in every OTHER shard, so no sibling
+// keeps a stale copy resident — the cross-shard form of the
+// invalidation a dirty release performs inside one engine.
+func (se *ShardedEngine) Release(h *Handle, dirty bool) {
+	own := h.eng
+	ar, box := h.ent.arr, h.ent.box
+	own.Release(h, dirty)
+	if !dirty {
+		return
+	}
+	for _, sh := range se.snapshot() {
+		if sh != own {
+			sh.InvalidateOverlapping(ar, box)
+		}
+	}
+}
+
+// Prefetch asynchronously warms the owning shard's cache, skipped when
+// ANY shard holds an overlapping dirty tile (the later Acquire will
+// flush and read consistently instead — Engine.Prefetch's dirty-
+// overlap gate, applied plane-wide).
+func (se *ShardedEngine) Prefetch(ar *Array, box layout.Box) {
+	if se.per.Workers == 0 {
+		return
+	}
+	box = box.Clip(ar.Meta.Dims)
+	if box.Empty() {
+		return
+	}
+	shards := se.snapshot()
+	own := ShardOf(ar.Meta.Name, box, len(shards))
+	for i, sh := range shards {
+		if i != own && sh.DirtyTiles() > 0 && sh.OverlapsDirty(ar, box) {
+			return
+		}
+	}
+	shards[own].Prefetch(ar, box)
+}
+
+// Touch is the accounting-only Acquire+Release for dry-run disks,
+// routed through the owning shard with the same cross-shard barrier
+// and invalidation as the data path — so a sharded dry run reports the
+// backend calls a sharded data run would issue.
+func (se *ShardedEngine) Touch(ar *Array, box layout.Box, write bool) {
+	box = box.Clip(ar.Meta.Dims)
+	if box.Empty() {
+		return
+	}
+	shards := se.snapshot()
+	own := ShardOf(ar.Meta.Name, box, len(shards))
+	// Accounting write-backs (TouchWrite) cannot fail.
+	_ = flushSiblings(shards, own, ar, box)
+	shards[own].Touch(ar, box, write)
+	if !write {
+		return
+	}
+	for i, sh := range shards {
+		if i != own {
+			sh.InvalidateOverlapping(ar, box)
+		}
+	}
+}
+
+// Flush writes back every shard's dirty tiles and syncs the backends,
+// in shard order (deterministic like everything else here: with zero
+// workers the whole plane's backend call stream is a pure function of
+// the operation stream). It reports this pass's first error; failed
+// tiles stay dirty in their shard for a later retry.
+func (se *ShardedEngine) Flush() error {
+	var first error
+	for _, sh := range se.snapshot() {
+		if err := sh.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every shard in order (each flushes its dirty tiles and
+// syncs), publishes the per-shard metrics, and returns the first
+// error.
+func (se *ShardedEngine) Close() error {
+	var first error
+	for _, sh := range se.snapshot() {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	se.publishShardMetrics()
+	return first
+}
+
+// Abandon is the plane-wide crash path: every shard drops its cache
+// without flushing, exactly as a power cut would. See CrashShard for
+// the partial-failure variant.
+func (se *ShardedEngine) Abandon() {
+	for _, sh := range se.snapshot() {
+		sh.Abandon()
+	}
+	se.publishShardMetrics()
+}
+
+// CrashShard kills one shard — its cached (volatile) tiles are lost
+// without write-back — and replaces it with a fresh empty shard over
+// the same disk, while the other shards keep serving. It models the
+// partial failure a striped file system survives: one I/O node
+// rebooting while the rest of the array stays online. The DST harness
+// drives it and checks that no acknowledged write is lost and later
+// reads observe only durable-or-pending data.
+func (se *ShardedEngine) CrashShard(i int) {
+	se.mu.Lock()
+	old := se.shards[i]
+	next := make([]*Engine, len(se.shards))
+	copy(next, se.shards)
+	next[i] = NewEngine(se.disk, se.per)
+	se.shards = next
+	se.mu.Unlock()
+	old.Abandon()
+}
+
+// Stats returns the plane-wide aggregate of the shard counters.
+func (se *ShardedEngine) Stats() EngineStats {
+	var total EngineStats
+	for _, s := range se.ShardStats() {
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Evictions += s.Evictions
+		total.Invalidations += s.Invalidations
+		total.Writebacks += s.Writebacks
+		total.WritebackErrors += s.WritebackErrors
+		total.PrefetchIssued += s.PrefetchIssued
+		total.PrefetchUseful += s.PrefetchUseful
+	}
+	return total
+}
+
+// ShardStats returns each shard's own counters, in shard order — the
+// per-shard scorecard /v1/stats and the occload sweep report (cache
+// balance across shards is the whole point of the hash).
+func (se *ShardedEngine) ShardStats() []EngineStats {
+	shards := se.snapshot()
+	out := make([]EngineStats, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Capacity returns the plane-wide tile capacity (sum of the shards').
+func (se *ShardedEngine) Capacity() int {
+	shards := se.snapshot()
+	return len(shards) * se.per.CacheTiles
+}
+
+// Resident returns the plane-wide resident entry count.
+func (se *ShardedEngine) Resident() int {
+	n := 0
+	for _, sh := range se.snapshot() {
+		n += sh.Resident()
+	}
+	return n
+}
+
+// publishShardMetrics adds each shard's lifetime counters into the
+// registry under labeled "ooc_shard_*" names, once.
+func (se *ShardedEngine) publishShardMetrics() {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.reg == nil || se.published {
+		return
+	}
+	se.published = true
+	for i, sh := range se.shards {
+		s := sh.Stats()
+		for _, m := range []struct {
+			name string
+			v    int64
+		}{
+			{"ooc_shard_hits_total", s.Hits},
+			{"ooc_shard_misses_total", s.Misses},
+			{"ooc_shard_evictions_total", s.Evictions},
+			{"ooc_shard_writebacks_total", s.Writebacks},
+		} {
+			se.shardCounter(m.name, i, "").Add(m.v)
+		}
+	}
+}

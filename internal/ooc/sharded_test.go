@@ -1,0 +1,520 @@
+package ooc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/ir"
+	"outcore/internal/layout"
+	"outcore/internal/obs"
+)
+
+// TestShardOfPinned pins ShardOf against precomputed values: the hash
+// is part of the on-disk/operational contract (a tile's owning shard
+// must never move across runs, processes or releases while the shard
+// count is fixed), so these anchors fail loudly if anyone touches the
+// key encoding or the hash function.
+func TestShardOfPinned(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi []int64
+		shards int
+		want   int
+	}{
+		{"A", []int64{0, 0}, []int64{8, 8}, 2, 1},
+		{"A", []int64{0, 0}, []int64{8, 8}, 4, 1},
+		{"A", []int64{0, 0}, []int64{8, 8}, 8, 1},
+		{"A", []int64{8, 0}, []int64{16, 8}, 8, 3},
+		{"A", []int64{0, 8}, []int64{8, 16}, 8, 6},
+		{"B", []int64{0, 0}, []int64{8, 8}, 8, 6},
+		{"T", []int64{0}, []int64{16}, 4, 3},
+		{"T", []int64{16}, []int64{32}, 4, 3},
+		{"T", []int64{112}, []int64{128}, 4, 0},
+	}
+	for _, c := range cases {
+		box := layout.NewBox(c.lo, c.hi)
+		if got := ShardOf(c.name, box, c.shards); got != c.want {
+			t.Errorf("ShardOf(%q, %v, %d) = %d, pinned %d", c.name, box, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestShardOfProperties is the quick-check property suite: for
+// arbitrary names, boxes and shard counts the hash is a pure function
+// (same inputs, same shard — it has no hidden state to drift across
+// calls) and always lands in [0, shards).
+func TestShardOfProperties(t *testing.T) {
+	f := func(name string, lo0, lo1, ext0, ext1 uint16, s uint8) bool {
+		shards := int(s)%16 + 1
+		lo := []int64{int64(lo0), int64(lo1)}
+		hi := []int64{lo[0] + int64(ext0) + 1, lo[1] + int64(ext1) + 1}
+		box := layout.NewBox(lo, hi)
+		got := ShardOf(name, box, shards)
+		return got >= 0 && got < shards && got == ShardOf(name, box, shards)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardOfZipfBalance checks placement balance under the load
+// harness's skewed access pattern: the distinct tiles of a zipf-drawn
+// stream over a 64x64 grid of 8x8 tiles must spread across 8 shards
+// within 15% of the per-shard mean. (Balance is a property of the
+// key hash over the key population — skew concentrates traffic, not
+// placement.)
+func TestShardOfZipfBalance(t *testing.T) {
+	const (
+		gridEdge = 64
+		tileEdge = 8
+		shards   = 8
+	)
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.1, 1, gridEdge*gridEdge-1)
+	distinct := map[uint64]bool{}
+	for draws := 0; draws < 1<<20 && len(distinct) < 3000; draws++ {
+		distinct[zipf.Uint64()] = true
+	}
+	if len(distinct) < 3000 {
+		t.Fatalf("zipf stream produced only %d distinct tiles", len(distinct))
+	}
+	counts := make([]int, shards)
+	for k := range distinct {
+		tr, tc := int64(k)/gridEdge, int64(k)%gridEdge
+		box := layout.NewBox(
+			[]int64{tr * tileEdge, tc * tileEdge},
+			[]int64{(tr + 1) * tileEdge, (tc + 1) * tileEdge},
+		)
+		counts[ShardOf("A", box, shards)]++
+	}
+	mean := float64(len(distinct)) / shards
+	for i, c := range counts {
+		if dev := float64(c)/mean - 1; dev > 0.15 || dev < -0.15 {
+			t.Errorf("shard %d holds %d of %d distinct tiles (%.1f%% off the mean %.0f)",
+				i, c, len(distinct), 100*dev, mean)
+		}
+	}
+}
+
+// shardedFixture builds an n-shard plane over a fresh in-memory array.
+func shardedFixture(t *testing.T, n, cacheTiles int) (*ShardedEngine, *Array) {
+	t.Helper()
+	d := NewDisk(0)
+	arr, err := d.CreateArray(ir.NewArray("A", 64, 64), layout.RowMajor(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewShardedEngine(d, n, EngineOptions{Workers: 0, CacheTiles: cacheTiles})
+	return se, arr
+}
+
+func tile8(tr, tc int64) layout.Box {
+	return layout.NewBox([]int64{tr * 8, tc * 8}, []int64{(tr + 1) * 8, (tc + 1) * 8})
+}
+
+// fillVia writes v into box through the plane and releases dirty.
+func fillVia(t *testing.T, se *ShardedEngine, arr *Array, box layout.Box, v float64) {
+	t.Helper()
+	h, err := se.Acquire(arr, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := 0, h.Tile().Data(); i < len(data); i++ {
+		data[i] = v
+	}
+	se.Release(h, true)
+}
+
+// TestShardedCrossShardReads proves the two halves of the cross-shard
+// protocol on a concrete pair of tiles owned by different shards:
+// a read overlapping a sibling shard's dirty tile observes the write
+// (sibling write-back before the miss read), and a dirty release
+// invalidates the overlapping entry a sibling kept resident (no stale
+// re-read from cache).
+func TestShardedCrossShardReads(t *testing.T) {
+	se, arr := shardedFixture(t, 8, 16)
+	aligned := tile8(0, 0)
+	own := se.ShardFor("A", aligned)
+
+	// An unaligned box overlapping tile (0,0) but owned elsewhere.
+	var overlap layout.Box
+	found := false
+	for ext := int64(9); ext < 24 && !found; ext++ {
+		b := layout.NewBox([]int64{0, 0}, []int64{ext, ext}).Clip(arr.Meta.Dims)
+		if se.ShardFor("A", b) != own {
+			overlap, found = b, true
+		}
+	}
+	if !found {
+		t.Fatal("no overlapping box hashed to a different shard (adjust the search)")
+	}
+
+	// 1. Dirty write via the owner shard, then read the overlapping box
+	// via the other shard: the miss read must observe the write.
+	fillVia(t, se, arr, aligned, 7)
+	h, err := se.Acquire(arr, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Tile().Data()[0]; got != 7 {
+		t.Fatalf("cross-shard read of element (0,0) = %v, want the dirty 7", got)
+	}
+	se.Release(h, false)
+
+	// 2. The overlapping entry is now resident in the other shard.
+	// Dirty the aligned tile again: the sibling's entry must be
+	// invalidated, so a re-read misses and observes 9, not the stale 7.
+	fillVia(t, se, arr, aligned, 9)
+	h, err = se.Acquire(arr, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Tile().Data()[0]; got != 9 {
+		t.Fatalf("post-invalidation read of element (0,0) = %v, want 9 (stale cache survived)", got)
+	}
+	se.Release(h, false)
+
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCrashShard checks the partial-failure contract: killing
+// one shard loses exactly its un-written-back dirty tiles, while other
+// shards' caches and everything already flushed survive.
+func TestShardedCrashShard(t *testing.T) {
+	se, arr := shardedFixture(t, 4, 16)
+
+	// Two tiles owned by different shards.
+	boxA := tile8(0, 0)
+	victim := se.ShardFor("A", boxA)
+	var boxB layout.Box
+	foundB := false
+	for tr := int64(0); tr < 8 && !foundB; tr++ {
+		for tc := int64(0); tc < 8 && !foundB; tc++ {
+			if b := tile8(tr, tc); se.ShardFor("A", b) != victim {
+				boxB, foundB = b, true
+			}
+		}
+	}
+	if !foundB {
+		t.Fatal("all tiles hashed to one shard")
+	}
+
+	fillVia(t, se, arr, boxA, 5)
+	if err := se.Flush(); err != nil { // 5 is durable
+		t.Fatal(err)
+	}
+	fillVia(t, se, arr, boxA, 6) // dirty in the victim shard only
+	fillVia(t, se, arr, boxB, 8) // dirty in a surviving shard
+
+	se.CrashShard(victim)
+
+	h, err := se.Acquire(arr, boxA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Tile().Data()[0]; got != 5 {
+		t.Fatalf("tile A after its shard crashed = %v, want the flushed 5 (dirty 6 must be lost)", got)
+	}
+	se.Release(h, false)
+
+	h, err = se.Acquire(arr, boxB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Tile().Data()[0]; got != 8 {
+		t.Fatalf("tile B in a surviving shard = %v, want its cached dirty 8", got)
+	}
+	se.Release(h, false)
+
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedPlaneAccounting pins the plane-wide views: capacity is
+// the per-shard allotment times the shard count, residency sums the
+// shards, and Stats is the exact sum of ShardStats.
+func TestShardedPlaneAccounting(t *testing.T) {
+	se, arr := shardedFixture(t, 4, 8)
+	if got := se.Capacity(); got != 8 {
+		t.Errorf("Capacity() = %d, want 8 (4 shards x 2 tiles)", got)
+	}
+	for i := int64(0); i < 6; i++ {
+		fillVia(t, se, arr, tile8(i, i), float64(i+1))
+	}
+	if got := se.Resident(); got == 0 || got > 8 {
+		t.Errorf("Resident() = %d, want within (0, 8]", got)
+	}
+	var sum EngineStats
+	for _, ss := range se.ShardStats() {
+		sum.Hits += ss.Hits
+		sum.Misses += ss.Misses
+		sum.Evictions += ss.Evictions
+		sum.Invalidations += ss.Invalidations
+		sum.Writebacks += ss.Writebacks
+		sum.WritebackErrors += ss.WritebackErrors
+	}
+	if st := se.Stats(); sum != st {
+		t.Errorf("ShardStats sum %+v != Stats %+v", sum, st)
+	}
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedConcurrentStress hammers a sharded plane from many
+// goroutines — disjoint-tile writers, overlapping readers and a
+// periodic flusher — primarily for the race detector; it also spot-
+// checks that every tile ends with a value some writer actually wrote.
+func TestShardedConcurrentStress(t *testing.T) {
+	se, arr := shardedFixture(t, 4, 8)
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			// Each writer owns a disjoint slice of the tile grid, so dirty
+			// releases never race an overlapping pin (the engine contract
+			// HTTP callers uphold with per-array locks).
+			for iter := 0; iter < 50; iter++ {
+				tr := int64(w)
+				tc := rng.Int63n(8)
+				box := tile8(tr, tc)
+				h, err := se.Acquire(arr, box)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				data := h.Tile().Data()
+				v := float64(w*1000 + iter)
+				for i := range data {
+					data[i] = v
+				}
+				se.Release(h, true)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := se.Flush(); err != nil {
+				t.Errorf("flusher: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		h, err := se.Acquire(arr, tile8(int64(w), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := h.Tile().Data()
+		for i := 1; i < len(data); i++ {
+			if data[i] != data[0] {
+				t.Fatalf("tile (%d,0) torn: elem %d = %v, elem 0 = %v", w, i, data[i], data[0])
+			}
+		}
+		se.Release(h, false)
+	}
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedDivision pins the per-shard division rules: plane totals
+// round up across shards, with at least one tile per shard.
+func TestShardedDivision(t *testing.T) {
+	d := NewDisk(0)
+	se := NewShardedEngine(d, 3, EngineOptions{Workers: 0, CacheTiles: 8})
+	if got := se.Capacity(); got != 9 {
+		t.Errorf("3-shard capacity of an 8-tile budget = %d, want 9 (ceil division)", got)
+	}
+	if n := se.Shards(); n != 3 {
+		t.Errorf("Shards() = %d, want 3", n)
+	}
+	se.Abandon()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedAcquireAll covers both batch paths — sequential with
+// zero workers, goroutine-per-request with a pool — writing a batch
+// of tiles spanning several shards and reading them back.
+func TestShardedAcquireAll(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		d := NewDisk(0)
+		arr, err := d.CreateArray(ir.NewArray("A", 64, 64), layout.RowMajor(64, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := NewShardedEngine(d, 4, EngineOptions{Workers: workers, CacheTiles: 16})
+		reqs := []TileReq{
+			{arr, tile8(0, 0)},
+			{arr, tile8(1, 1)},
+			{arr, tile8(2, 2)},
+			{arr, tile8(3, 3)},
+		}
+		hs, err := se.AcquireAll(reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: AcquireAll: %v", workers, err)
+		}
+		for i, h := range hs {
+			for j, data := 0, h.Tile().Data(); j < len(data); j++ {
+				data[j] = float64(i + 1)
+			}
+			se.Release(h, true)
+		}
+		// The single-request batch takes the sequential path regardless
+		// of the pool.
+		one, err := se.AcquireAll(reqs[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := one[0].Tile().Data()[0]; got != 1 {
+			t.Fatalf("workers=%d: batch write not visible: got %v", workers, got)
+		}
+		se.Release(one[0], false)
+		if err := se.Close(); err != nil {
+			t.Fatalf("workers=%d: close: %v", workers, err)
+		}
+	}
+}
+
+// TestShardedPrefetch covers the plane-wide prefetch gate: a clean
+// plane forwards the prefetch to the owning shard, and an overlapping
+// dirty tile in ANY shard suppresses it (the later Acquire flushes and
+// reads consistently instead).
+func TestShardedPrefetch(t *testing.T) {
+	d := NewDisk(0)
+	arr, err := d.CreateArray(ir.NewArray("A", 64, 64), layout.RowMajor(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewShardedEngine(d, 8, EngineOptions{Workers: 2, CacheTiles: 16})
+
+	se.Prefetch(arr, tile8(5, 5))
+	h, err := se.Acquire(arr, tile8(5, 5)) // joins or follows the prefetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Release(h, false)
+	if st := se.Stats(); st.PrefetchIssued == 0 {
+		t.Error("clean-plane prefetch was not issued")
+	}
+
+	// Dirty a tile, then prefetch a box overlapping it whose owner is a
+	// DIFFERENT shard: the sibling's dirty entry must suppress it.
+	dirty := tile8(0, 0)
+	fillVia(t, se, arr, dirty, 7)
+	wide := layout.NewBox([]int64{0, 0}, []int64{16, 16})
+	if se.ShardFor("A", wide) == se.ShardFor("A", dirty) {
+		wide = layout.NewBox([]int64{0, 0}, []int64{8, 16})
+	}
+	if se.ShardFor("A", wide) == se.ShardFor("A", dirty) {
+		t.Skip("no overlapping box with a distinct owner at this hash")
+	}
+	before := se.Stats().PrefetchIssued
+	se.Prefetch(arr, wide)
+	if got := se.Stats().PrefetchIssued; got != before {
+		t.Errorf("prefetch over a sibling's dirty tile was issued (%d -> %d)", before, got)
+	}
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-worker planes never prefetch.
+	se2, arr2 := shardedFixture(t, 4, 8)
+	se2.Prefetch(arr2, tile8(0, 0))
+	if st := se2.Stats(); st.PrefetchIssued != 0 {
+		t.Error("zero-worker plane issued a prefetch")
+	}
+	se2.Abandon()
+}
+
+// TestShardedTouch routes the accounting-only path through the plane:
+// a touched write marks the owner dirty (visible in DirtyTiles), a
+// re-touch hits, and a touch overlapping the dirty tile from another
+// owner forces the cross-shard write-back, exactly like Acquire.
+func TestShardedTouch(t *testing.T) {
+	se, arr := shardedFixture(t, 8, 16)
+	box := tile8(2, 3)
+	se.Touch(arr, box, true)
+	st := se.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("first touch: %d misses, want 1", st.Misses)
+	}
+	se.Touch(arr, box, false)
+	if st = se.Stats(); st.Hits != 1 {
+		t.Fatalf("re-touch: %d hits, want 1", st.Hits)
+	}
+	// A touch of an overlapping box from a different owner write-backs
+	// the dirty entry first (Writebacks counts it).
+	wide := layout.NewBox([]int64{16, 24}, []int64{32, 40})
+	if se.ShardFor("A", wide) == se.ShardFor("A", box) {
+		wide = layout.NewBox([]int64{16, 24}, []int64{24, 40})
+	}
+	if se.ShardFor("A", wide) != se.ShardFor("A", box) {
+		se.Touch(arr, wide, false)
+		if st = se.Stats(); st.Writebacks == 0 {
+			t.Error("cross-shard touch did not write back the sibling's dirty tile")
+		}
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	se.Abandon()
+}
+
+// TestShardedMetricsPublished covers the labeled metrics path: the
+// per-shard families register eagerly at construction, lifetime totals
+// land exactly once at Close (a later Abandon must not double-count).
+func TestShardedMetricsPublished(t *testing.T) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	d := NewDisk(0)
+	arr, err := d.CreateArray(ir.NewArray("A", 64, 64), layout.RowMajor(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewShardedEngine(d, 2, EngineOptions{Workers: 0, CacheTiles: 8, Obs: sink})
+
+	var buf bytes.Buffer
+	if err := sink.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`ooc_shard_hits_total{shard="0"} 0`, `ooc_shard_misses_total{shard="1"} 0`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("live plane missing eager series %q:\n%s", want, buf.String())
+		}
+	}
+
+	fillVia(t, se, arr, tile8(0, 0), 1)
+	fillVia(t, se, arr, tile8(1, 1), 2)
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+	se.Abandon() // second publication attempt must be a no-op
+
+	stats := se.ShardStats()
+	buf.Reset()
+	if err := sink.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stats {
+		want := fmt.Sprintf("ooc_shard_misses_total{shard=%q} %d", fmt.Sprint(i), s.Misses)
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("closed plane missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -109,11 +109,13 @@ type Config struct {
 	Clock func() time.Time
 }
 
-// Server serves one Disk through one Engine. Create with New, mount
-// Handler, and call Drain after the HTTP server has shut down.
+// Server serves one Disk through one tile engine — a single
+// ooc.Engine or an ooc.ShardedEngine partitioning the plane. Create
+// with New, mount Handler, and call Drain after the HTTP server has
+// shut down.
 type Server struct {
 	disk *ooc.Disk
-	eng  *ooc.Engine
+	eng  ooc.TileEngine
 	cfg  Config
 	reg  *obs.Registry
 	mux  *http.ServeMux
@@ -175,10 +177,35 @@ type serverMetrics struct {
 	latency       *obs.Histogram
 }
 
+// MaxShards bounds the -shards flag: past it, per-shard caches get so
+// small the plane is all eviction churn and the per-shard stats stop
+// meaning anything.
+const MaxShards = 64
+
+// ValidateShards rejects shard counts outside 1..MaxShards. Commands
+// report the error under the named-flag convention
+// ("occd: -shards: ...") and exit 2.
+func ValidateShards(n int) error {
+	if n < 1 || n > MaxShards {
+		return fmt.Errorf("shard count %d out of range (valid: 1..%d)", n, MaxShards)
+	}
+	return nil
+}
+
+// BuildEngine constructs the tile plane a command serves: one Engine
+// for shards <= 1, a ShardedEngine otherwise. Callers validate shards
+// first (ValidateShards).
+func BuildEngine(d *ooc.Disk, shards int, o ooc.EngineOptions) ooc.TileEngine {
+	if shards > 1 {
+		return ooc.NewShardedEngine(d, shards, o)
+	}
+	return ooc.NewEngine(d, o)
+}
+
 // New wires a serving core over the disk and engine. The engine must
 // be running over the same disk; the server takes ownership of both at
 // Drain (engine closed, disk synced and closed).
-func New(d *ooc.Disk, eng *ooc.Engine, cfg Config) *Server {
+func New(d *ooc.Disk, eng ooc.TileEngine, cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
@@ -383,10 +410,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsPayload is the /v1/stats JSON: live engine counters plus the
-// serving-layer counters the load harness reports deltas of.
+// serving-layer counters the load harness reports deltas of. Shards
+// (present only for a sharded plane) is the per-shard scorecard: the
+// engine-level counters broken out per partition, in shard order.
 type statsPayload struct {
 	Engine            ooc.EngineStats `json:"engine"`
 	HitRate           float64         `json:"hit_rate"`
+	Shards            []shardStat     `json:"shards,omitempty"`
 	Requests          int64           `json:"requests"`
 	Coalesced         int64           `json:"coalesced"`
 	RejectedRateLimit int64           `json:"rejected_ratelimit"`
@@ -396,9 +426,16 @@ type statsPayload struct {
 	Draining          bool            `json:"draining"`
 }
 
+// shardStat is one shard's row in the scorecard.
+type shardStat struct {
+	Shard   int             `json:"shard"`
+	Engine  ooc.EngineStats `json:"engine"`
+	HitRate float64         `json:"hit_rate"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
-	writeJSON(w, http.StatusOK, statsPayload{
+	p := statsPayload{
 		Engine:            es,
 		HitRate:           es.HitRate(),
 		Requests:          s.met.requests.Value(),
@@ -408,7 +445,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Inflight:          int64(len(s.sem)),
 		Queued:            s.queued.Load(),
 		Draining:          s.draining.Load(),
-	})
+	}
+	if se, ok := s.eng.(*ooc.ShardedEngine); ok {
+		for i, ss := range se.ShardStats() {
+			p.Shards = append(p.Shards, shardStat{Shard: i, Engine: ss, HitRate: ss.HitRate()})
+		}
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 // arrayInfo is the wire form of an array's metadata.

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"outcore/internal/ooc"
+)
+
+// TestValidateShards is the table for the commands' -shards flag: the
+// valid range is 1..MaxShards, and everything outside it must produce
+// the named-flag error occd/occload/occhaos print before exit 2.
+func TestValidateShards(t *testing.T) {
+	cases := []struct {
+		n  int
+		ok bool
+	}{
+		{0, false},
+		{-1, false},
+		{-64, false},
+		{1, true},
+		{2, true},
+		{8, true},
+		{MaxShards, true},
+		{MaxShards + 1, false},
+		{1 << 20, false},
+	}
+	for _, c := range cases {
+		err := ValidateShards(c.n)
+		if c.ok && err != nil {
+			t.Errorf("ValidateShards(%d) = %v, want nil", c.n, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ValidateShards(%d) = nil, want out-of-range error", c.n)
+				continue
+			}
+			// The message names the offending value and the valid range,
+			// matching the commands' "-flag: <why> (valid: ...)" convention.
+			if !strings.Contains(err.Error(), "out of range") || !strings.Contains(err.Error(), "valid: 1..64") {
+				t.Errorf("ValidateShards(%d) error %q misses the valid-range message", c.n, err)
+			}
+		}
+	}
+}
+
+// TestBuildEngine pins the construction rule: one Engine up to shards
+// = 1, a ShardedEngine beyond — the types the /v1/stats handler
+// switches its scorecard on.
+func TestBuildEngine(t *testing.T) {
+	d := ooc.NewDisk(0)
+	if _, ok := BuildEngine(d, 1, ooc.EngineOptions{CacheTiles: 4}).(*ooc.Engine); !ok {
+		t.Error("BuildEngine(1) did not return a single *ooc.Engine")
+	}
+	se, ok := BuildEngine(d, 4, ooc.EngineOptions{CacheTiles: 8}).(*ooc.ShardedEngine)
+	if !ok {
+		t.Fatal("BuildEngine(4) did not return a *ooc.ShardedEngine")
+	}
+	if se.Shards() != 4 {
+		t.Errorf("BuildEngine(4) built %d shards", se.Shards())
+	}
+}
