@@ -8,9 +8,10 @@ FUZZTIME ?= 20s
 FUZZ_TARGETS := \
 	./internal/layout/:FuzzRuns \
 	./internal/layout/:FuzzBoxOverlaps \
-	./internal/ooc/:FuzzTileKey
+	./internal/ooc/:FuzzTileKey \
+	./internal/ooc/:FuzzWALRecord
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep chaos
+.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep chaos
 
 build:
 	$(GO) build ./...
@@ -63,6 +64,21 @@ sweep:
 	$(GO) run ./cmd/occload -kernel trans -version c-opt \
 		-clients 32 -read-frac 1 -requests 100000 -shard-sweep 1,2,4,8
 
+# WAL ack-latency sweep: the identical write-heavy durable-PUT workload
+# with per-PUT fsyncs and then with the group-committed WAL. The
+# acked-PUT p50/p99 split in the scorecard is the WAL's win; these are
+# the serve-*-dp / serve-*-dp-wal rows in BENCH_baseline.json (also
+# informational — serving rows never gate).
+WALSWEEP_DIR ?= /tmp/occ-walsweep
+walsweep:
+	rm -rf $(WALSWEEP_DIR)
+	$(GO) run ./cmd/occload -kernel trans -version c-opt -clients 32 \
+		-read-frac 0.2 -requests 16000 -zipf 1 -shards 4 \
+		-dir $(WALSWEEP_DIR)/sync -durable-puts
+	$(GO) run ./cmd/occload -kernel trans -version c-opt -clients 32 \
+		-read-frac 0.2 -requests 16000 -zipf 1 -shards 4 \
+		-dir $(WALSWEEP_DIR)/wal -durable-puts -wal
+
 # Deterministic chaos sweep: the dst/faultfs test suites under -race,
 # then CHAOS_EPISODES seeded simulation episodes (power cuts, torn
 # writes, failing syncs). A failing episode prints its reproducer
@@ -71,6 +87,7 @@ CHAOS_EPISODES ?= 50
 chaos:
 	$(GO) test -race ./internal/dst/ ./internal/faultfs/
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES)
+	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal
 
 fmt:
 	gofmt -l -w .

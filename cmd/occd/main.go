@@ -55,6 +55,12 @@ func main() {
 	maxArrayElems := flag.Int64("max-array-elems", 0, "cap on a created array's element count (0 = default, <0 = unlimited)")
 	maxTileElems := flag.Int64("max-tile-elems", 0, "cap on one tile request's element count (0 = default, <0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
+	wal := flag.Bool("wal", false, "write-ahead log tile writes: acked durability via group-committed log fsyncs instead of per-write stripe fsyncs")
+	walLogs := flag.Int("wal-logs", 0, "with -wal: number of per-shard logs (0 = one per shard)")
+	walCap := flag.Int64("wal-cap-words", 0, "with -wal: per-log capacity in 8-byte words (0 = default)")
+	commitWindow := flag.Duration("commit-window", 0, "with -wal: wait this long before the group commit's log fsync so more writers share it (0 = fsync immediately; writers arriving mid-fsync still batch into the next round)")
+	walCheckpoint := flag.Duration("wal-checkpoint", time.Second, "with -wal: background compaction interval (0 = only when a log fills)")
+	durablePuts := flag.Bool("durable-puts", false, "make every tile PUT durable before its 204 (with -wal: via the group commit)")
 	faults := flag.Int64("faults", 0, "TESTING ONLY: inject deterministic storage faults from this seed (0 = off); failures surface as 5xx")
 	flag.Parse()
 
@@ -82,6 +88,19 @@ func main() {
 			d.Stripe(*shards, 0)
 		}
 	}
+	if *wal {
+		logs := *walLogs
+		if logs <= 0 {
+			logs = *shards
+		}
+		d.EnableWAL(ooc.WALOptions{
+			Logs:            logs,
+			CapWords:        *walCap,
+			CommitWindow:    *commitWindow,
+			CheckpointEvery: *walCheckpoint,
+			Obs:             sink,
+		})
+	}
 	if *kernel != "" {
 		k, ok := suite.ByName(*kernel)
 		if !ok {
@@ -108,6 +127,17 @@ func main() {
 		}
 		log.Printf("occd: created %d arrays for %s/%s", len(prog.Arrays), k.Name, ver)
 	}
+	if *wal {
+		// Replay any log tail a previous (crashed) occd left behind:
+		// with -keep the acked writes it logged reappear before serving
+		// starts. A fresh directory replays nothing.
+		rep, err := d.ReplayWAL()
+		fail(err)
+		if rep.Applied+rep.Discarded+rep.Skipped > 0 {
+			log.Printf("occd: WAL replay: %d records applied, %d stale/torn discarded, %d skipped",
+				rep.Applied, rep.Discarded, rep.Skipped)
+		}
+	}
 
 	eng := server.BuildEngine(d, *shards, ooc.EngineOptions{Workers: *workers, CacheTiles: *cacheTiles, Obs: sink})
 	srv := server.New(d, eng, server.Config{
@@ -117,6 +147,7 @@ func main() {
 		Burst:         *burst,
 		MaxArrayElems: *maxArrayElems,
 		MaxTileElems:  *maxTileElems,
+		DurablePuts:   *durablePuts,
 		Obs:           sink,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -38,6 +38,7 @@ func main() {
 	flushEvery := flag.Int("flush-every", 20, "~one flush per this many steps (<0 disables)")
 	crashEvery := flag.Int("crash-every", 50, "~one power cut per this many steps (<0 disables)")
 	shards := flag.Int("shards", 1, "run episodes against a sharded tile plane (1 = single engine); scheduled crashes then mix power cuts with single-shard crashes")
+	wal := flag.Bool("wal", false, "run WAL-backed episodes: writes append to per-shard logs, crashes land mid-commit/mid-compaction, and every reboot replays the surviving log tail")
 	readErr := flag.Float64("read-err", storm.ReadErr, "probability a backend read fails EIO")
 	writeErr := flag.Float64("write-err", storm.WriteErr, "probability a backend write fails EIO")
 	noSpace := flag.Float64("nospace", storm.WriteNoSpace, "probability a backend write fails ENOSPC")
@@ -85,6 +86,7 @@ func main() {
 			FlushEvery: *flushEvery,
 			CrashEvery: *crashEvery,
 			Shards:     *shards,
+			WAL:        *wal,
 			Profile:    prof,
 		})
 		faults += res.FaultsInjected

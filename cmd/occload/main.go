@@ -23,6 +23,15 @@
 // load it runs one internal/dst simulation (power cuts every ~n steps,
 // crash-consistency checks against the sequential model) and exits 1
 // on any violation — see cmd/occhaos to sweep many seeds.
+//
+// -durable-puts makes every tile PUT durable before its 204, and -wal
+// routes that durability through the write-ahead log's group commit;
+// the scorecard then splits out acked-PUT latency percentiles, so the
+// WAL's ack-latency win is measured by running the same write-heavy
+// mix with and without -wal:
+//
+//	occload -read-frac 0.2 -durable-puts -dir /tmp/occ        # per-PUT fsync
+//	occload -read-frac 0.2 -durable-puts -dir /tmp/occ -wal   # group commit
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -65,6 +75,11 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
+	dir := flag.String("dir", "", "backing directory for array files (empty = in-memory); sweeps use a subdirectory per pass")
+	wal := flag.Bool("wal", false, "write-ahead log tile writes: durable PUTs ack on a group-committed log fsync instead of per-write stripe fsyncs")
+	commitWindow := flag.Duration("commit-window", 0, "with -wal: wait this long before the group commit's log fsync so more writers share it (0 = fsync immediately; writers arriving mid-fsync still batch into the next round)")
+	walCapWords := flag.Int64("wal-cap-words", 1<<23, "with -wal: per-log words before an inline checkpoint; each checkpoint stalls appenders for the member fsyncs, so serving runs want it large (log files are sparse)")
+	durablePuts := flag.Bool("durable-puts", false, "make every tile PUT durable before its 204 (the write path -wal is built to speed up)")
 	jsonOut := flag.String("json", "", "write the outcore-bench/v1 report here")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run (last sweep pass)")
 	faults := flag.Int64("faults", 0, "inject deterministic storage faults from this seed (0 = off)")
@@ -86,7 +101,7 @@ func main() {
 	}
 
 	if *crashEvery != 0 {
-		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles, *shards)
+		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles, *shards, *wal)
 		return
 	}
 
@@ -119,6 +134,26 @@ func main() {
 			inj.Heal() // array creation writes pass through; the storm starts with the load
 			base.WrapBackend(inj.Wrap)
 		}
+		if *dir != "" {
+			// Each pass gets its own subdirectory so a sweep's passes never
+			// contend for the same backing-file locks.
+			passDir := *dir
+			if len(counts) > 1 {
+				passDir = filepath.Join(*dir, fmt.Sprintf("s%d", n))
+			}
+			base.Dir(passDir)
+			if n > 1 {
+				base.Stripe(n, 0)
+			}
+		}
+		if *wal {
+			base.EnableWAL(ooc.WALOptions{
+				Logs:         n,
+				CapWords:     *walCapWords,
+				CommitWindow: *commitWindow,
+				Obs:          sink,
+			})
+		}
 		d, err := codegen.SetupDiskOn(base, prog, plan, nil)
 		fail(err)
 		if inj != nil {
@@ -147,6 +182,7 @@ func main() {
 			QueueDepth:  *queue,
 			RatePerSec:  *rate,
 			Burst:       *burst,
+			DurablePuts: *durablePuts,
 			Obs:         sink,
 		})
 		hts := httptest.NewServer(srv.Handler())
@@ -169,6 +205,7 @@ func main() {
 		if se, ok := eng.(*ooc.ShardedEngine); ok {
 			scorecard = se.ShardStats()
 		}
+		walStats := d.WALStats()
 		if inj != nil {
 			// Heal before the drain: the engine's flush retry against the
 			// recovered device must land every surviving write — a drain
@@ -189,11 +226,26 @@ func main() {
 		fmt.Printf("  ok %d, rejected %d, errors %d in %.2fs  (%.0f req/s)\n",
 			res.OK, res.Rejected, res.Errors, res.Seconds, res.Throughput)
 		fmt.Printf("  latency p50 %.2fms, p99 %.2fms\n", res.P50*1e3, res.P99*1e3)
+		if res.PutP99 > 0 {
+			mode := "buffered"
+			if *durablePuts {
+				mode = "durable (per-PUT fsync)"
+				if *wal {
+					mode = "durable (WAL group commit)"
+				}
+			}
+			fmt.Printf("  acked PUTs: p50 %.2fms, p99 %.2fms  [%s]\n",
+				res.PutP50*1e3, res.PutP99*1e3, mode)
+		}
 		fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
 			res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
 		for i, ss := range scorecard {
 			fmt.Printf("    shard %d: %d hits / %d misses (hit rate %.1f%%), %d evictions, %d writebacks\n",
 				i, ss.Hits, ss.Misses, 100*ss.HitRate(), ss.Evictions, ss.Writebacks)
+		}
+		if walStats != nil {
+			fmt.Printf("  wal: %d appends, %d commits / %d fsyncs (%.1f records per fsync), %d checkpoints\n",
+				walStats.Appends, walStats.Commits, walStats.Fsyncs, walStats.FsyncBatch, walStats.Checkpoints)
 		}
 		if inj != nil {
 			fmt.Printf("  faults: seed %d, %d injected (healed before drain; errors above are expected)\n",
@@ -208,6 +260,12 @@ func main() {
 		config := fmt.Sprintf("serve-%s-c%d-z%g", ver, *clients, *zipf)
 		if sweeping || n > 1 {
 			config += fmt.Sprintf("-s%d", n)
+		}
+		if *durablePuts {
+			config += "-dp"
+		}
+		if *wal {
+			config += "-wal"
 		}
 		rows = append(rows, exp.LoadBenchEntry(k.Name, config, res))
 		if res.Errors > 0 && inj == nil {
@@ -255,7 +313,7 @@ func parseShardSweep(s string) ([]int, error) {
 // runEpisode is -crash-every: one deterministic dst simulation in
 // place of the HTTP load, reusing the load-shape flags (requests as
 // scheduler steps, clients as logical clients).
-func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shards int) {
+func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shards int, wal bool) {
 	var prof faultfs.Profile
 	if seed != 0 {
 		prof = faultfs.StormProfile()
@@ -268,6 +326,7 @@ func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shard
 		Workers:    workers,
 		CacheTiles: cacheTiles,
 		Shards:     shards,
+		WAL:        wal,
 		Profile:    prof,
 	})
 	fmt.Println("occload: episode", res.Summary())
@@ -275,8 +334,12 @@ func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shard
 		for _, v := range res.Violations {
 			fmt.Fprintln(os.Stderr, "occload:   violation:", v)
 		}
-		fmt.Fprintf(os.Stderr, "occload: reproduce with: occload -faults %d -crash-every %d -requests %d -clients %d -workers %d -cache-tiles %d -shards %d\n",
-			seed, crashEvery, ops, clients, workers, cacheTiles, shards)
+		walFlag := ""
+		if wal {
+			walFlag = " -wal"
+		}
+		fmt.Fprintf(os.Stderr, "occload: reproduce with: occload -faults %d -crash-every %d -requests %d -clients %d -workers %d -cache-tiles %d -shards %d%s\n",
+			seed, crashEvery, ops, clients, workers, cacheTiles, shards, walFlag)
 		os.Exit(1)
 	}
 }

@@ -72,6 +72,19 @@ type Options struct {
 	Shards       int             // >1 runs the episode against a sharded tile plane (scheduled crashes then alternate between full power cuts and single-shard crashes)
 	MaxCallElems int64           // per-call element cap on the disk (default 0 = unlimited)
 
+	// WAL runs the episode with write-ahead logging: writes append
+	// checksummed records to per-shard logs (one per shard, min one),
+	// flush acknowledgements ride group-committed log fsyncs, and
+	// every reboot replays the surviving log tail before the
+	// durability check — so the contract under test becomes "acked
+	// writes are RECOVERED exactly", crash points landing mid-commit,
+	// mid-apply and mid-compaction included. A single-engine
+	// non-WAL episode's schedule is byte-identical whether or not
+	// these fields exist: every extra scheduler draw is gated on WAL.
+	WAL           bool
+	WALCapWords   int64 // per-log capacity in words (default 1024: small, so full-log compaction triggers mid-episode)
+	CheckpointOps int   // ~one explicit compaction per this many steps (default 30; <0 disables)
+
 	// SkipFinalCheck leaves out the episode epilogue (heal faults,
 	// flush, final crash, exact durability check). The epilogue is
 	// where "every acknowledged write survives" gets its strictest
@@ -105,6 +118,14 @@ func (o Options) withDefaults() Options {
 	if o.CacheTiles <= 0 {
 		o.CacheTiles = 4
 	}
+	if o.WAL {
+		if o.WALCapWords <= 0 {
+			o.WALCapWords = 1024
+		}
+		if o.CheckpointOps == 0 {
+			o.CheckpointOps = 30
+		}
+	}
 	return o
 }
 
@@ -115,6 +136,7 @@ type Result struct {
 
 	Ops, Gets, Puts, Flushes, Crashes int
 	ShardCrashes                      int // single-shard crashes (sharded episodes only; cache lost, no power cut)
+	Checkpoints                       int // scheduled WAL compactions (WAL episodes only)
 	AckedFlushes                      int // flushes that returned nil (durability acknowledgements)
 	GetErrors, PutErrors, FlushErrors int // operations failed by injected faults (surfaced, not hidden)
 	FaultsInjected                    int64
@@ -143,8 +165,12 @@ func (r *Result) Summary() string {
 	if r.ShardCrashes > 0 {
 		shard = fmt.Sprintf("+%ds", r.ShardCrashes)
 	}
-	return fmt.Sprintf("seed=%d ops=%d gets=%d puts=%d flushes=%d(%d acked) crashes=%d%s faults=%d errs=%d/%d/%d %s",
-		r.Seed, r.Ops, r.Gets, r.Puts, r.Flushes, r.AckedFlushes, r.Crashes, shard,
+	ck := ""
+	if r.Checkpoints > 0 {
+		ck = fmt.Sprintf(" ckpts=%d", r.Checkpoints)
+	}
+	return fmt.Sprintf("seed=%d ops=%d gets=%d puts=%d flushes=%d(%d acked) crashes=%d%s%s faults=%d errs=%d/%d/%d %s",
+		r.Seed, r.Ops, r.Gets, r.Puts, r.Flushes, r.AckedFlushes, r.Crashes, shard, ck,
 		r.FaultsInjected, r.GetErrors, r.PutErrors, r.FlushErrors, verdict)
 }
 
@@ -208,6 +234,10 @@ func Run(o Options) *Result {
 			}
 		case o.FlushEvery > 0 && ep.rng.Float64() < 1/float64(o.FlushEvery):
 			ep.flush()
+		// The compaction draw only exists in WAL episodes, so a non-WAL
+		// schedule is byte-identical whether or not this branch exists.
+		case o.WAL && o.CheckpointOps > 0 && ep.rng.Float64() < 1/float64(o.CheckpointOps):
+			ep.checkpointOp()
 		default:
 			c := ep.rng.Intn(o.Clients)
 			ep.clientOp(c)
@@ -232,9 +262,24 @@ func Run(o Options) *Result {
 }
 
 // open builds (or rebuilds, after a crash) the disk/engine over the
-// injector's surviving stores.
+// injector's surviving stores. A WAL episode replays the surviving
+// log tail as part of every open — recovery is not allowed to fail,
+// so the open runs healed (boot media errors are a different failure
+// class than the crash-consistency contract under test) and re-arms
+// once the stack is up.
 func (ep *episode) open() {
+	if ep.o.WAL {
+		ep.inj.Heal()
+		defer ep.inj.Arm()
+	}
 	ep.disk = ooc.NewDisk(ep.o.MaxCallElems).WrapBackend(ep.inj.Wrap)
+	if ep.o.WAL {
+		logs := ep.o.Shards
+		if logs < 1 {
+			logs = 1
+		}
+		ep.disk.EnableWAL(ooc.WALOptions{Logs: logs, CapWords: ep.o.WALCapWords})
+	}
 	size := int64(ep.o.Tiles) * ep.o.TileElems
 	arr, err := ep.disk.CreateArray(ir.NewArray(arrayName, size), layout.RowMajor(size))
 	if err != nil {
@@ -248,6 +293,11 @@ func (ep *episode) open() {
 		ep.eng = ooc.NewShardedEngine(ep.disk, ep.o.Shards, eo)
 	} else {
 		ep.eng = ooc.NewEngine(ep.disk, eo)
+	}
+	if ep.o.WAL {
+		if _, err := ep.disk.ReplayWAL(); err != nil {
+			ep.violate("recovery: WAL replay failed: %v", err)
+		}
 	}
 }
 
@@ -338,11 +388,22 @@ func (ep *episode) ack() {
 // crash cuts power, checks the durability invariant over the
 // surviving state, then reboots the stack and adopts the durable
 // contents as the new model state.
+//
+// A WAL episode reboots FIRST: the durable log tail is replayed over
+// the stripe bytes as part of open, and the durability contract
+// applies to the RECOVERED state — acked writes must come back
+// exactly even when the power cut landed mid-commit-window (log
+// records appended but not fsynced), mid-apply (write-throughs not
+// yet checkpointed) or mid-compaction (logs partially truncated),
+// with torn log tails discarded by the record framing.
 func (ep *episode) crash(why string) {
 	ep.res.Crashes++
 	ep.logf("crash (%s)", why)
 	ep.eng.Abandon()
 	ep.inj.Crash()
+	if ep.o.WAL {
+		ep.open()
+	}
 
 	buf := make([]float64, ep.o.TileElems)
 	for t := 0; t < ep.o.Tiles; t++ {
@@ -378,7 +439,23 @@ func (ep *episode) crash(why string) {
 		copy(ep.volatileT[t], buf)
 		ep.pending[t] = nil
 	}
-	ep.open()
+	if !ep.o.WAL {
+		ep.open()
+	}
+}
+
+// checkpointOp runs the WAL compaction step at a scheduler-chosen
+// point: member syncs plus log truncation, under whatever faults are
+// armed — so crashes land before, inside and after compactions. A
+// failed checkpoint changes nothing the model tracks (the logs keep
+// their records).
+func (ep *episode) checkpointOp() {
+	ep.res.Checkpoints++
+	if err := ep.disk.Checkpoint(); err != nil {
+		ep.logf("checkpoint -> err %v", err)
+		return
+	}
+	ep.logf("checkpoint -> ok")
 }
 
 // crashShard kills one shard of a sharded plane: its cached (dirty)

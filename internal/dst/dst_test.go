@@ -255,3 +255,118 @@ func BenchmarkEpisode(b *testing.B) {
 		}
 	}
 }
+
+// TestWALEpisodesPass runs the storm over WAL-backed planes, single
+// and sharded: power cuts now land mid-commit-window, mid-apply and
+// mid-compaction, the log tails tear, and still no acknowledged write
+// may be lost and no torn trailing record may surface.
+func TestWALEpisodesPass(t *testing.T) {
+	var crashes, checkpoints, faults int64
+	for _, shards := range []int{1, 4} {
+		for seed := int64(0); seed < 25; seed++ {
+			res := Run(Options{Seed: seed, Ops: 250, Shards: shards, WAL: true, Profile: stormProfile()})
+			if res.Failed() {
+				t.Errorf("wal shards=%d seed %d failed: %s", shards, seed, res.Summary())
+				for _, v := range res.Violations {
+					t.Errorf("  %s", v)
+				}
+			}
+			crashes += int64(res.Crashes)
+			checkpoints += int64(res.Checkpoints)
+			faults += res.FaultsInjected
+		}
+	}
+	// The storm must actually exercise the WAL paths: crashes (each a
+	// log replay), scheduled compactions, and injected faults.
+	if crashes == 0 || checkpoints == 0 || faults == 0 {
+		t.Fatalf("degenerate WAL storm: crashes=%d checkpoints=%d faults=%d", crashes, checkpoints, faults)
+	}
+}
+
+// TestWALEpisodeDeterministicReplay extends the determinism contract
+// to WAL episodes: log routing, group commit and replay add no
+// nondeterminism with Workers=0.
+func TestWALEpisodeDeterministicReplay(t *testing.T) {
+	opts := Options{Seed: 5678, Ops: 300, Shards: 4, WAL: true, Profile: stormProfile()}
+	a, b := Run(opts), Run(opts)
+	if !a.Replayable {
+		t.Fatal("Workers=0 WAL episodes must report Replayable")
+	}
+	if a.OpLog != b.OpLog {
+		t.Fatalf("WAL op logs differ between identical runs:\n%s\n--- vs ---\n%s", a.OpLog, b.OpLog)
+	}
+	if a.FaultSchedule != b.FaultSchedule || a.Summary() != b.Summary() {
+		t.Fatalf("WAL replay diverged: %q vs %q", a.Summary(), b.Summary())
+	}
+}
+
+// TestWALOffMatchesPlainSchedule pins the compatibility guarantee that
+// made WAL a safe option: with WAL off, the WAL tuning knobs draw no
+// randomness and the schedule is byte-identical to a plain episode.
+func TestWALOffMatchesPlainSchedule(t *testing.T) {
+	a := Run(Options{Seed: 99, Ops: 250, Profile: stormProfile()})
+	b := Run(Options{Seed: 99, Ops: 250, WALCapWords: 1024, CheckpointOps: 30, Profile: stormProfile()})
+	if a.OpLog != b.OpLog || a.FaultSchedule != b.FaultSchedule {
+		t.Fatal("WAL=false knobs changed the plain schedule")
+	}
+}
+
+// TestWALTornWriteEpisodesPass: the torn-write adversary against the
+// log itself. Torn log appends must behave as torn tails — discarded
+// on replay, never applied — and torn stripe write-throughs are
+// covered by the records that survive.
+func TestWALTornWriteEpisodesPass(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(Options{
+			Seed:    seed,
+			Ops:     300,
+			WAL:     true,
+			Profile: faultfs.Profile{TornWrite: 0.3, SyncErr: 0.15},
+		})
+		if res.Failed() {
+			t.Errorf("wal torn-write seed %d failed: %s", seed, res.Summary())
+			for _, v := range res.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+	}
+}
+
+// TestWALLyingSyncDetected keeps the checker honest under the WAL: a
+// device that drops fsyncs silently makes group commits lie, replay
+// misses acknowledged records, and the harness MUST notice.
+func TestWALLyingSyncDetected(t *testing.T) {
+	caught := 0
+	for seed := int64(0); seed < 10; seed++ {
+		res := Run(Options{
+			Seed:       seed,
+			Ops:        300,
+			WAL:        true,
+			PutFrac:    0.7,
+			FlushEvery: 10,
+			CrashEvery: 25,
+			Profile:    faultfs.Profile{SyncDrop: 1},
+		})
+		if res.Failed() {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("a lying fsync under the WAL dropped acknowledged writes and the checker noticed nothing")
+	}
+}
+
+// TestWALConcurrentEpisodes: worker pools over WAL-backed sharded
+// planes for -race coverage of the append path (under the walSet
+// mutex) against the off-mutex group-commit fsync.
+func TestWALConcurrentEpisodes(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		res := Run(Options{Seed: seed, Ops: 200, Workers: 4, Shards: 4, WAL: true, Profile: stormProfile()})
+		if res.Failed() {
+			t.Errorf("concurrent WAL seed %d failed: %s", seed, res.Summary())
+			for _, v := range res.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+	}
+}

@@ -75,6 +75,8 @@ type BenchEntry struct {
 	ThroughputRPS     float64 `json:"throughput_rps,omitempty"`
 	LatencyP50Seconds float64 `json:"latency_p50_seconds,omitempty"`
 	LatencyP99Seconds float64 `json:"latency_p99_seconds,omitempty"`
+	PutP50Seconds     float64 `json:"latency_put_p50_seconds,omitempty"`
+	PutP99Seconds     float64 `json:"latency_put_p99_seconds,omitempty"`
 	CoalescedFetches  int64   `json:"coalesced_fetches,omitempty"`
 	Rejected          int64   `json:"rejected,omitempty"`
 }

@@ -19,6 +19,8 @@ func LoadBenchEntry(kernel, config string, r server.LoadResult) BenchEntry {
 		ThroughputRPS:     r.Throughput,
 		LatencyP50Seconds: r.P50,
 		LatencyP99Seconds: r.P99,
+		PutP50Seconds:     r.PutP50,
+		PutP99Seconds:     r.PutP99,
 		CoalescedFetches:  r.Coalesced,
 		Rejected:          int64(r.Rejected),
 	}

@@ -13,6 +13,7 @@ func TestLoadBenchEntryFields(t *testing.T) {
 		Requests: 600, OK: 597, Rejected: 3,
 		Seconds: 2, Throughput: 298.5,
 		P50: 0.001, P99: 0.004,
+		PutP50: 0.002, PutP99: 0.006,
 		Hits: 590, Misses: 10, HitRate: 590.0 / 600,
 		Coalesced: 7,
 	})
@@ -22,7 +23,8 @@ func TestLoadBenchEntryFields(t *testing.T) {
 	}
 	for _, key := range []string{
 		"requests", "throughput_rps", "latency_p50_seconds",
-		"latency_p99_seconds", "coalesced_fetches", "rejected",
+		"latency_p99_seconds", "latency_put_p50_seconds",
+		"latency_put_p99_seconds", "coalesced_fetches", "rejected",
 	} {
 		if !strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("load entry missing %q: %s", key, raw)

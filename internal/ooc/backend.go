@@ -221,13 +221,27 @@ func (d *Disk) sortedArraysLocked() []*Array {
 }
 
 // Close releases every array's backend (file handles and locks for
-// file-backed disks; no-ops otherwise), in name order.
+// file-backed disks; no-ops otherwise), in name order. A WAL-enabled
+// disk checkpoints first — so the stripes are authoritative after a
+// clean shutdown — and closes its logs last; if the checkpoint fails
+// the logs keep their records and the next open replays them.
 func (d *Disk) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var first error
+	if d.wal != nil {
+		d.wal.stopMaintainer()
+		if err := d.wal.checkpoint(); err != nil {
+			first = err
+		}
+	}
+	d.mu.Lock()
 	for _, arr := range d.sortedArraysLocked() {
 		if err := arr.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.mu.Unlock()
+	if d.wal != nil {
+		if err := d.wal.closeLogs(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -249,6 +263,12 @@ func (d *Disk) Sync() error {
 	}
 	return first
 }
+
+// Sync forces this one array's buffered writes to stable storage: the
+// durability point for a single-array acknowledgement (the serving
+// layer's durable PUTs). On a WAL-enabled disk this is the
+// group-committed log fsync — every concurrent caller shares it.
+func (ar *Array) Sync() error { return ar.backend.Sync() }
 
 // newBackend picks the backend for a new array per the disk's
 // configuration.

@@ -109,6 +109,7 @@ type Disk struct {
 	stripeN      int    // > 1: stripe each array's backend this many ways
 	stripeUnit   int64  // striping unit in elements (DefaultStripeUnit when 0)
 	wrapBackend  func(name string, b Backend) Backend
+	wal          *walSet // non-nil once EnableWAL configured write-ahead logging
 
 	met *diskMetrics // non-nil once Observe attached a registry
 }
@@ -212,9 +213,19 @@ func (d *Disk) CreateArray(a *ir.Array, l *layout.Layout) (*Array, error) {
 	if l.Size() != a.Len() {
 		return nil, fmt.Errorf("ooc: layout size %d != array size %d for %s", l.Size(), a.Len(), a.Name)
 	}
+	if d.wal != nil {
+		// Logs open before the first array so reopen-after-crash adopts
+		// them in a deterministic order.
+		if err := d.wal.ensureLogs(d); err != nil {
+			return nil, err
+		}
+	}
 	backend, err := d.newBackend(a.Name, a.Len())
 	if err != nil {
 		return nil, fmt.Errorf("ooc: creating backing for %s: %w", a.Name, err)
+	}
+	if d.wal != nil {
+		backend = d.wal.attach(a.Name, backend)
 	}
 	arr := &Array{Meta: a, Layout: l, disk: d, backend: backend}
 	d.arrays[a.Name] = arr

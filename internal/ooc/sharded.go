@@ -18,6 +18,10 @@ type TileEngine interface {
 	Prefetch(ar *Array, box layout.Box)
 	Touch(ar *Array, box layout.Box, write bool)
 	Flush() error
+	// FlushOverlapping writes back just the dirty tiles overlapping
+	// box — the targeted write-back a per-PUT durability path needs
+	// (write back, then Array.Sync) without paying a full Flush.
+	FlushOverlapping(ar *Array, box layout.Box) error
 	Close() error
 	Abandon()
 	Stats() EngineStats
@@ -299,6 +303,25 @@ func (se *ShardedEngine) Touch(ar *Array, box layout.Box, write bool) {
 			sh.InvalidateOverlapping(ar, box)
 		}
 	}
+}
+
+// FlushOverlapping writes back every shard's dirty tiles overlapping
+// box, in shard order. Only the owning shard can cache box itself,
+// but partially overlapping tiles may live in any shard, so all are
+// scanned (shards with a zero dirty count are skipped without taking
+// their lock). The first error is reported; failed tiles stay dirty.
+func (se *ShardedEngine) FlushOverlapping(ar *Array, box layout.Box) error {
+	box = box.Clip(ar.Meta.Dims)
+	var first error
+	for _, sh := range se.snapshot() {
+		if sh.DirtyTiles() == 0 {
+			continue
+		}
+		if err := sh.FlushOverlapping(ar, box); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Flush writes back every shard's dirty tiles and syncs the backends,

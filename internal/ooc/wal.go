@@ -1,0 +1,971 @@
+package ooc
+
+// Per-disk write-ahead logging: the durability half of the paper's
+// "restructure when bytes hit disk" argument, applied to acknowledged
+// writes. Without a WAL, a durable PUT pays a synchronous write-back
+// plus an fsync of the (striped) array file it happens to land in —
+// a seek-heavy, per-writer cost. With the WAL enabled every array
+// write is first appended as a checksummed redo record to one of N
+// sequential logs and then written through to the array backend; an
+// acknowledgement only needs the LOG to be durable, and concurrent
+// writers landing within one commit window share a single log fsync
+// (group commit).
+//
+// The array (stripe) backends are only forced durable by a
+// checkpoint — the compaction step: it syncs every member backend
+// (all applied records are write-through, so the stripes already
+// hold their bytes — the OS page cache is the apply buffer, and the
+// checkpoint loop is what forces it down and truncates), bumps each
+// log's epoch and resets its head. A crash between checkpoints loses
+// nothing acknowledged: ReplayWAL scans each log's surviving tail,
+// discards torn or stale-epoch records (CRC + epoch + monotone
+// sequence framing), merges the survivors across logs by global
+// sequence number, and re-applies them over the stripe bytes —
+// recovering exactly the state the write-through path had built.
+//
+// # Ordering
+//
+// One mutex (walSet.mu) makes {allocate seq, append record, write
+// through} a single atomic step, so the global sequence order IS the
+// order writes reached the array backends. Replay applies records in
+// sequence order, which therefore reconstructs the same byte state
+// regardless of how records were routed across the N logs.
+//
+// # Record framing
+//
+// Logs store 8-byte words carried as float64 bit patterns (the
+// Backend element type); all packing goes through math.Float64bits /
+// Float64frombits, so no floating-point operation ever touches a
+// word and every bit pattern round-trips through memory and file
+// backends exactly. Word 0 of a log is its header: the current
+// epoch. Each record is:
+//
+//	w0  seq    — global sequence number, > 0 (a zeroed log scans empty)
+//	w1  epoch  — must match the log header; stale epochs are pre-truncation garbage
+//	w2  nameLen<<48 | dataLen
+//	w3  off    — element offset in the target array
+//	w4  crc32c — over every other word's little-endian bytes
+//	...        — ceil(nameLen/8) words of array name, then dataLen data words
+//
+// A record is accepted only when it fits the log, its CRC matches,
+// its epoch is current, and its seq exceeds the previous record's —
+// so any torn tail (faultfs writes strict element prefixes) decodes
+// to a strict prefix of the appended records and the tear is
+// discarded, never misread.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"outcore/internal/obs"
+)
+
+const (
+	// walHeaderWords is the per-log header (the epoch word).
+	walHeaderWords = 1
+	// walRecHeaderWords is the fixed per-record header size.
+	walRecHeaderWords = 5
+	// walMaxNameLen bounds array names in records (sanity check while
+	// scanning arbitrary bytes).
+	walMaxNameLen = 255
+	// walLenMask extracts dataLen from the packed length word.
+	walLenMask = (uint64(1) << 48) - 1
+	// DefaultWALCapWords is the per-log capacity (1 Mi words = 8 MiB)
+	// when WALOptions.CapWords is zero. Replay cost bounds the useful
+	// size; an inline (stop-the-world) checkpoint when a log fills
+	// bounds the ack-latency cost of setting it too small.
+	DefaultWALCapWords = 1 << 20
+)
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WALOptions configures Disk.EnableWAL.
+type WALOptions struct {
+	// Logs is the number of logs writes are routed across (the
+	// per-shard flavor: one log per engine shard keeps appenders from
+	// contending on a single tail). Clamped to [1, 64]; default 1.
+	Logs int
+	// CapWords is the per-log capacity in 8-byte words, header
+	// included (default DefaultWALCapWords). An append that no longer
+	// fits triggers an inline checkpoint; a record that could never
+	// fit an empty log bypasses logging (write-through only) and
+	// forces the next commit to checkpoint instead of fsyncing logs.
+	CapWords int64
+	// CommitWindow, when positive, makes the group-commit leader wait
+	// this long before issuing the log fsync so more concurrent
+	// writers share it. Zero still batches naturally: writers arriving
+	// while a round's fsync is in flight are covered by the next
+	// round. Keep zero for deterministic harness runs.
+	CommitWindow time.Duration
+	// CheckpointEvery, when positive, runs a background compaction
+	// loop: every tick with appended-but-uncompacted records syncs the
+	// member backends and truncates the logs, bounding replay time.
+	// Keep zero for deterministic harness runs (the inline
+	// full-log checkpoint still bounds the logs).
+	CheckpointEvery time.Duration
+	// Obs registers the ooc_wal_* metric families.
+	Obs *obs.Sink
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.Logs < 1 {
+		o.Logs = 1
+	}
+	if o.Logs > 64 {
+		o.Logs = 64
+	}
+	if o.CapWords <= 0 {
+		o.CapWords = DefaultWALCapWords
+	}
+	if min := int64(walHeaderWords + walRecHeaderWords + 8); o.CapWords < min {
+		o.CapWords = min
+	}
+	return o
+}
+
+// WALStats is the WAL scorecard (the /v1/stats "wal" block).
+type WALStats struct {
+	Logs             int     `json:"logs"`
+	CapWords         int64   `json:"cap_words"`
+	PendingWords     int64   `json:"pending_words"` // appended since the last checkpoint (replay depth)
+	LastSeq          uint64  `json:"last_seq"`
+	DurableSeq       uint64  `json:"durable_seq"`
+	Appends          int64   `json:"appends"`
+	AppendedWords    int64   `json:"appended_words"`
+	Commits          int64   `json:"commits"`
+	Fsyncs           int64   `json:"fsyncs"`
+	FsyncBatch       float64 `json:"fsync_batch"` // commits amortized per log fsync
+	Checkpoints      int64   `json:"checkpoints"`
+	BypassWrites     int64   `json:"bypass_writes"`
+	ReplayedRecords  int64   `json:"replayed_records"`
+	DiscardedRecords int64   `json:"discarded_records"`
+	SkippedRecords   int64   `json:"skipped_records"` // replayed records naming arrays not (re)created
+}
+
+// walMetrics are the registry series an observed WAL feeds.
+type walMetrics struct {
+	appends     *obs.Counter
+	words       *obs.Counter
+	commits     *obs.Counter
+	fsyncs      *obs.Counter
+	checkpoints *obs.Counter
+	bypass      *obs.Counter
+	replayed    *obs.Counter
+	discarded   *obs.Counter
+	pending     *obs.Gauge
+	batch       *obs.Histogram
+}
+
+// walLog is one sequential log.
+type walLog struct {
+	name     string
+	back     Backend
+	epoch    uint64
+	head     int64 // next append offset, in words
+	syncedTo int64 // head covered by the last successful log fsync
+}
+
+// walMember is one array backend under WAL protection: the backend
+// walBackend writes through to and replay/checkpoint operate on.
+type walMember struct {
+	name  string
+	inner Backend
+}
+
+// walSet is the per-disk WAL state: the logs, the protected members,
+// the global sequence counter and the group-commit machinery.
+type walSet struct {
+	opts WALOptions
+
+	mu       sync.Mutex // orders {seq alloc, append, write-through}; guards all fields below
+	logs     []*walLog
+	meta     Backend     // one-word checkpoint watermark (see checkpointLocked)
+	members  []walMember // sorted by name (checkpoint sync order is deterministic)
+	seq      uint64      // last allocated record sequence number
+	bypassed bool        // an unlogged write-through happened; only a checkpoint can cover it
+	c        walCounters
+
+	durable atomic.Uint64 // highest seq known durable (log fsync or checkpoint)
+
+	// Group commit: one leader runs a sync round at a time; waiters
+	// re-check durability when the round ends.
+	gcMu    sync.Mutex
+	gcCond  *sync.Cond
+	syncing bool
+
+	met *walMetrics
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type walCounters struct {
+	appends, appendedWords       int64
+	commits, fsyncs, checkpoints int64
+	bypass                       int64
+	replayed, discarded, skipped int64
+}
+
+func newWALSet(o WALOptions) *walSet {
+	ws := &walSet{opts: o.withDefaults()}
+	ws.gcCond = sync.NewCond(&ws.gcMu)
+	if o.Obs != nil {
+		if reg := o.Obs.MetricsOf(); reg != nil {
+			ws.met = &walMetrics{
+				appends:     reg.Counter("ooc_wal_appends_total", "records appended to the write-ahead logs"),
+				words:       reg.Counter("ooc_wal_appended_words_total", "8-byte words appended to the write-ahead logs"),
+				commits:     reg.Counter("ooc_wal_commits_total", "group-commit rounds acknowledged"),
+				fsyncs:      reg.Counter("ooc_wal_fsyncs_total", "log fsyncs issued by group commit"),
+				checkpoints: reg.Counter("ooc_wal_checkpoints_total", "checkpoints: member backends synced and logs truncated"),
+				bypass:      reg.Counter("ooc_wal_bypass_writes_total", "writes too large to log, applied write-through only"),
+				replayed:    reg.Counter("ooc_wal_replayed_records_total", "records re-applied from surviving log tails"),
+				discarded:   reg.Counter("ooc_wal_discarded_records_total", "torn or stale log tails discarded during replay"),
+				pending:     reg.Gauge("ooc_wal_pending_words", "words appended since the last checkpoint (replay depth)"),
+				batch: reg.Histogram("ooc_wal_commit_records",
+					"records made durable per group-commit fsync round", obs.ExpBuckets(1, 2, 10)),
+			}
+		}
+	}
+	return ws
+}
+
+// ensureLogs opens the N log backends once, before the first array's
+// backend, honoring the disk's dir/keep/wrap configuration. Logs are
+// named "__wal<i>" (files "__wal<i>.log"): the leading underscores
+// keep them out of any array namespace a client could create.
+func (ws *walSet) ensureLogs(d *Disk) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if len(ws.logs) > 0 {
+		return nil
+	}
+	for i := 0; i < ws.opts.Logs; i++ {
+		name := fmt.Sprintf("__wal%d", i)
+		var b Backend
+		if d.dir != "" {
+			fb, err := newFileBackend(filepath.Join(d.dir, name+".log"), ws.opts.CapWords, d.keepExisting)
+			if err != nil {
+				return fmt.Errorf("ooc: opening WAL log %s: %w", name, err)
+			}
+			b = fb
+		} else {
+			b = newMemBackend(ws.opts.CapWords)
+		}
+		if d.wrapBackend != nil {
+			b = d.wrapBackend(name, b)
+		}
+		lg := &walLog{name: name, back: b, head: walHeaderWords, syncedTo: walHeaderWords}
+		// A kept log carries an earlier life's epoch header and possibly
+		// a surviving record tail. Adopt both NOW, not at replay: any
+		// append stamped with a stale epoch would be discarded as
+		// pre-truncation garbage by the next replay — an acked write
+		// lost — and appends must land after the tail replay will apply,
+		// not over it. A fresh log reads as zeros: epoch 0, empty tail.
+		words := make([]float64, ws.opts.CapWords)
+		if err := b.ReadAt(words, 0); err != nil {
+			return fmt.Errorf("ooc: reading WAL log %s header: %w", name, err)
+		}
+		lg.epoch = math.Float64bits(words[0])
+		_, end := walScan(words, lg.epoch)
+		lg.head, lg.syncedTo = end, end
+		ws.logs = append(ws.logs, lg)
+	}
+	// The checkpoint watermark: a single word (element-atomic under the
+	// torn-write model), so a checkpoint can durably record how far the
+	// stripes are authoritative before it truncates any log.
+	var mb Backend
+	if d.dir != "" {
+		fb, err := newFileBackend(filepath.Join(d.dir, "__walmeta.log"), 1, d.keepExisting)
+		if err != nil {
+			return fmt.Errorf("ooc: opening WAL watermark: %w", err)
+		}
+		mb = fb
+	} else {
+		mb = newMemBackend(1)
+	}
+	if d.wrapBackend != nil {
+		mb = d.wrapBackend("__walmeta", mb)
+	}
+	ws.meta = mb
+	return nil
+}
+
+// attach puts an array backend under WAL protection and returns the
+// logging wrapper the array should use.
+func (ws *walSet) attach(name string, inner Backend) Backend {
+	ws.mu.Lock()
+	i := sort.Search(len(ws.members), func(i int) bool { return ws.members[i].name >= name })
+	ws.members = append(ws.members, walMember{})
+	copy(ws.members[i+1:], ws.members[i:])
+	ws.members[i] = walMember{name: name, inner: inner}
+	ws.mu.Unlock()
+	return &walBackend{ws: ws, name: name, inner: inner}
+}
+
+// pendingWordsLocked is the replay depth: words appended and not yet
+// compacted away.
+func (ws *walSet) pendingWordsLocked() int64 {
+	var n int64
+	for _, lg := range ws.logs {
+		n += lg.head - walHeaderWords
+	}
+	return n
+}
+
+// lastSeq returns the most recently allocated sequence number.
+func (ws *walSet) lastSeq() uint64 {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.seq
+}
+
+// commit is the group-committed durability point: it returns once
+// every record appended before the call is durable (log fsync or
+// checkpoint). One leader runs a sync round at a time; every other
+// caller waits for the round and re-checks — so N writers landing
+// within one round (or one CommitWindow) share its fsyncs.
+func (ws *walSet) commit() error {
+	target := ws.lastSeq()
+	// The durable sequence alone cannot satisfy a commit while an
+	// unlogged (bypass) write-through is outstanding: its bytes are in
+	// no log, so only a checkpoint's member syncs cover it. A bypass
+	// write therefore disables the fast path until a round escalates.
+	satisfied := func() bool {
+		ws.mu.Lock()
+		defer ws.mu.Unlock()
+		return !ws.bypassed && ws.durable.Load() >= target
+	}
+	for {
+		if satisfied() {
+			return nil
+		}
+		ws.gcMu.Lock()
+		if satisfied() {
+			ws.gcMu.Unlock()
+			return nil
+		}
+		if ws.syncing {
+			ws.gcCond.Wait()
+			ws.gcMu.Unlock()
+			continue
+		}
+		ws.syncing = true
+		ws.gcMu.Unlock()
+
+		err := ws.leadRound()
+
+		ws.gcMu.Lock()
+		ws.syncing = false
+		ws.gcCond.Broadcast()
+		ws.gcMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// leadRound runs one group-commit round: optionally wait the commit
+// window (letting more writers land), snapshot the frontier, fsync
+// every log with uncovered words, and advance the durable sequence.
+// A round that contains an unlogged (bypass) write-through cannot be
+// covered by log fsyncs and escalates to a full checkpoint.
+func (ws *walSet) leadRound() error {
+	if w := ws.opts.CommitWindow; w > 0 {
+		time.Sleep(w)
+	}
+	ws.mu.Lock()
+	upTo := ws.seq
+	before := ws.durable.Load()
+	escalate := ws.bypassed
+	type pend struct {
+		lg   *walLog
+		head int64
+	}
+	var toSync []pend
+	if !escalate {
+		for _, lg := range ws.logs {
+			if lg.head > lg.syncedTo {
+				toSync = append(toSync, pend{lg, lg.head})
+			}
+		}
+	}
+	ws.mu.Unlock()
+
+	if escalate {
+		return ws.checkpoint()
+	}
+
+	// The round's logs sync in a fixed order. Chunk routing keeps one
+	// write burst on one log, so a round usually has exactly one log to
+	// sync; the sequential order also keeps the backend-call schedule
+	// deterministic for the fault-injection harness.
+	var first error
+	var fsyncs int64
+	for _, p := range toSync {
+		if err := p.lg.back.Sync(); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		fsyncs++
+		ws.mu.Lock()
+		if p.lg.syncedTo < p.head {
+			p.lg.syncedTo = p.head
+		}
+		ws.mu.Unlock()
+	}
+
+	ws.mu.Lock()
+	ws.c.fsyncs += fsyncs
+	if first == nil {
+		ws.c.commits++
+		if upTo > ws.durable.Load() {
+			ws.durable.Store(upTo)
+		}
+	}
+	m := ws.met
+	ws.mu.Unlock()
+	if m != nil {
+		m.fsyncs.Add(fsyncs)
+		if first == nil {
+			m.commits.Inc()
+			if fsyncs > 0 && upTo > before {
+				m.batch.Observe(float64(upTo - before))
+			}
+		}
+	}
+	return first
+}
+
+// checkpoint is the compaction step (see checkpointLocked).
+func (ws *walSet) checkpoint() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.checkpointLocked()
+}
+
+// checkpointLocked makes every applied record durable in the member
+// (stripe) backends, durably records the watermark, then truncates
+// the logs by bumping each log's epoch header and resetting its head.
+// Holding mu quiesces appenders, so the member syncs cover every
+// appended record's write-through. A member sync or watermark error
+// aborts before any truncation (the logs still cover everything).
+//
+// The watermark is the step that makes truncation crash-safe: the
+// epoch-header writes below are NOT fsynced here (the next group
+// commit covers them), so a power cut can revert them and leave the
+// old records durable in the logs — records now OLDER than the
+// stripe bytes the member syncs just persisted. Replaying those over
+// the stripes would roll acknowledged writes back. The durable
+// watermark (one element-atomic word) tells replay how far the
+// stripes are authoritative, so it discards every surviving record at
+// or below it.
+func (ws *walSet) checkpointLocked() error {
+	// Member syncs run sequentially in registration order: the fixed
+	// backend-call schedule is what keeps fault-injection runs
+	// replayable, and checkpoints are rare enough (cap-words pressure
+	// or explicit compaction) that the summed fsyncs don't sit on the
+	// ack path.
+	for _, m := range ws.members {
+		if err := m.inner.Sync(); err != nil {
+			return fmt.Errorf("ooc: WAL checkpoint syncing %s: %w", m.name, err)
+		}
+	}
+	upTo := ws.seq
+	if ws.meta != nil {
+		wm := [1]float64{math.Float64frombits(upTo)}
+		if err := ws.meta.WriteAt(wm[:], 0); err != nil {
+			return fmt.Errorf("ooc: WAL checkpoint watermark: %w", err)
+		}
+		if err := ws.meta.Sync(); err != nil {
+			return fmt.Errorf("ooc: WAL checkpoint watermark sync: %w", err)
+		}
+	}
+	var first error
+	for _, lg := range ws.logs {
+		next := lg.epoch + 1
+		hdr := [walHeaderWords]float64{math.Float64frombits(next)}
+		if err := lg.back.WriteAt(hdr[:], 0); err != nil {
+			if first == nil {
+				first = fmt.Errorf("ooc: WAL truncating %s: %w", lg.name, err)
+			}
+			continue
+		}
+		lg.epoch = next
+		lg.head = walHeaderWords
+		// Force the next commit round to fsync this log even without
+		// new records, so the new epoch header becomes durable promptly.
+		lg.syncedTo = 0
+	}
+	ws.bypassed = false
+	if upTo > ws.durable.Load() {
+		ws.durable.Store(upTo)
+	}
+	ws.c.checkpoints++
+	if m := ws.met; m != nil {
+		m.checkpoints.Inc()
+		m.pending.Set(float64(ws.pendingWordsLocked()))
+	}
+	return first
+}
+
+// replay scans each log's surviving tail, merges the valid records
+// across logs by sequence number, and re-applies them to the member
+// backends — reconstructing exactly the write-through order.
+func (ws *walSet) replay() (WALReplay, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var rep WALReplay
+	var watermark uint64
+	if ws.meta != nil {
+		var wm [1]float64
+		if err := ws.meta.ReadAt(wm[:], 0); err != nil {
+			return rep, fmt.Errorf("ooc: WAL replay reading watermark: %w", err)
+		}
+		watermark = math.Float64bits(wm[0])
+	}
+	var all []walRecord
+	for _, lg := range ws.logs {
+		words := make([]float64, ws.opts.CapWords)
+		if err := lg.back.ReadAt(words, 0); err != nil {
+			return rep, fmt.Errorf("ooc: WAL replay reading %s: %w", lg.name, err)
+		}
+		lg.epoch = math.Float64bits(words[0])
+		recs, end := walScan(words, lg.epoch)
+		lg.head = end
+		lg.syncedTo = end // the scanned bytes are, by definition, durable
+		if end < int64(len(words)) && math.Float64bits(words[end]) != 0 {
+			rep.Discarded++
+		}
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	byName := map[string]Backend{}
+	for _, m := range ws.members {
+		byName[m.name] = m.inner
+	}
+	for _, r := range all {
+		if r.seq <= watermark {
+			// At or below the checkpoint watermark: the stripes already
+			// hold this record durably (and possibly newer bytes at the
+			// same offsets) — a stale tail from a truncation that never
+			// reached the media. Applying it would roll the stripes back.
+			rep.Discarded++
+			continue
+		}
+		// Every surviving record retires its sequence number, applied or
+		// not: a skipped record (array not recreated) stays in the log,
+		// and a new append re-using its seq would trip the scan's
+		// monotonicity cut and lose the newer record.
+		if r.seq > ws.seq {
+			ws.seq = r.seq
+		}
+		inner, ok := byName[r.name]
+		if !ok {
+			rep.Skipped++
+			continue
+		}
+		if err := inner.WriteAt(r.data, r.off); err != nil {
+			return rep, fmt.Errorf("ooc: WAL replay applying seq %d to %s [%d,%d): %w",
+				r.seq, r.name, r.off, r.off+int64(len(r.data)), err)
+		}
+		rep.Applied++
+	}
+	// Never re-allocate a sequence number the watermark covers: replay
+	// after a later crash would discard such a record as stale.
+	if watermark > ws.seq {
+		ws.seq = watermark
+	}
+	if ws.seq > ws.durable.Load() {
+		ws.durable.Store(ws.seq)
+	}
+	ws.c.replayed += rep.Applied
+	ws.c.discarded += rep.Discarded
+	ws.c.skipped += rep.Skipped
+	if m := ws.met; m != nil {
+		m.replayed.Add(rep.Applied)
+		m.discarded.Add(rep.Discarded)
+		m.pending.Set(float64(ws.pendingWordsLocked()))
+	}
+	return rep, nil
+}
+
+// stats snapshots the scorecard.
+func (ws *walSet) stats() *WALStats {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	s := &WALStats{
+		Logs:             len(ws.logs),
+		CapWords:         ws.opts.CapWords,
+		PendingWords:     ws.pendingWordsLocked(),
+		LastSeq:          ws.seq,
+		DurableSeq:       ws.durable.Load(),
+		Appends:          ws.c.appends,
+		AppendedWords:    ws.c.appendedWords,
+		Commits:          ws.c.commits,
+		Fsyncs:           ws.c.fsyncs,
+		Checkpoints:      ws.c.checkpoints,
+		BypassWrites:     ws.c.bypass,
+		ReplayedRecords:  ws.c.replayed,
+		DiscardedRecords: ws.c.discarded,
+		SkippedRecords:   ws.c.skipped,
+	}
+	if s.Fsyncs > 0 {
+		s.FsyncBatch = float64(s.Commits) / float64(s.Fsyncs)
+	}
+	return s
+}
+
+func (ws *walSet) startMaintainer() {
+	if ws.opts.CheckpointEvery <= 0 {
+		return
+	}
+	ws.stopCh = make(chan struct{})
+	ws.wg.Add(1)
+	go func() {
+		defer ws.wg.Done()
+		t := time.NewTicker(ws.opts.CheckpointEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ws.stopCh:
+				return
+			case <-t.C:
+				ws.mu.Lock()
+				pending := ws.pendingWordsLocked() > 0 || ws.bypassed
+				ws.mu.Unlock()
+				if pending {
+					_ = ws.checkpoint() // best effort; the inline full-log path retries
+				}
+			}
+		}
+	}()
+}
+
+func (ws *walSet) stopMaintainer() {
+	if ws.stopCh == nil {
+		return
+	}
+	ws.stopOnce.Do(func() { close(ws.stopCh) })
+	ws.wg.Wait()
+}
+
+func (ws *walSet) closeLogs() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var first error
+	for _, lg := range ws.logs {
+		if err := lg.back.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if ws.meta != nil {
+		if err := ws.meta.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// walBackend is the write-through logging wrapper an attached array's
+// backend becomes: reads pass straight down (the inner backend always
+// holds the current bytes), writes append a record first, and Sync is
+// the group-committed log fsync.
+type walBackend struct {
+	ws    *walSet
+	name  string
+	inner Backend
+}
+
+var _ Backend = (*walBackend)(nil)
+
+func (wb *walBackend) ReadAt(buf []float64, off int64) error { return wb.inner.ReadAt(buf, off) }
+func (wb *walBackend) Size() int64                           { return wb.inner.Size() }
+func (wb *walBackend) Close() error                          { return wb.inner.Close() }
+
+// WriteAt appends the redo record, then writes through, as one step
+// under the set's mutex — so the global sequence order is the order
+// bytes reach the inner backends. An append failure surfaces before
+// the write-through (WAL-first): the head does not advance, and the
+// retry overwrites whatever prefix the failed append tore.
+func (wb *walBackend) WriteAt(buf []float64, off int64) error {
+	ws := wb.ws
+	need := walRecordWords(wb.name, int64(len(buf)))
+	ws.mu.Lock()
+	if need > ws.opts.CapWords-walHeaderWords {
+		// Could never fit even an empty log (whole-array setup fills):
+		// apply write-through only. The record is unlogged, so the next
+		// commit must escalate to a checkpoint before acknowledging.
+		ws.bypassed = true
+		ws.c.bypass++
+		m := ws.met
+		err := wb.inner.WriteAt(buf, off)
+		ws.mu.Unlock()
+		if m != nil {
+			m.bypass.Inc()
+		}
+		return err
+	}
+	lg := ws.logs[walRoute(wb.name, off, len(ws.logs))]
+	if lg.head+need > ws.opts.CapWords {
+		// Log full: compact inline (deterministic), then append fresh.
+		if err := ws.checkpointLocked(); err != nil {
+			ws.mu.Unlock()
+			return err
+		}
+	}
+	rec := walEncodeRecord(ws.seq+1, lg.epoch, wb.name, off, buf)
+	if err := lg.back.WriteAt(rec, lg.head); err != nil {
+		ws.mu.Unlock()
+		return fmt.Errorf("ooc: WAL append for %s [%d,%d): %w", wb.name, off, off+int64(len(buf)), err)
+	}
+	lg.head += int64(len(rec))
+	ws.seq++
+	ws.c.appends++
+	ws.c.appendedWords += int64(len(rec))
+	m := ws.met
+	var pending float64
+	if m != nil {
+		pending = float64(ws.pendingWordsLocked())
+	}
+	err := wb.inner.WriteAt(buf, off)
+	ws.mu.Unlock()
+	if m != nil {
+		m.appends.Inc()
+		m.words.Add(int64(len(rec)))
+		m.pending.Set(pending)
+	}
+	return err
+}
+
+// Sync acknowledges: it returns once every record appended before the
+// call is durable, sharing fsyncs with every concurrent caller.
+func (wb *walBackend) Sync() error { return wb.ws.commit() }
+
+// walRouteChunkWords is the routing granularity: offsets within the
+// same chunk share a log. One logical write (a tile flush) lands as a
+// burst of row-run records a few hundred words apart; routing them by
+// raw offset would scatter the burst over every log and force its
+// group commit to fsync all of them. Chunked routing keeps one
+// writer's burst on one log (one fsync covers it) while different
+// tiles and arrays still spread across logs.
+const walRouteChunkWords = 1 << 12
+
+// walRoute deterministically picks the log for (name, off): FNV-1a
+// over the name and the offset's chunk with a 64-bit avalanche
+// finalizer (the same construction as ShardOf, for the same
+// structured-key reason). A pure function, so a write's log never
+// depends on history.
+func walRoute(name string, off int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	chunk := off / walRouteChunkWords
+	for s := uint(0); s < 64; s += 8 {
+		h ^= (uint64(chunk) >> s) & 0xff
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// walRecord is one decoded redo record.
+type walRecord struct {
+	seq   uint64
+	epoch uint64
+	name  string
+	off   int64
+	data  []float64
+}
+
+// walRecordWords is the encoded size of a record.
+func walRecordWords(name string, dataLen int64) int64 {
+	return walRecHeaderWords + int64((len(name)+7)/8) + dataLen
+}
+
+// walEncodeRecord frames one record (see the package comment).
+func walEncodeRecord(seq, epoch uint64, name string, off int64, data []float64) []float64 {
+	nameWords := (len(name) + 7) / 8
+	rec := make([]float64, walRecHeaderWords+nameWords+len(data))
+	rec[0] = math.Float64frombits(seq)
+	rec[1] = math.Float64frombits(epoch)
+	rec[2] = math.Float64frombits(uint64(len(name))<<48 | uint64(len(data))&walLenMask)
+	rec[3] = math.Float64frombits(uint64(off))
+	for w := 0; w < nameWords; w++ {
+		var u uint64
+		for k := 0; k < 8 && w*8+k < len(name); k++ {
+			u |= uint64(name[w*8+k]) << (8 * uint(k))
+		}
+		rec[walRecHeaderWords+w] = math.Float64frombits(u)
+	}
+	copy(rec[walRecHeaderWords+nameWords:], data)
+	rec[4] = math.Float64frombits(uint64(walRecordCRC(rec)))
+	return rec
+}
+
+// walRecordCRC covers every word of the framed record except the CRC
+// word itself, as little-endian bytes.
+func walRecordCRC(rec []float64) uint32 {
+	h := crc32.New(walCRCTable)
+	var b [8]byte
+	for i, w := range rec {
+		if i == 4 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(w))
+		h.Write(b[:])
+	}
+	return h.Sum32()
+}
+
+// walDecodeRecord tries to decode one record at words[pos:]. It never
+// panics on arbitrary bytes: every length is bounds-checked before
+// the CRC seals the verdict. Returns the record, its size in words,
+// and whether it decoded.
+func walDecodeRecord(words []float64, pos int64) (walRecord, int64, bool) {
+	n := int64(len(words))
+	if pos < walHeaderWords || pos+walRecHeaderWords > n {
+		return walRecord{}, 0, false
+	}
+	seq := math.Float64bits(words[pos])
+	if seq == 0 {
+		return walRecord{}, 0, false
+	}
+	meta := math.Float64bits(words[pos+2])
+	nameLen := int64(meta >> 48)
+	dataLen := int64(meta & walLenMask)
+	if nameLen == 0 || nameLen > walMaxNameLen {
+		return walRecord{}, 0, false
+	}
+	offU := math.Float64bits(words[pos+3])
+	if offU > uint64(1)<<62 {
+		return walRecord{}, 0, false
+	}
+	crcU := math.Float64bits(words[pos+4])
+	if crcU>>32 != 0 {
+		return walRecord{}, 0, false
+	}
+	nameWords := (nameLen + 7) / 8
+	total := walRecHeaderWords + nameWords + dataLen
+	if total > n-pos {
+		return walRecord{}, 0, false
+	}
+	if walRecordCRC(words[pos:pos+total]) != uint32(crcU) {
+		return walRecord{}, 0, false
+	}
+	nameB := make([]byte, nameLen)
+	for i := int64(0); i < nameLen; i++ {
+		w := math.Float64bits(words[pos+walRecHeaderWords+i/8])
+		nameB[i] = byte(w >> (8 * uint(i%8)))
+	}
+	data := make([]float64, dataLen)
+	copy(data, words[pos+walRecHeaderWords+nameWords:pos+total])
+	return walRecord{
+		seq:   seq,
+		epoch: math.Float64bits(words[pos+1]),
+		name:  string(nameB),
+		off:   int64(offU),
+		data:  data,
+	}, total, true
+}
+
+// walScan decodes the valid record run of a log image: records are
+// accepted while they decode, carry the current epoch, and strictly
+// increase in sequence; the scan stops at the first failure, so any
+// torn tail yields a strict prefix of the appended records.
+func walScan(words []float64, epoch uint64) ([]walRecord, int64) {
+	var recs []walRecord
+	pos := int64(walHeaderWords)
+	last := uint64(0)
+	for {
+		r, sz, ok := walDecodeRecord(words, pos)
+		if !ok || r.epoch != epoch || r.seq <= last {
+			return recs, pos
+		}
+		recs = append(recs, r)
+		last = r.seq
+		pos += sz
+	}
+}
+
+// WALReplay summarizes one ReplayWAL pass.
+type WALReplay struct {
+	Applied   int64 // records re-applied over the member backends
+	Discarded int64 // logs whose tail held a torn or stale record
+	Skipped   int64 // valid records naming arrays not (re)created
+}
+
+// EnableWAL turns on write-ahead logging for every subsequently
+// created array: writes append checksummed redo records to the logs
+// before reaching the array backends, a backend Sync becomes a
+// group-committed log fsync, and Checkpoint/ReplayWAL provide the
+// compaction and recovery halves. Like the other configuration
+// chainers it must be called before arrays are created; it is ignored
+// on measurement-only (NoBacking) disks.
+func (d *Disk) EnableWAL(o WALOptions) *Disk {
+	if d.noBacking {
+		return d
+	}
+	d.wal = newWALSet(o)
+	d.wal.startMaintainer()
+	return d
+}
+
+// WALEnabled reports whether the disk logs writes.
+func (d *Disk) WALEnabled() bool { return d.wal != nil }
+
+// ReplayWAL recovers acknowledged writes after a reopen: it scans the
+// surviving log tails and re-applies the valid records, in global
+// sequence order, over the array backends. Call it after recreating
+// the disk's arrays (records naming arrays that were not recreated
+// are counted in Skipped and left for the next checkpoint to drop)
+// and before tile I/O starts. On a freshly created disk the logs are
+// empty and replay is a no-op.
+func (d *Disk) ReplayWAL() (WALReplay, error) {
+	if d.wal == nil {
+		return WALReplay{}, nil
+	}
+	// Open the logs if no array creation has yet: a reopened disk with
+	// no arrays recreated still reports its surviving records (as
+	// Skipped) instead of silently scanning zero logs.
+	if err := d.wal.ensureLogs(d); err != nil {
+		return WALReplay{}, err
+	}
+	return d.wal.replay()
+}
+
+// Checkpoint runs the WAL compaction step now: member backends are
+// synced (making every applied record durable in the stripes) and the
+// logs are truncated. A no-op without a WAL.
+func (d *Disk) Checkpoint() error {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.checkpoint()
+}
+
+// WALStats snapshots the WAL scorecard, or nil when disabled.
+func (d *Disk) WALStats() *WALStats {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.stats()
+}

@@ -75,6 +75,36 @@ func goldenShardedServer(t *testing.T) *testServer {
 	return ts
 }
 
+// goldenWALServer is goldenServer with the write-ahead log enabled and
+// durable PUTs on — the wiring cmd/occd builds for -wal -durable-puts —
+// so the goldens pin the /v1/stats wal scorecard and the ooc_wal_*
+// metric families. The seed PUT rides the durable path: its 204 means a
+// group commit ran, so every WAL counter's code path has fired.
+func goldenWALServer(t *testing.T) *testServer {
+	t.Helper()
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	ts := &testServer{}
+	d := ooc.NewDisk(0).Observe(sink)
+	d.EnableWAL(ooc.WALOptions{Logs: 2, Obs: sink})
+	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: 2, CacheTiles: 16, Obs: sink})
+	ts.disk = d
+	ts.srv = New(d, eng, Config{DurablePuts: true, Obs: sink})
+	ts.http = httptest.NewServer(ts.srv.Handler())
+	t.Cleanup(func() {
+		ts.http.Close()
+		ts.srv.Drain()
+	})
+	ts.createArray(t, "A", 8, 8)
+	payload := make([]float64, 16)
+	if status, out, _ := ts.do(t, http.MethodPut, ts.url("/v1/arrays/A/tile?lo=0,0&hi=4,4"), encodePayload(payload)); status != http.StatusNoContent {
+		t.Fatalf("seed put: %d %s", status, out)
+	}
+	if status, _, _ := ts.do(t, http.MethodGet, ts.url("/v1/arrays/A/tile?lo=0,0&hi=4,4"), nil); status != 200 {
+		t.Fatal("seed get failed")
+	}
+	return ts
+}
+
 // keyPaths flattens a decoded JSON object into sorted dotted key
 // paths ("engine.Hits", "hit_rate", ...). Array elements collapse to
 // "[]" — the schema is about field names, not traffic.
@@ -164,6 +194,59 @@ func TestStatsGoldenShardedSchema(t *testing.T) {
 	var keys []string
 	keyPaths("", decoded, &keys)
 	checkGolden(t, "stats_schema_sharded.golden", keys)
+}
+
+// TestStatsGoldenWALSchema pins the WAL-enabled /v1/stats shape: the
+// wal block (sequence watermarks, append/commit/fsync/checkpoint
+// counters, replay tallies) is what the durability runbook and the CI
+// chaos leg read, so its keys changing is an API change.
+func TestStatsGoldenWALSchema(t *testing.T) {
+	ts := goldenWALServer(t)
+	status, out, _ := ts.do(t, http.MethodGet, ts.url("/v1/stats"), nil)
+	if status != 200 {
+		t.Fatalf("stats: %d %s", status, out)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("stats is not JSON: %v\n%s", err, out)
+	}
+	wal, ok := decoded["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("WAL server's /v1/stats has no wal block:\n%s", out)
+	}
+	// The durable seed PUT must have gone through the group commit.
+	if c, _ := wal["commits"].(float64); c < 1 {
+		t.Errorf("wal.commits = %v after a durable PUT, want >= 1", wal["commits"])
+	}
+	if f, _ := wal["fsyncs"].(float64); f < 1 {
+		t.Errorf("wal.fsyncs = %v after a durable PUT, want >= 1", wal["fsyncs"])
+	}
+	var keys []string
+	keyPaths("", decoded, &keys)
+	checkGolden(t, "stats_schema_wal.golden", keys)
+}
+
+// TestMetricsGoldenWALSchema pins the ooc_wal_* metric families a
+// WAL-enabled plane adds to /metrics.
+func TestMetricsGoldenWALSchema(t *testing.T) {
+	ts := goldenWALServer(t)
+	status, out, _ := ts.do(t, http.MethodGet, ts.url("/metrics"), nil)
+	if status != 200 {
+		t.Fatalf("metrics: %d", status)
+	}
+	var families []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.TrimPrefix(line, "# TYPE "))
+		}
+	}
+	checkGolden(t, "metrics_families_wal.golden", families)
+
+	for _, want := range []string{"ooc_wal_appends_total", "ooc_wal_fsyncs_total", "ooc_wal_commits_total"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("WAL /metrics missing family %s", want)
+		}
+	}
 }
 
 // TestMetricsGoldenShardedSchema pins the labeled per-shard metric

@@ -46,6 +46,8 @@ type LoadResult struct {
 	Throughput float64 // OK responses per second
 	P50        float64 // median latency, seconds (successful requests)
 	P99        float64 // 99th-percentile latency, seconds
+	PutP50     float64 // median acked-PUT latency, seconds (0 if no writes)
+	PutP99     float64 // 99th-percentile acked-PUT latency, seconds
 
 	Hits, Misses int64   // engine delta over the run
 	HitRate      float64 // hits / (hits + misses), from the delta
@@ -115,6 +117,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	type clientTally struct {
 		ok, rejected, errs int
 		lat                []time.Duration
+		putLat             []time.Duration
 	}
 	tallies := make([]clientTally, spec.Clients)
 	var wg sync.WaitGroup
@@ -145,6 +148,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				case status >= 200 && status < 300:
 					tally.ok++
 					tally.lat = append(tally.lat, d)
+					if !read {
+						tally.putLat = append(tally.putLat, d)
+					}
 				default:
 					tally.errs++
 				}
@@ -160,12 +166,13 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	}
 
 	res := LoadResult{Requests: spec.Requests, Seconds: elapsed.Seconds()}
-	var lat []time.Duration
+	var lat, putLat []time.Duration
 	for i := range tallies {
 		res.OK += tallies[i].ok
 		res.Rejected += tallies[i].rejected
 		res.Errors += tallies[i].errs
 		lat = append(lat, tallies[i].lat...)
+		putLat = append(putLat, tallies[i].putLat...)
 	}
 	if res.Seconds > 0 {
 		res.Throughput = float64(res.OK) / res.Seconds
@@ -173,6 +180,9 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	res.P50 = percentile(lat, 0.50)
 	res.P99 = percentile(lat, 0.99)
+	sort.Slice(putLat, func(i, j int) bool { return putLat[i] < putLat[j] })
+	res.PutP50 = percentile(putLat, 0.50)
+	res.PutP99 = percentile(putLat, 0.99)
 	res.Hits = after.Engine.Hits - before.Engine.Hits
 	res.Misses = after.Engine.Misses - before.Engine.Misses
 	if total := res.Hits + res.Misses; total > 0 {

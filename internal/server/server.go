@@ -102,6 +102,12 @@ type Config struct {
 	// clipping. 0 means DefaultMaxTileElems; negative disables the
 	// cap. Beyond it, tile GET/PUT answer 413.
 	MaxTileElems int64
+	// DurablePuts makes tile PUTs durable before the 204: the written
+	// box is flushed through the engine and the array synced. On a
+	// WAL-enabled disk the sync is a group-committed log fsync shared
+	// by every concurrent PUT in the commit window; without a WAL it
+	// is a real per-PUT backend fsync.
+	DurablePuts bool
 	// Obs supplies the metrics registry behind /metrics (a registry is
 	// created when absent, so the endpoints always work).
 	Obs *obs.Sink
@@ -417,6 +423,7 @@ type statsPayload struct {
 	Engine            ooc.EngineStats `json:"engine"`
 	HitRate           float64         `json:"hit_rate"`
 	Shards            []shardStat     `json:"shards,omitempty"`
+	WAL               *ooc.WALStats   `json:"wal,omitempty"`
 	Requests          int64           `json:"requests"`
 	Coalesced         int64           `json:"coalesced"`
 	RejectedRateLimit int64           `json:"rejected_ratelimit"`
@@ -451,6 +458,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			p.Shards = append(p.Shards, shardStat{Shard: i, Engine: ss, HitRate: ss.HitRate()})
 		}
 	}
+	p.WAL = s.disk.WALStats()
 	writeJSON(w, http.StatusOK, p)
 }
 
@@ -648,6 +656,20 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 	s.eng.Release(h, true)
 	lk.gen.Add(1) // version GET flights past this write before acknowledging
 	lk.mu.Unlock()
+	if s.cfg.DurablePuts {
+		// Push this write to stable storage before the ack. The flush
+		// happens outside the tile lock so concurrent PUTs to the same
+		// array overlap here — and on a WAL-enabled disk the Sync is a
+		// group commit, so they share one log fsync.
+		if err := s.eng.FlushOverlapping(ar, box); err != nil {
+			s.engineError(w, err)
+			return
+		}
+		if err := ar.Sync(); err != nil {
+			s.engineError(w, err)
+			return
+		}
+	}
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
 	w.WriteHeader(http.StatusNoContent)
 }
