@@ -9,9 +9,10 @@ FUZZ_TARGETS := \
 	./internal/layout/:FuzzRuns \
 	./internal/layout/:FuzzBoxOverlaps \
 	./internal/ooc/:FuzzTileKey \
-	./internal/ooc/:FuzzWALRecord
+	./internal/ooc/:FuzzWALRecord \
+	./internal/ooc/:FuzzTileCodec
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep chaos
+.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep chaos
 
 build:
 	$(GO) build ./...
@@ -79,6 +80,19 @@ walsweep:
 		-read-frac 0.2 -requests 16000 -zipf 1 -shards 4 \
 		-dir $(WALSWEEP_DIR)/wal -durable-puts -wal
 
+# Compression sweep: the focused engine / engine-compress bench leg
+# (bytes_disk_raw vs bytes_disk is the on-disk reduction, allocs_per_get
+# must be 0), then the identical zipf load with and without the
+# x-ooc-gorilla wire encoding (bytes_wire_raw vs bytes_wire is the
+# on-wire reduction). CI gates both at 2x; see the "Compression gate"
+# step in ci.yml.
+compsweep:
+	$(GO) run ./cmd/occbench -suite -compress -json BENCH_comp.json
+	$(GO) run ./cmd/occload -kernel trans -version c-opt \
+		-clients 16 -requests 4000 -zipf 1.2
+	$(GO) run ./cmd/occload -kernel trans -version c-opt \
+		-clients 16 -requests 4000 -zipf 1.2 -compress -json LOAD_comp.json
+
 # Deterministic chaos sweep: the dst/faultfs test suites under -race,
 # then CHAOS_EPISODES seeded simulation episodes (power cuts, torn
 # writes, failing syncs). A failing episode prints its reproducer
@@ -88,6 +102,7 @@ chaos:
 	$(GO) test -race ./internal/dst/ ./internal/faultfs/
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES)
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal
+	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal -compress
 
 fmt:
 	gofmt -l -w .

@@ -36,7 +36,8 @@ func main() {
 	table := flag.Int("table", 0, "reproduce Table 2 or 3")
 	figure := flag.Int("figure", 0, "reproduce Figure 1, 2 or 3")
 	ablation := flag.String("ablation", "", "ablation: tiling, memory, order, storage, optimal, blocked")
-	suiteRun := flag.Bool("suite", false, "run the benchmark suite (kernels x {sequential, engine, engine+prefetch})")
+	suiteRun := flag.Bool("suite", false, "run the benchmark suite (kernels x {sequential, engine, engine+prefetch, sharded, compress})")
+	compressOnly := flag.Bool("compress", false, "with -suite: run only the engine / engine-compress pair — the focused leg whose bytes_disk_raw/bytes_disk and allocs_per_get fields the compression gate reads")
 	jsonOut := flag.String("json", "", "with -suite: write the BENCH JSON report to this file")
 	baseline := flag.String("baseline", "", "with -suite: compare against this BENCH JSON and fail on regressions")
 	tolerance := flag.Float64("tolerance", 0.10, "with -baseline: allowed fractional increase in io_calls / sim makespan")
@@ -104,6 +105,13 @@ func main() {
 	}
 	if *kernels != "" {
 		opts.Kernels = strings.Split(*kernels, ",")
+	}
+	if *compressOnly {
+		for _, bc := range exp.BenchConfigs {
+			if bc.Name == "engine" || bc.Compress {
+				opts.Configs = append(opts.Configs, bc)
+			}
+		}
 	}
 
 	exitCode := 0

@@ -61,6 +61,7 @@ func main() {
 	commitWindow := flag.Duration("commit-window", 0, "with -wal: wait this long before the group commit's log fsync so more writers share it (0 = fsync immediately; writers arriving mid-fsync still batch into the next round)")
 	walCheckpoint := flag.Duration("wal-checkpoint", time.Second, "with -wal: background compaction interval (0 = only when a log fills)")
 	durablePuts := flag.Bool("durable-puts", false, "make every tile PUT durable before its 204 (with -wal: via the group commit)")
+	compress := flag.Bool("compress", false, "store array backends compressed (Gorilla tile codec) and, with -wal, compress log record payloads; /v1/stats grows a compression scorecard")
 	faults := flag.Int64("faults", 0, "TESTING ONLY: inject deterministic storage faults from this seed (0 = off); failures surface as 5xx")
 	flag.Parse()
 
@@ -70,7 +71,11 @@ func main() {
 	}
 
 	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	ooc.ObservePool(sink)
 	d := ooc.NewDisk(*maxCall).Observe(sink)
+	if *compress {
+		d.EnableCompression()
+	}
 	var inj *faultfs.Injector
 	if *faults != 0 {
 		inj = faultfs.NewStorm(*faults).Observe(sink)
@@ -98,6 +103,7 @@ func main() {
 			CapWords:        *walCap,
 			CommitWindow:    *commitWindow,
 			CheckpointEvery: *walCheckpoint,
+			Compress:        *compress,
 			Obs:             sink,
 		})
 	}

@@ -39,6 +39,7 @@ func main() {
 	crashEvery := flag.Int("crash-every", 50, "~one power cut per this many steps (<0 disables)")
 	shards := flag.Int("shards", 1, "run episodes against a sharded tile plane (1 = single engine); scheduled crashes then mix power cuts with single-shard crashes")
 	wal := flag.Bool("wal", false, "run WAL-backed episodes: writes append to per-shard logs, crashes land mid-commit/mid-compaction, and every reboot replays the surviving log tail")
+	compress := flag.Bool("compress", false, "with -wal: compress log record payloads (codec frames), so crash recovery replays through the compressed format")
 	readErr := flag.Float64("read-err", storm.ReadErr, "probability a backend read fails EIO")
 	writeErr := flag.Float64("write-err", storm.WriteErr, "probability a backend write fails EIO")
 	noSpace := flag.Float64("nospace", storm.WriteNoSpace, "probability a backend write fails ENOSPC")
@@ -87,6 +88,7 @@ func main() {
 			CrashEvery: *crashEvery,
 			Shards:     *shards,
 			WAL:        *wal,
+			Compress:   *compress,
 			Profile:    prof,
 		})
 		faults += res.FaultsInjected

@@ -80,6 +80,7 @@ func main() {
 	commitWindow := flag.Duration("commit-window", 0, "with -wal: wait this long before the group commit's log fsync so more writers share it (0 = fsync immediately; writers arriving mid-fsync still batch into the next round)")
 	walCapWords := flag.Int64("wal-cap-words", 1<<23, "with -wal: per-log words before an inline checkpoint; each checkpoint stalls appenders for the member fsyncs, so serving runs want it large (log files are sparse)")
 	durablePuts := flag.Bool("durable-puts", false, "make every tile PUT durable before its 204 (the write path -wal is built to speed up)")
+	compress := flag.Bool("compress", false, "store array backends compressed, negotiate the x-ooc-gorilla tile wire encoding, and (with -wal) compress log record payloads; episode mode runs its WAL compressed")
 	jsonOut := flag.String("json", "", "write the outcore-bench/v1 report here")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run (last sweep pass)")
 	faults := flag.Int64("faults", 0, "inject deterministic storage faults from this seed (0 = off)")
@@ -101,7 +102,7 @@ func main() {
 	}
 
 	if *crashEvery != 0 {
-		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles, *shards, *wal)
+		runEpisode(*faults, *crashEvery, *requests, *clients, *workers, *cacheTiles, *shards, *wal, *compress)
 		return
 	}
 
@@ -128,6 +129,10 @@ func main() {
 		plan, err := suite.PlanFor(prog, ver)
 		fail(err)
 		base := ooc.NewDisk(*maxCall).Observe(sink)
+		if *compress {
+			ooc.ObservePool(sink)
+			base.EnableCompression()
+		}
 		var inj *faultfs.Injector
 		if *faults != 0 {
 			inj = faultfs.NewStorm(*faults).Observe(sink)
@@ -151,6 +156,7 @@ func main() {
 				Logs:         n,
 				CapWords:     *walCapWords,
 				CommitWindow: *commitWindow,
+				Compress:     *compress,
 				Obs:          sink,
 			})
 		}
@@ -197,6 +203,7 @@ func main() {
 			ZipfS:    *zipf,
 			ReadFrac: *readFrac,
 			Seed:     *seed,
+			Compress: *compress,
 		})
 		hts.Close()
 		// The per-shard scorecard reads live shard counters, so capture it
@@ -239,6 +246,10 @@ func main() {
 		}
 		fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
 			res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
+		if *compress && res.WireRawBytes > 0 && res.WireBytes > 0 {
+			fmt.Printf("  wire: %d raw bytes moved as %d encoded (%.2fx)\n",
+				res.WireRawBytes, res.WireBytes, float64(res.WireRawBytes)/float64(res.WireBytes))
+		}
 		for i, ss := range scorecard {
 			fmt.Printf("    shard %d: %d hits / %d misses (hit rate %.1f%%), %d evictions, %d writebacks\n",
 				i, ss.Hits, ss.Misses, 100*ss.HitRate(), ss.Evictions, ss.Writebacks)
@@ -266,6 +277,9 @@ func main() {
 		}
 		if *wal {
 			config += "-wal"
+		}
+		if *compress {
+			config += "-comp"
 		}
 		rows = append(rows, exp.LoadBenchEntry(k.Name, config, res))
 		if res.Errors > 0 && inj == nil {
@@ -313,7 +327,7 @@ func parseShardSweep(s string) ([]int, error) {
 // runEpisode is -crash-every: one deterministic dst simulation in
 // place of the HTTP load, reusing the load-shape flags (requests as
 // scheduler steps, clients as logical clients).
-func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shards int, wal bool) {
+func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shards int, wal, compress bool) {
 	var prof faultfs.Profile
 	if seed != 0 {
 		prof = faultfs.StormProfile()
@@ -327,6 +341,7 @@ func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shard
 		CacheTiles: cacheTiles,
 		Shards:     shards,
 		WAL:        wal,
+		Compress:   compress,
 		Profile:    prof,
 	})
 	fmt.Println("occload: episode", res.Summary())
@@ -337,6 +352,9 @@ func runEpisode(seed int64, crashEvery, ops, clients, workers, cacheTiles, shard
 		walFlag := ""
 		if wal {
 			walFlag = " -wal"
+		}
+		if compress {
+			walFlag += " -compress"
 		}
 		fmt.Fprintf(os.Stderr, "occload: reproduce with: occload -faults %d -crash-every %d -requests %d -clients %d -workers %d -cache-tiles %d -shards %d%s\n",
 			seed, crashEvery, ops, clients, workers, cacheTiles, shards, walFlag)

@@ -85,6 +85,15 @@ type Options struct {
 	WALCapWords   int64 // per-log capacity in words (default 1024: small, so full-log compaction triggers mid-episode)
 	CheckpointOps int   // ~one explicit compaction per this many steps (default 30; <0 disables)
 
+	// Compress runs the WAL with payload compression (codec frames in
+	// the log records). The durability contract is unchanged — the
+	// injector still measures physical bytes — so this proves acked
+	// writes survive crashes THROUGH the compressed records. Episodes
+	// stay deterministic per seed, but records shrink, so log-full
+	// compactions land at different steps than an uncompressed run of
+	// the same seed.
+	Compress bool
+
 	// SkipFinalCheck leaves out the episode epilogue (heal faults,
 	// flush, final crash, exact durability check). The epilogue is
 	// where "every acknowledged write survives" gets its strictest
@@ -278,7 +287,7 @@ func (ep *episode) open() {
 		if logs < 1 {
 			logs = 1
 		}
-		ep.disk.EnableWAL(ooc.WALOptions{Logs: logs, CapWords: ep.o.WALCapWords})
+		ep.disk.EnableWAL(ooc.WALOptions{Logs: logs, CapWords: ep.o.WALCapWords, Compress: ep.o.Compress})
 	}
 	size := int64(ep.o.Tiles) * ep.o.TileElems
 	arr, err := ep.disk.CreateArray(ir.NewArray(arrayName, size), layout.RowMajor(size))

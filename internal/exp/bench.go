@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
 	"outcore/internal/codegen"
+	"outcore/internal/layout"
 	"outcore/internal/ooc"
 	"outcore/internal/sim"
 	"outcore/internal/suite"
@@ -27,9 +29,10 @@ var BenchKernels = []string{"mat", "mxm", "trans", "syr2k"}
 // BenchRunConfig is one engine configuration of the suite matrix.
 type BenchRunConfig struct {
 	Name       string `json:"name"`
-	CacheTiles int    `json:"cache_tiles"`      // 0 = plain sequential runtime
-	Workers    int    `json:"workers"`          // >0 enables async prefetch
-	Shards     int    `json:"shards,omitempty"` // >1 shards the tile plane (additive field)
+	CacheTiles int    `json:"cache_tiles"`        // 0 = plain sequential runtime
+	Workers    int    `json:"workers"`            // >0 enables async prefetch
+	Shards     int    `json:"shards,omitempty"`   // >1 shards the tile plane (additive field)
+	Compress   bool   `json:"compress,omitempty"` // store array backends compressed (additive field)
 }
 
 // BenchConfigs is the suite's configuration axis: the plain sequential
@@ -45,6 +48,7 @@ var BenchConfigs = []BenchRunConfig{
 	{Name: "engine-sharded-2", CacheTiles: 8, Workers: 0, Shards: 2},
 	{Name: "engine-sharded-4", CacheTiles: 8, Workers: 0, Shards: 4},
 	{Name: "engine-sharded-8", CacheTiles: 8, Workers: 0, Shards: 8},
+	{Name: "engine-compress", CacheTiles: 8, Workers: 0, Compress: true},
 }
 
 // BenchEntry is one (kernel, configuration) measurement. IOCalls,
@@ -69,6 +73,20 @@ type BenchEntry struct {
 	OverlapFactor      float64 `json:"overlap_factor"`
 	SimMakespanSeconds float64 `json:"sim_makespan_seconds"`
 	WallSeconds        float64 `json:"wall_seconds"`
+
+	// Compression and allocation metrics. BytesDiskRaw and BytesDisk
+	// are the logical vs encoded byte volumes that crossed the disk
+	// boundary during the wall run (compress configs only; their ratio
+	// is the on-disk byte reduction). AllocsPerGet is the measured per-operation
+	// allocation count of a cached tile acquire — a pointer so the
+	// legitimate value 0 survives serialization — and the CI gate
+	// holds it at zero. BytesWireRaw and BytesWire are the same pair
+	// for a load-harness run's HTTP tile traffic.
+	BytesDiskRaw int64    `json:"bytes_disk_raw,omitempty"`
+	BytesDisk    int64    `json:"bytes_disk,omitempty"`
+	BytesWireRaw int64    `json:"bytes_wire_raw,omitempty"`
+	BytesWire    int64    `json:"bytes_wire,omitempty"`
+	AllocsPerGet *float64 `json:"allocs_per_get,omitempty"`
 
 	// Serving-layer metrics (load-harness rows only).
 	Requests          int64   `json:"requests,omitempty"`
@@ -144,6 +162,10 @@ func BenchSuite(o Options) BenchReport {
 	if len(names) == 0 {
 		names = BenchKernels
 	}
+	configs := o.Configs
+	if len(configs) == 0 {
+		configs = BenchConfigs
+	}
 	rep := BenchReport{
 		Schema: BenchSchema,
 		Setup: BenchSetup{
@@ -154,13 +176,13 @@ func BenchSuite(o Options) BenchReport {
 	for _, name := range names {
 		k, ok := suite.ByName(name)
 		if !ok {
-			for _, bc := range BenchConfigs {
+			for _, bc := range configs {
 				rep.Failures = append(rep.Failures, BenchFailure{Kernel: name, Config: bc.Name,
 					Error: fmt.Sprintf("unknown kernel %q", name)})
 			}
 			continue
 		}
-		for _, bc := range BenchConfigs {
+		for _, bc := range configs {
 			entry, err := benchOne(o, k, bc)
 			if err != nil {
 				rep.Failures = append(rep.Failures, BenchFailure{Kernel: k.Name, Config: bc.Name, Error: err.Error()})
@@ -188,7 +210,7 @@ func benchOne(o Options, k suite.Kernel, bc BenchRunConfig) (BenchEntry, error) 
 	entry.SimMakespanSeconds = m.Seconds
 
 	// (b) Wall-clock + cache behaviour: one data-backed execution.
-	wall, cache, err := benchWall(o, k, bc)
+	wall, cache, extra, err := benchWall(o, k, bc)
 	if err != nil {
 		return entry, err
 	}
@@ -196,22 +218,38 @@ func benchOne(o Options, k suite.Kernel, bc BenchRunConfig) (BenchEntry, error) 
 	entry.HitRate = cache.HitRate()
 	entry.PrefetchUseful = cache.PrefetchUseful
 	entry.OverlapFactor = cache.OverlapFactor()
+	entry.BytesDiskRaw = extra.bytesDiskRaw
+	entry.BytesDisk = extra.bytesDisk
+	entry.AllocsPerGet = extra.allocsPerGet
 	return entry, nil
+}
+
+// benchExtras carries the wall run's compression and allocation
+// measurements into the report row.
+type benchExtras struct {
+	bytesDiskRaw int64
+	bytesDisk    int64
+	allocsPerGet *float64
 }
 
 // benchWall executes the kernel for real (in-memory files, zeroed
 // data) under the configuration and reports the wall time and the
 // engine's cache counters (zero for the sequential configuration).
-func benchWall(o Options, k suite.Kernel, bc BenchRunConfig) (float64, ooc.EngineStats, error) {
+func benchWall(o Options, k suite.Kernel, bc BenchRunConfig) (float64, ooc.EngineStats, benchExtras, error) {
+	var extra benchExtras
 	prog := k.Build(o.Cfg)
 	plan, err := suite.PlanFor(prog, suite.COpt)
 	if err != nil {
-		return 0, ooc.EngineStats{}, err
+		return 0, ooc.EngineStats{}, extra, err
 	}
 	budget := suite.MemBudget(prog, o.MemFrac)
-	d, err := codegen.SetupDisk(prog, plan, o.PFS.StripeElems, nil)
+	base := ooc.NewDisk(o.PFS.StripeElems)
+	if bc.Compress {
+		base.EnableCompression()
+	}
+	d, err := codegen.SetupDiskOn(base, prog, plan, nil)
 	if err != nil {
-		return 0, ooc.EngineStats{}, err
+		return 0, ooc.EngineStats{}, extra, err
 	}
 	d.Observe(o.Obs)
 	opts := codegen.Options{Strategy: suite.StrategyFor(suite.COpt), MemBudget: budget, Obs: o.Obs}
@@ -229,17 +267,72 @@ func benchWall(o Options, k suite.Kernel, bc BenchRunConfig) (float64, ooc.Engin
 	start := time.Now()
 	for it := 0; it < k.Iter; it++ {
 		if _, err := codegen.RunProgram(prog, plan, d, mem, opts); err != nil {
-			return 0, ooc.EngineStats{}, err
+			return 0, ooc.EngineStats{}, extra, err
 		}
+	}
+	wall := time.Since(start).Seconds()
+	if eng != nil {
+		extra.allocsPerGet = measureAllocsPerGet(d, eng)
 	}
 	var cache ooc.EngineStats
 	if eng != nil {
 		if err := eng.Close(); err != nil {
-			return 0, ooc.EngineStats{}, err
+			return 0, ooc.EngineStats{}, extra, err
 		}
 		cache = eng.Stats()
 	}
-	return time.Since(start).Seconds(), cache, nil
+	if cs := d.CompressionStats(); cs != nil {
+		extra.bytesDiskRaw = cs.DiskReadRawBytes + cs.DiskWriteRawBytes
+		extra.bytesDisk = cs.DiskReadBytes + cs.DiskWriteBytes
+	}
+	return wall, cache, extra, nil
+}
+
+// measureAllocsPerGet measures the per-operation heap allocation count
+// of a cached tile acquire against the run's own engine and disk — the
+// number the serving layer's zero-copy GET discipline rests on. Returns
+// nil when no array offers a tile to measure.
+func measureAllocsPerGet(d *ooc.Disk, eng ooc.TileEngine) *float64 {
+	arrays := d.Arrays()
+	if len(arrays) == 0 {
+		return nil
+	}
+	ar := arrays[0]
+	lo := make([]int64, len(ar.Meta.Dims))
+	hi := make([]int64, len(ar.Meta.Dims))
+	for i, n := range ar.Meta.Dims {
+		hi[i] = n
+		if hi[i] > 8 {
+			hi[i] = 8
+		}
+	}
+	box := layout.NewBox(lo, hi)
+	warm := func() bool {
+		h, err := eng.Acquire(ar, box)
+		if err != nil {
+			return false
+		}
+		eng.Release(h, false)
+		return true
+	}
+	if !warm() || !warm() {
+		return nil
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	const rounds = 100
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if !warm() {
+			return nil
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// Integer division, as testing.AllocsPerRun does: stray background
+	// allocations below one-per-op truncate to zero, while a real
+	// per-op allocation always survives.
+	v := float64((after.Mallocs - before.Mallocs) / rounds)
+	return &v
 }
 
 // BenchRegression is one gated metric that got worse than the
@@ -305,6 +398,13 @@ func CompareBench(base, cur BenchReport, tol float64) ([]BenchRegression, error)
 		if c.SimMakespanSeconds > b.SimMakespanSeconds*(1+tol) {
 			regs = append(regs, BenchRegression{Kernel: b.Kernel, Config: b.Config, Metric: "sim_makespan_seconds",
 				Base: b.SimMakespanSeconds, Cur: c.SimMakespanSeconds})
+		}
+		// The zero-allocation cached-GET contract is absolute, not a
+		// ratio: any measured allocation on the hot path is a
+		// regression regardless of the baseline.
+		if c.AllocsPerGet != nil && *c.AllocsPerGet > 0 {
+			regs = append(regs, BenchRegression{Kernel: b.Kernel, Config: b.Config, Metric: "allocs_per_get",
+				Base: 0, Cur: *c.AllocsPerGet})
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool {

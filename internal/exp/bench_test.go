@@ -262,3 +262,78 @@ func TestObserverEffectConcurrent(t *testing.T) {
 			len(bare.EngTrace), len(observed.EngTrace))
 	}
 }
+
+// TestBenchCompressRow pins the engine-compress cell: its gated
+// metrics match the plain engine config (compression sits below the
+// I/O-call accounting), its bytes_disk shows a real byte reduction
+// against the logical volume, and the cached-GET path measured zero
+// allocations.
+func TestBenchCompressRow(t *testing.T) {
+	o := benchOptions()
+	o.Kernels = []string{"mat"}
+	rep := BenchSuite(o)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("suite failures: %+v", rep.Failures)
+	}
+	byConfig := map[string]BenchEntry{}
+	for _, e := range rep.Results {
+		byConfig[e.Config] = e
+	}
+	comp, ok := byConfig["engine-compress"]
+	if !ok {
+		t.Fatal("no engine-compress row in the suite report")
+	}
+	plain := byConfig["engine"]
+	if comp.IOCalls != plain.IOCalls || comp.IOBytes != plain.IOBytes {
+		t.Errorf("compress changed the logical I/O accounting: %+v vs %+v", comp, plain)
+	}
+	if comp.BytesDisk <= 0 || comp.BytesDiskRaw <= 0 {
+		t.Fatalf("engine-compress row has no disk byte measurements: %+v", comp)
+	}
+	if comp.BytesDisk*2 > comp.BytesDiskRaw {
+		t.Errorf("bytes_disk %d vs raw %d: less than the 2x reduction target", comp.BytesDisk, comp.BytesDiskRaw)
+	}
+	if plain.BytesDisk != 0 {
+		t.Errorf("plain engine row carries bytes_disk %d, want 0", plain.BytesDisk)
+	}
+	for _, name := range []string{"engine", "engine-compress"} {
+		e := byConfig[name]
+		if e.AllocsPerGet == nil {
+			t.Errorf("%s row has no allocs_per_get measurement", name)
+		} else if *e.AllocsPerGet != 0 {
+			t.Errorf("%s: allocs_per_get = %v, want 0", name, *e.AllocsPerGet)
+		}
+	}
+	if seq := byConfig["sequential"]; seq.AllocsPerGet != nil {
+		t.Error("sequential row should not carry allocs_per_get")
+	}
+}
+
+// TestCompareBenchAllocsGate checks the absolute zero-allocation gate:
+// a current report whose cached-GET path allocates trips the
+// comparison even when every ratio metric is level.
+func TestCompareBenchAllocsGate(t *testing.T) {
+	one := 1.0
+	zero := 0.0
+	base := BenchReport{Schema: BenchSchema, Results: []BenchEntry{
+		{Kernel: "mat", Config: "engine", IOCalls: 100, SimMakespanSeconds: 1, AllocsPerGet: &zero},
+	}}
+	cur := BenchReport{Schema: BenchSchema, Results: []BenchEntry{
+		{Kernel: "mat", Config: "engine", IOCalls: 100, SimMakespanSeconds: 1, AllocsPerGet: &one},
+	}}
+	regs, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_get" {
+		t.Fatalf("regressions = %+v, want one allocs_per_get", regs)
+	}
+	// And a zero-alloc current report passes.
+	regs, err = CompareBench(base, base, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("level report tripped the gate: %+v", regs)
+	}
+}

@@ -23,5 +23,7 @@ func LoadBenchEntry(kernel, config string, r server.LoadResult) BenchEntry {
 		PutP99Seconds:     r.PutP99,
 		CoalescedFetches:  r.Coalesced,
 		Rejected:          int64(r.Rejected),
+		BytesWireRaw:      r.WireRawBytes,
+		BytesWire:         r.WireBytes,
 	}
 }

@@ -39,8 +39,21 @@ func (b Box) Size() int64 {
 // Empty reports whether the box contains no elements.
 func (b Box) Empty() bool { return b.Size() == 0 }
 
-// Clip intersects the box with the array extents.
+// Clip intersects the box with the array extents. A box already inside
+// the extents is returned as-is (no copy): the tile engine's cached-GET
+// path clips every request, and the common case — a well-formed tile —
+// must not allocate. Callers treat boxes as immutable either way.
 func (b Box) Clip(dims []int64) Box {
+	inside := true
+	for d := range b.Lo {
+		if b.Lo[d] < 0 || b.Hi[d] > dims[d] || b.Hi[d] < b.Lo[d] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		return b
+	}
 	lo := make([]int64, len(b.Lo))
 	hi := make([]int64, len(b.Hi))
 	for d := range lo {

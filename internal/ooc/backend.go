@@ -124,7 +124,8 @@ func newFileBackend(path string, n int64, keep bool) (*fileBackend, error) {
 }
 
 func (fb *fileBackend) ReadAt(buf []float64, off int64) error {
-	raw := make([]byte, len(buf)*ElemSize)
+	raw := GetBuf(len(buf) * ElemSize)
+	defer PutBuf(raw)
 	if _, err := fb.f.ReadAt(raw, off*ElemSize); err != nil {
 		return err
 	}
@@ -135,7 +136,8 @@ func (fb *fileBackend) ReadAt(buf []float64, off int64) error {
 }
 
 func (fb *fileBackend) WriteAt(buf []float64, off int64) error {
-	raw := make([]byte, len(buf)*ElemSize)
+	raw := GetBuf(len(buf) * ElemSize)
+	defer PutBuf(raw)
 	for i, v := range buf {
 		binary.LittleEndian.PutUint64(raw[i*ElemSize:], math.Float64bits(v))
 	}
@@ -271,8 +273,15 @@ func (d *Disk) Sync() error {
 func (ar *Array) Sync() error { return ar.backend.Sync() }
 
 // newBackend picks the backend for a new array per the disk's
-// configuration.
+// configuration. With compression enabled the base backend is sized
+// for the codec's chunked physical layout and the codec wraps
+// OUTSIDE any WrapBackend instrumentation, so fault injectors and
+// call recorders observe the encoded traffic that really moves.
 func (d *Disk) newBackend(name string, n int64) (Backend, error) {
+	phys := n
+	if d.comp != nil && !d.noBacking {
+		phys = codecPhysWords(n)
+	}
 	var (
 		b   Backend
 		err error
@@ -281,17 +290,20 @@ func (d *Disk) newBackend(name string, n int64) (Backend, error) {
 	case d.noBacking:
 		b = nullBackend{size: n}
 	case d.stripeN > 1:
-		b, err = d.newStripedDiskBackend(name, n)
+		b, err = d.newStripedDiskBackend(name, phys)
 	case d.dir != "":
-		b, err = newFileBackend(filepath.Join(d.dir, name+".dat"), n, d.keepExisting)
+		b, err = newFileBackend(filepath.Join(d.dir, name+".dat"), phys, d.keepExisting)
 	default:
-		b = newMemBackend(n)
+		b = newMemBackend(phys)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if d.wrapBackend != nil {
 		b = d.wrapBackend(name, b)
+	}
+	if d.comp != nil && !d.noBacking {
+		b = newCodecBackend(b, n, d.comp)
 	}
 	return b, nil
 }

@@ -1,0 +1,366 @@
+package ooc
+
+// codecBackend stores an array's elements compressed: the disk
+// boundary of the tile codec. The logical element space is split into
+// fixed chunks; each chunk is encoded as one frame (codec.go) and kept
+// in a two-slot ping-pong region, so a chunk rewrite lands in the
+// inactive slot and becomes current with a single one-word pointer
+// write — element-atomic under the torn-write fault model, exactly
+// like the WAL's checkpoint watermark.
+//
+// Physical layout per chunk (all offsets in words):
+//
+//	word 0                      active-slot pointer (0 or 1)
+//	words 1 .. 1+S              slot 0: frame words (header + payload)
+//	words 1+S .. 1+2S           slot 1
+//
+// with S = codecSlotWords. A never-written chunk reads as all-zero
+// words; a zero frame header is invalid by construction (codec IDs
+// start at 1), so the reader decodes it as "all zeros" — matching the
+// zero-filled semantics of every uncompressed backend.
+//
+// Reads fetch only the active slot's header plus exactly the payload
+// words the header declares — never the whole slot — so the bytes
+// moved through the inner backend shrink with the data, which is the
+// paper's metric (I/O traffic), not just the footprint.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"outcore/internal/obs"
+)
+
+const (
+	// codecChunkElems is the compression granularity. One tile flush
+	// touches a handful of chunks; one chunk frame fits a pooled buffer.
+	codecChunkElems = 1024
+	// codecSlotWords is one slot: the 2-word frame header plus at most
+	// codecChunkElems payload words (the raw fallback's worst case).
+	codecSlotWords = 2 + codecChunkElems
+	// codecStrideWords is one chunk's physical footprint.
+	codecStrideWords = 1 + 2*codecSlotWords
+)
+
+// codecPhysWords returns the physical backend capacity for a logical
+// element count.
+func codecPhysWords(logical int64) int64 {
+	chunks := (logical + codecChunkElems - 1) / codecChunkElems
+	if chunks == 0 {
+		chunks = 1
+	}
+	return chunks * codecStrideWords
+}
+
+// compState carries the disk-level compression byte counters, shared
+// by every codec backend of one Disk. The obs mirrors are wired during
+// setup (Observe/EnableCompression, before tile I/O starts).
+type compState struct {
+	readRaw, readEnc   atomic.Int64 // bytes served vs bytes moved, reads
+	writeRaw, writeEnc atomic.Int64 // bytes stored vs bytes moved, writes
+
+	mReadRaw, mReadEnc, mWriteRaw, mWriteEnc *obs.Counter
+}
+
+func (cs *compState) addRead(raw, enc int64) {
+	cs.readRaw.Add(raw)
+	cs.readEnc.Add(enc)
+	if cs.mReadRaw != nil {
+		cs.mReadRaw.Add(raw)
+		cs.mReadEnc.Add(enc)
+	}
+}
+
+func (cs *compState) addWrite(raw, enc int64) {
+	cs.writeRaw.Add(raw)
+	cs.writeEnc.Add(enc)
+	if cs.mWriteRaw != nil {
+		cs.mWriteRaw.Add(raw)
+		cs.mWriteEnc.Add(enc)
+	}
+}
+
+// CompressionStats is the /v1/stats compression scorecard: logical
+// bytes the callers moved vs encoded bytes that actually crossed each
+// boundary.
+type CompressionStats struct {
+	DiskReadRawBytes  int64 `json:"disk_read_raw_bytes"`
+	DiskReadBytes     int64 `json:"disk_read_bytes"`
+	DiskWriteRawBytes int64 `json:"disk_write_raw_bytes"`
+	DiskWriteBytes    int64 `json:"disk_write_bytes"`
+	WALRawBytes       int64 `json:"wal_raw_bytes"`
+	WALBytes          int64 `json:"wal_bytes"`
+}
+
+// codecBackend implements Backend over an inner backend holding the
+// chunked physical layout. One mutex serializes chunk RMW cycles (two
+// concurrent partial writes to one chunk would otherwise lose one) and
+// keeps the inner call sequence deterministic for instrumented
+// backends.
+type codecBackend struct {
+	inner   Backend
+	logical int64
+	st      *compState
+
+	mu  sync.Mutex
+	ptr []int8 // cached active slot per chunk; -1 = not read yet
+}
+
+var _ Backend = (*codecBackend)(nil)
+
+func newCodecBackend(inner Backend, logical int64, st *compState) *codecBackend {
+	nchunks := (logical + codecChunkElems - 1) / codecChunkElems
+	if nchunks == 0 {
+		nchunks = 1
+	}
+	ptr := make([]int8, nchunks)
+	for i := range ptr {
+		ptr[i] = -1
+	}
+	return &codecBackend{inner: inner, logical: logical, st: st, ptr: ptr}
+}
+
+func (c *codecBackend) Size() int64  { return c.logical }
+func (c *codecBackend) Sync() error  { return c.inner.Sync() }
+func (c *codecBackend) Close() error { return c.inner.Close() }
+
+// chunkElems returns the logical length of chunk (the tail chunk may
+// be short).
+func (c *codecBackend) chunkElems(chunk int64) int {
+	n := c.logical - chunk*codecChunkElems
+	if n > codecChunkElems {
+		n = codecChunkElems
+	}
+	return int(n)
+}
+
+// ptrLocked returns the chunk's active slot, reading (and caching) the
+// pointer word on first use. Anything but a clean 0/1 decodes as 0 —
+// it can only be pre-write garbage, and slot 0 then reads as zeros.
+func (c *codecBackend) ptrLocked(chunk int64) (int64, error) {
+	if v := c.ptr[chunk]; v >= 0 {
+		return int64(v), nil
+	}
+	var w [1]float64
+	if err := c.inner.ReadAt(w[:], chunk*codecStrideWords); err != nil {
+		return 0, err
+	}
+	c.st.addRead(0, ElemSize)
+	slot := int8(0)
+	if math.Float64bits(w[0]) == 1 {
+		slot = 1
+	}
+	c.ptr[chunk] = slot
+	return int64(slot), nil
+}
+
+// readChunkLocked decodes chunk into dst (len == chunkElems(chunk)).
+func (c *codecBackend) readChunkLocked(chunk int64, dst []float64) error {
+	slot, err := c.ptrLocked(chunk)
+	if err != nil {
+		return err
+	}
+	slotOff := chunk*codecStrideWords + 1 + slot*codecSlotWords
+	var hdr [2]float64
+	if err := c.inner.ReadAt(hdr[:], slotOff); err != nil {
+		return err
+	}
+	if math.Float64bits(hdr[0]) == 0 && math.Float64bits(hdr[1]) == 0 {
+		// Never written: the chunk is logically zero-filled.
+		c.st.addRead(int64(len(dst))*ElemSize, 2*ElemSize)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	var hb [frameHeaderBytes]byte
+	fb := wordsToFrame(hb[:0], hdr[:])
+	elems, size, err := frameHeader(fb)
+	if err != nil {
+		return fmt.Errorf("ooc: codec chunk %d slot %d: %w", chunk, slot, err)
+	}
+	if elems != len(dst) {
+		return fmt.Errorf("ooc: codec chunk %d holds %d elements, want %d", chunk, elems, len(dst))
+	}
+	payloadWords := int64(size-frameHeaderBytes) / ElemSize
+	pw := GetF64(int(payloadWords))
+	defer PutF64(pw)
+	if err := c.inner.ReadAt(pw, slotOff+2); err != nil {
+		return err
+	}
+	frame := GetBuf(size)[:0]
+	defer PutBuf(frame)
+	frame = wordsToFrame(frame, hdr[:])
+	frame = wordsToFrame(frame, pw)
+	if _, err := DecodeFrame(frame, dst); err != nil {
+		return fmt.Errorf("ooc: codec chunk %d slot %d: %w", chunk, slot, err)
+	}
+	c.st.addRead(int64(len(dst))*ElemSize, int64(size))
+	return nil
+}
+
+// writeChunkLocked encodes src (the chunk's full logical contents)
+// into the inactive slot and flips the pointer.
+func (c *codecBackend) writeChunkLocked(chunk int64, src []float64) error {
+	cur, err := c.ptrLocked(chunk)
+	if err != nil {
+		return err
+	}
+	next := 1 - cur
+	frame := GetBuf(frameSizeBytes(len(src) * ElemSize))[:0]
+	defer PutBuf(frame)
+	frame = AppendFrame(frame, src)
+	words := GetF64(len(frame) / ElemSize)[:0]
+	defer PutF64(words)
+	words = frameToWords(words, frame)
+	slotOff := chunk*codecStrideWords + 1 + next*codecSlotWords
+	if err := c.inner.WriteAt(words, slotOff); err != nil {
+		return err
+	}
+	ptrWord := [1]float64{math.Float64frombits(uint64(next))}
+	if err := c.inner.WriteAt(ptrWord[:], chunk*codecStrideWords); err != nil {
+		return err
+	}
+	c.ptr[chunk] = int8(next)
+	c.st.addWrite(int64(len(src))*ElemSize, int64(len(words)+1)*ElemSize)
+	return nil
+}
+
+func (c *codecBackend) ReadAt(buf []float64, off int64) error {
+	if off < 0 || off+int64(len(buf)) > c.logical {
+		return fmt.Errorf("ooc: codec read [%d,%d) out of range %d", off, off+int64(len(buf)), c.logical)
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	scratch := GetF64(codecChunkElems)
+	defer PutF64(scratch)
+	pos := off
+	bi := 0
+	for pos < off+int64(len(buf)) {
+		chunk := pos / codecChunkElems
+		lo := int(pos - chunk*codecChunkElems)
+		cn := c.chunkElems(chunk)
+		n := cn - lo
+		if rem := len(buf) - bi; n > rem {
+			n = rem
+		}
+		if lo == 0 && n == cn {
+			if err := c.readChunkLocked(chunk, buf[bi:bi+n]); err != nil {
+				return err
+			}
+		} else {
+			if err := c.readChunkLocked(chunk, scratch[:cn]); err != nil {
+				return err
+			}
+			copy(buf[bi:bi+n], scratch[lo:lo+n])
+		}
+		pos += int64(n)
+		bi += n
+	}
+	return nil
+}
+
+func (c *codecBackend) WriteAt(buf []float64, off int64) error {
+	if off < 0 || off+int64(len(buf)) > c.logical {
+		return fmt.Errorf("ooc: codec write [%d,%d) out of range %d", off, off+int64(len(buf)), c.logical)
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	scratch := GetF64(codecChunkElems)
+	defer PutF64(scratch)
+	pos := off
+	bi := 0
+	for pos < off+int64(len(buf)) {
+		chunk := pos / codecChunkElems
+		lo := int(pos - chunk*codecChunkElems)
+		cn := c.chunkElems(chunk)
+		n := cn - lo
+		if rem := len(buf) - bi; n > rem {
+			n = rem
+		}
+		src := buf[bi : bi+n]
+		if lo != 0 || n != cn {
+			// Partial chunk: read-modify-write the full chunk frame.
+			if err := c.readChunkLocked(chunk, scratch[:cn]); err != nil {
+				return err
+			}
+			copy(scratch[lo:lo+n], src)
+			src = scratch[:cn]
+		}
+		if err := c.writeChunkLocked(chunk, src); err != nil {
+			return err
+		}
+		pos += int64(n)
+		bi += n
+	}
+	return nil
+}
+
+// EnableCompression stores every subsequently created array's backend
+// compressed: writes encode chunk frames (Gorilla with raw fallback,
+// codec.go) and reads move only the encoded bytes. Like the other
+// configuration chainers it must be called before arrays are created;
+// it is ignored on measurement-only (NoBacking) disks, whose arrays
+// carry no data to compress. Compression composes below the WAL —
+// records stay logical, replay re-encodes through the codec — and
+// above WrapBackend instrumentation, which therefore observes encoded
+// traffic.
+//
+// A directory previously written WITHOUT compression cannot be
+// reopened with it (and vice versa): the physical layout differs, and
+// the mismatch surfaces as frame-decode errors on first read.
+func (d *Disk) EnableCompression() *Disk {
+	if d.noBacking {
+		return d
+	}
+	d.comp = &compState{}
+	d.observeCompLocked()
+	return d
+}
+
+// CompressionEnabled reports whether array backends compress.
+func (d *Disk) CompressionEnabled() bool { return d.comp != nil }
+
+// observeCompLocked wires the compression counters into the observed
+// registry; called from whichever of Observe/EnableCompression runs
+// second (both are setup-time).
+func (d *Disk) observeCompLocked() {
+	if d.comp == nil || d.met == nil || d.met.reg == nil || d.comp.mReadRaw != nil {
+		return
+	}
+	reg := d.met.reg
+	d.comp.mReadRaw = reg.Counter("ooc_comp_disk_read_raw_bytes_total", "logical bytes served by compressed backend reads")
+	d.comp.mReadEnc = reg.Counter("ooc_comp_disk_read_bytes_total", "encoded bytes moved by compressed backend reads")
+	d.comp.mWriteRaw = reg.Counter("ooc_comp_disk_write_raw_bytes_total", "logical bytes stored by compressed backend writes")
+	d.comp.mWriteEnc = reg.Counter("ooc_comp_disk_write_bytes_total", "encoded bytes moved by compressed backend writes")
+}
+
+// CompressionStats snapshots the compression scorecard, or nil when
+// neither backend compression nor WAL payload compression is enabled.
+func (d *Disk) CompressionStats() *CompressionStats {
+	walComp := d.wal != nil && d.wal.opts.Compress
+	if d.comp == nil && !walComp {
+		return nil
+	}
+	s := &CompressionStats{}
+	if cs := d.comp; cs != nil {
+		s.DiskReadRawBytes = cs.readRaw.Load()
+		s.DiskReadBytes = cs.readEnc.Load()
+		s.DiskWriteRawBytes = cs.writeRaw.Load()
+		s.DiskWriteBytes = cs.writeEnc.Load()
+	}
+	if walComp {
+		raw, enc := d.wal.compBytes()
+		s.WALRawBytes = raw
+		s.WALBytes = enc
+	}
+	return s
+}

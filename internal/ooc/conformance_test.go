@@ -48,6 +48,7 @@ type confPlane struct {
 	name   string
 	shards int
 	wal    bool
+	comp   bool // WAL payload compression (disk compression would change the physical bytes readDurable checks)
 	inj    *faultfs.Injector
 	disk   *ooc.Disk
 	arr    *ooc.Array
@@ -57,15 +58,26 @@ type confPlane struct {
 }
 
 func newConfPlane(t *testing.T, seed int64, shards int, wal bool) *confPlane {
+	return newConfPlaneComp(t, seed, shards, wal, false)
+}
+
+// newConfPlaneComp additionally turns on WAL payload compression: the
+// plane's acked writes must survive power cuts through compressed log
+// records, byte-for-byte equal to every uncompressed plane.
+func newConfPlaneComp(t *testing.T, seed int64, shards int, wal, comp bool) *confPlane {
 	t.Helper()
 	name := fmt.Sprintf("shards=%d", shards)
 	if wal {
 		name += "+wal"
 	}
+	if comp {
+		name += "+comp"
+	}
 	p := &confPlane{
 		name:   name,
 		shards: shards,
 		wal:    wal,
+		comp:   comp,
 		inj:    faultfs.New(seed, faultfs.Profile{}),
 	}
 	p.open(t)
@@ -80,7 +92,7 @@ func (p *confPlane) open(t *testing.T) {
 	t.Helper()
 	p.disk = ooc.NewDisk(0).WrapBackend(p.inj.Wrap)
 	if p.wal {
-		p.disk.EnableWAL(ooc.WALOptions{Logs: p.shards, CapWords: confWALCapWords})
+		p.disk.EnableWAL(ooc.WALOptions{Logs: p.shards, CapWords: confWALCapWords, Compress: p.comp})
 	}
 	arr, err := p.disk.CreateArray(ir.NewArray("A", confEdge, confEdge), layout.RowMajor(confEdge, confEdge))
 	if err != nil {
@@ -194,6 +206,8 @@ func runConformanceSeed(t *testing.T, seed int64, wal bool) {
 			newConfPlane(t, seed, 2, true),
 			newConfPlane(t, seed, 4, true),
 			newConfPlane(t, seed, 8, true),
+			newConfPlaneComp(t, seed, 1, true, true),
+			newConfPlaneComp(t, seed, 4, true, true),
 		}
 	} else {
 		planes = []*confPlane{

@@ -192,11 +192,24 @@ func NewEngine(d *Disk, o EngineOptions) *Engine {
 }
 
 // Handle is a pinned cached tile. The tile stays resident (and is never
-// evicted) until Release.
+// evicted) until Release, which recycles the Handle itself — using a
+// handle (or its Tile) after releasing it is a bug, best-effort caught
+// by the double-release panic.
 type Handle struct {
 	eng      *Engine
 	ent      *entry
 	released bool
+}
+
+// handlePool recycles Handles so the cached-GET path allocates
+// nothing: Acquire is called once per tile request, and the handle is
+// the only per-request object the hit path would otherwise heap-allocate.
+var handlePool = sync.Pool{New: func() any { return new(Handle) }}
+
+func newHandle(e *Engine, ent *entry) *Handle {
+	h := handlePool.Get().(*Handle)
+	*h = Handle{eng: e, ent: ent}
+	return h
 }
 
 // Tile returns the pinned in-memory tile.
@@ -208,14 +221,18 @@ func (h *Handle) Tile() *Tile { return h.ent.tile }
 // share one backend read and one in-memory tile.
 func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
 	box = box.Clip(ar.Meta.Dims)
-	key := tileKey(ar.Meta.Name, box)
+	// The key bytes live on the stack; the hit path looks them up via
+	// the compiler's byte-slice map-key optimization and never
+	// materializes the string. Only a miss pays the conversion.
+	var kb [tileKeyStackBytes]byte
+	keyb := appendTileKey(kb[:0], ar.Meta.Name, box)
 	for {
 		e.mu.Lock()
 		if e.closed {
 			e.mu.Unlock()
 			return nil, ErrEngineClosed
 		}
-		if ent, ok := e.entries[key]; ok {
+		if ent, ok := e.entries[TileKey(keyb)]; ok {
 			if ent.loading {
 				ready := ent.ready
 				e.mu.Unlock()
@@ -230,11 +247,12 @@ func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
 			}
 			e.lru.MoveToFront(ent.elem)
 			e.mu.Unlock()
-			return &Handle{eng: e, ent: ent}, nil
+			return newHandle(e, ent), nil
 		}
 		// Miss: reserve the key, make the backend current for this box,
 		// then read outside the lock so independent fetches overlap.
 		e.met.misses.Inc()
+		key := TileKey(keyb)
 		ent := &entry{key: key, arr: ar, box: box, pins: 1, loading: true, ready: make(chan struct{})}
 		e.entries[key] = ent
 		ent.elem = e.lru.PushFront(ent)
@@ -271,7 +289,7 @@ func (e *Engine) Acquire(ar *Array, box layout.Box) (*Handle, error) {
 		ent.tile = t
 		e.evictLocked()
 		e.mu.Unlock()
-		return &Handle{eng: e, ent: ent}, nil
+		return newHandle(e, ent), nil
 	}
 }
 
@@ -334,10 +352,10 @@ func (e *Engine) Release(h *Handle, dirty bool) {
 		panic("ooc: tile handle released twice")
 	}
 	h.released = true
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	ent := h.ent
+	e.mu.Lock()
 	if ent.pins <= 0 {
+		e.mu.Unlock()
 		panic("ooc: release of unpinned tile")
 	}
 	ent.pins--
@@ -347,6 +365,9 @@ func (e *Engine) Release(h *Handle, dirty bool) {
 	}
 	e.lru.MoveToFront(ent.elem)
 	e.evictLocked()
+	e.mu.Unlock()
+	h.ent = nil
+	handlePool.Put(h)
 }
 
 // Prefetch asynchronously reads (array, box) into the cache so a later

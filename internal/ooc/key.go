@@ -13,26 +13,39 @@ import (
 // collide with the coordinate section.
 type TileKey string
 
-// tileKey encodes (name, box) into its canonical key.
-func tileKey(name string, box layout.Box) TileKey {
-	b := make([]byte, 0, len(name)+16+8*len(box.Lo))
-	b = strconv.AppendInt(b, int64(len(name)), 10)
-	b = append(b, ':')
-	b = append(b, name...)
-	b = append(b, '[')
+// tileKeyStackBytes sizes the stack buffers hot paths build key bytes
+// in: enough for the longest realistic name plus a rank-3 box of full
+// int64 coordinates. Longer keys still work — append spills to the
+// heap — they just cost the allocation the fast path avoids.
+const tileKeyStackBytes = 128
+
+// appendTileKey appends the canonical key bytes for (name, box) to
+// dst. The encoding is shared by the cache map, ShardOf and walRoute;
+// tileKey wraps it when a materialized TileKey is needed, while the
+// hot paths (cache-hit Acquire, shard routing) build the bytes in a
+// stack buffer and never allocate.
+func appendTileKey(dst []byte, name string, box layout.Box) []byte {
+	dst = strconv.AppendInt(dst, int64(len(name)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, name...)
+	dst = append(dst, '[')
 	for d, lo := range box.Lo {
 		if d > 0 {
-			b = append(b, ',')
+			dst = append(dst, ',')
 		}
-		b = strconv.AppendInt(b, lo, 10)
+		dst = strconv.AppendInt(dst, lo, 10)
 	}
-	b = append(b, ';')
+	dst = append(dst, ';')
 	for d, hi := range box.Hi {
 		if d > 0 {
-			b = append(b, ',')
+			dst = append(dst, ',')
 		}
-		b = strconv.AppendInt(b, hi, 10)
+		dst = strconv.AppendInt(dst, hi, 10)
 	}
-	b = append(b, ')')
-	return TileKey(b)
+	return append(dst, ')')
+}
+
+// tileKey encodes (name, box) into its canonical key.
+func tileKey(name string, box layout.Box) TileKey {
+	return TileKey(appendTileKey(make([]byte, 0, len(name)+16+8*len(box.Lo)), name, box))
 }

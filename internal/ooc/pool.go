@@ -1,0 +1,150 @@
+package ooc
+
+// Pooled tile buffers: a package-level size-class arena over sync.Pool
+// shared by every encode/decode/serve path. A multi-GB tile cache
+// already taxes the collector; transient codec frames, wire payloads
+// and file-backend scratch buffers on top of it would make every GET a
+// GC event. The arena recycles them instead, with hit/miss counters so
+// the scorecard can show whether the steady state really stopped
+// allocating.
+//
+// Classes are powers of two from 64 bytes to 16 MiB; a request beyond
+// the largest class is served by a plain allocation (counted as
+// oversize) and never pooled.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"outcore/internal/obs"
+)
+
+const (
+	poolMinShift = 6  // smallest class: 64 bytes
+	poolMaxShift = 24 // largest class: 16 MiB
+	poolClasses  = poolMaxShift - poolMinShift + 1
+)
+
+var (
+	poolBufs [poolClasses]sync.Pool // *[]byte, cap = exactly the class size
+	poolF64s [poolClasses]sync.Pool // *[]float64, cap = exactly the class size (in elements)
+
+	poolHits     atomic.Int64
+	poolMisses   atomic.Int64
+	poolOversize atomic.Int64
+
+	// Registry mirrors installed by ObservePool; nil until observed so
+	// an unobserved pool pays one pointer load per operation.
+	poolHitC  atomic.Pointer[obs.Counter]
+	poolMissC atomic.Pointer[obs.Counter]
+)
+
+// PoolStats is the arena scorecard.
+type PoolStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Oversize int64 `json:"oversize"`
+}
+
+// ReadPoolStats snapshots the arena counters (process-wide).
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		Hits:     poolHits.Load(),
+		Misses:   poolMisses.Load(),
+		Oversize: poolOversize.Load(),
+	}
+}
+
+// ObservePool mirrors the arena's hit/miss counters into the sink's
+// metrics registry ("ooc_pool_*"). The mirrors count operations from
+// the call on; the arena is process-wide, so observe one registry per
+// process.
+func ObservePool(sink *obs.Sink) {
+	reg := sink.MetricsOf()
+	if reg == nil {
+		return
+	}
+	poolHitC.Store(reg.Counter("ooc_pool_hits_total", "buffer requests served from the tile-buffer arena"))
+	poolMissC.Store(reg.Counter("ooc_pool_misses_total", "buffer requests the arena had to allocate"))
+}
+
+// poolClass returns the class index for a request of n units, or -1
+// when n exceeds the largest class.
+func poolClass(n int) int {
+	if n <= 1<<poolMinShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - poolMinShift
+	if c >= poolClasses {
+		return -1
+	}
+	return c
+}
+
+func poolHit() {
+	poolHits.Add(1)
+	if c := poolHitC.Load(); c != nil {
+		c.Inc()
+	}
+}
+
+func poolMiss() {
+	poolMisses.Add(1)
+	if c := poolMissC.Load(); c != nil {
+		c.Inc()
+	}
+}
+
+// GetBuf returns a byte buffer of length n from the arena. Return it
+// with PutBuf when done; the contents are arbitrary.
+func GetBuf(n int) []byte {
+	c := poolClass(n)
+	if c < 0 {
+		poolOversize.Add(1)
+		return make([]byte, n)
+	}
+	if v := poolBufs[c].Get(); v != nil {
+		poolHit()
+		return (*v.(*[]byte))[:n]
+	}
+	poolMiss()
+	return make([]byte, n, 1<<(c+poolMinShift))
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. Buffers whose
+// capacity is not an exact class size (grown by append, or oversize)
+// are dropped.
+func PutBuf(b []byte) {
+	c := poolClass(cap(b))
+	if c < 0 || cap(b) != 1<<(c+poolMinShift) {
+		return
+	}
+	b = b[:0]
+	poolBufs[c].Put(&b)
+}
+
+// GetF64 returns a float64 buffer of length n elements from the arena.
+func GetF64(n int) []float64 {
+	c := poolClass(n)
+	if c < 0 {
+		poolOversize.Add(1)
+		return make([]float64, n)
+	}
+	if v := poolF64s[c].Get(); v != nil {
+		poolHit()
+		return (*v.(*[]float64))[:n]
+	}
+	poolMiss()
+	return make([]float64, n, 1<<(c+poolMinShift))
+}
+
+// PutF64 recycles a buffer obtained from GetF64.
+func PutF64(b []float64) {
+	c := poolClass(cap(b))
+	if c < 0 || cap(b) != 1<<(c+poolMinShift) {
+		return
+	}
+	b = b[:0]
+	poolF64s[c].Put(&b)
+}

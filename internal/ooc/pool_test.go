@@ -1,0 +1,65 @@
+package ooc
+
+import "testing"
+
+func TestPoolClass(t *testing.T) {
+	for _, tc := range []struct {
+		n, want int
+	}{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 24, poolClasses - 1}, {1<<24 + 1, -1},
+	} {
+		if got := poolClass(tc.n); got != tc.want {
+			t.Errorf("poolClass(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestPoolRecycles pins the arena contract: a returned buffer of an
+// exact class size comes back on the next Get of that class, lengths
+// are exactly as requested, and grown or oversize buffers are dropped
+// rather than poisoning a class.
+func TestPoolRecycles(t *testing.T) {
+	b := GetBuf(100) // class 1: cap 128
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("GetBuf(100): len %d cap %d, want 100/128", len(b), cap(b))
+	}
+	PutBuf(b)
+	b2 := GetBuf(120)
+	if cap(b2) != 128 {
+		t.Fatalf("recycled buffer has cap %d, want 128", cap(b2))
+	}
+
+	f := GetF64(100)
+	if len(f) != 100 || cap(f) != 128 {
+		t.Fatalf("GetF64(100): len %d cap %d, want 100/128", len(f), cap(f))
+	}
+	PutF64(f)
+
+	// A non-class capacity (grown by append, sub-sliced, oversize) is
+	// silently dropped — PutBuf must not panic or pool it.
+	PutBuf(make([]byte, 100))
+	PutF64(make([]float64, 0, 100))
+
+	// Oversize requests allocate plainly and count as oversize.
+	before := ReadPoolStats().Oversize
+	huge := GetBuf(1<<24 + 1)
+	if len(huge) != 1<<24+1 {
+		t.Fatal("oversize GetBuf returned wrong length")
+	}
+	PutBuf(huge)
+	if got := ReadPoolStats().Oversize; got != before+1 {
+		t.Fatalf("oversize counter %d, want %d", got, before+1)
+	}
+}
+
+func TestPoolStatsMove(t *testing.T) {
+	before := ReadPoolStats()
+	b := GetBuf(70) // class 1
+	PutBuf(b)
+	_ = GetBuf(70)
+	after := ReadPoolStats()
+	if after.Hits+after.Misses <= before.Hits+before.Misses {
+		t.Fatalf("pool counters did not move: %+v -> %+v", before, after)
+	}
+}

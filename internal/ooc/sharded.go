@@ -44,7 +44,11 @@ func ShardOf(name string, box layout.Box, shards int) int {
 	if shards <= 1 {
 		return 0
 	}
-	key := tileKey(name, box)
+	// The canonical key bytes stay on the stack: routing runs on every
+	// sharded tile request, ahead of the shard's own zero-alloc hit
+	// path, and must not be the one allocation left on it.
+	var kb [tileKeyStackBytes]byte
+	key := appendTileKey(kb[:0], name, box)
 	h := uint64(14695981039346656037) // FNV-64 offset basis
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])

@@ -42,7 +42,7 @@ package ooc
 //
 //	w0  seq    — global sequence number, > 0 (a zeroed log scans empty)
 //	w1  epoch  — must match the log header; stale epochs are pre-truncation garbage
-//	w2  nameLen<<48 | dataLen
+//	w2  comp<<63 | nameLen<<48 | dataLen
 //	w3  off    — element offset in the target array
 //	w4  crc32c — over every other word's little-endian bytes
 //	...        — ceil(nameLen/8) words of array name, then dataLen data words
@@ -52,6 +52,16 @@ package ooc
 // so any torn tail (faultfs writes strict element prefixes) decodes
 // to a strict prefix of the appended records and the tear is
 // discarded, never misread.
+//
+// With WALOptions.Compress the data words of a record may carry a
+// codec frame (codec.go) instead of raw values, marked by the comp
+// bit — the top bit of w2. The choice is per record: a frame is
+// stored only when it is strictly smaller than the raw payload, so
+// incompressible writes cost nothing. Decoding returns the LOGICAL
+// payload either way; replay and the apply pipeline never see frames.
+// A pre-compression decoder reading a compressed record sees a
+// nameLen of 0x8000+ and rejects it — old code fails closed rather
+// than misapplying frame bytes as array data.
 
 import (
 	"encoding/binary"
@@ -110,6 +120,11 @@ type WALOptions struct {
 	// Keep zero for deterministic harness runs (the inline
 	// full-log checkpoint still bounds the logs).
 	CheckpointEvery time.Duration
+	// Compress encodes record payloads as codec frames when that is
+	// strictly smaller (see the record-framing package comment).
+	// Smaller records mean fewer log bytes per acknowledged write and
+	// a later inline-checkpoint point for the same CapWords.
+	Compress bool
 	// Obs registers the ooc_wal_* metric families.
 	Obs *obs.Sink
 }
@@ -161,6 +176,10 @@ type walMetrics struct {
 	discarded   *obs.Counter
 	pending     *obs.Gauge
 	batch       *obs.Histogram
+
+	// Registered only when WALOptions.Compress is set, so the metric
+	// families of a compression-free configuration are unchanged.
+	compRaw, compEnc *obs.Counter
 }
 
 // walLog is one sequential log.
@@ -212,6 +231,7 @@ type walCounters struct {
 	commits, fsyncs, checkpoints int64
 	bypass                       int64
 	replayed, discarded, skipped int64
+	compRawWords, compEncWords   int64 // logical vs stored payload words, Compress only
 }
 
 func newWALSet(o WALOptions) *walSet {
@@ -231,6 +251,10 @@ func newWALSet(o WALOptions) *walSet {
 				pending:     reg.Gauge("ooc_wal_pending_words", "words appended since the last checkpoint (replay depth)"),
 				batch: reg.Histogram("ooc_wal_commit_records",
 					"records made durable per group-commit fsync round", obs.ExpBuckets(1, 2, 10)),
+			}
+			if ws.opts.Compress {
+				ws.met.compRaw = reg.Counter("ooc_wal_comp_raw_bytes_total", "logical payload bytes offered to WAL record compression")
+				ws.met.compEnc = reg.Counter("ooc_wal_comp_bytes_total", "payload bytes stored in WAL records after compression")
 			}
 		}
 	}
@@ -320,6 +344,14 @@ func (ws *walSet) pendingWordsLocked() int64 {
 	return n
 }
 
+// compBytes returns the logical vs stored payload bytes of logged
+// writes (both zero unless Compress is on).
+func (ws *walSet) compBytes() (raw, enc int64) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.c.compRawWords * ElemSize, ws.c.compEncWords * ElemSize
+}
+
 // lastSeq returns the most recently allocated sequence number.
 func (ws *walSet) lastSeq() uint64 {
 	ws.mu.Lock()
@@ -386,14 +418,15 @@ func (ws *walSet) leadRound() error {
 	before := ws.durable.Load()
 	escalate := ws.bypassed
 	type pend struct {
-		lg   *walLog
-		head int64
+		lg    *walLog
+		head  int64
+		epoch uint64
 	}
 	var toSync []pend
 	if !escalate {
 		for _, lg := range ws.logs {
 			if lg.head > lg.syncedTo {
-				toSync = append(toSync, pend{lg, lg.head})
+				toSync = append(toSync, pend{lg, lg.head, lg.epoch})
 			}
 		}
 	}
@@ -418,7 +451,11 @@ func (ws *walSet) leadRound() error {
 		}
 		fsyncs++
 		ws.mu.Lock()
-		if p.lg.syncedTo < p.head {
+		// A checkpoint may have truncated this log while the fsync was
+		// in flight; the snapshot head then describes the PREVIOUS
+		// epoch's words and advancing syncedTo with it would let the
+		// next commit skip the fsync the new epoch still needs.
+		if p.lg.epoch == p.epoch && p.lg.syncedTo < p.head {
 			p.lg.syncedTo = p.head
 		}
 		ws.mu.Unlock()
@@ -699,7 +736,26 @@ func (wb *walBackend) Close() error                          { return wb.inner.C
 // retry overwrites whatever prefix the failed append tore.
 func (wb *walBackend) WriteAt(buf []float64, off int64) error {
 	ws := wb.ws
-	need := walRecordWords(wb.name, int64(len(buf)))
+	// With compression, encode the payload to a codec frame off the
+	// lock and log whichever form is smaller. The inner write-through
+	// always applies the logical buf.
+	data, compressed := buf, false
+	var encWords []float64
+	if ws.opts.Compress && len(buf) > frameHeaderBytes/ElemSize {
+		fr := GetBuf(frameSizeBytes(len(buf) * ElemSize))[:0]
+		fr = AppendFrame(fr, buf)
+		if len(fr)/ElemSize < len(buf) {
+			encWords = frameToWords(GetF64(len(fr) / ElemSize)[:0], fr)
+			data, compressed = encWords, true
+		}
+		PutBuf(fr)
+		defer func() {
+			if encWords != nil {
+				PutF64(encWords)
+			}
+		}()
+	}
+	need := walRecordWords(wb.name, int64(len(data)))
 	ws.mu.Lock()
 	if need > ws.opts.CapWords-walHeaderWords {
 		// Could never fit even an empty log (whole-array setup fills):
@@ -723,7 +779,7 @@ func (wb *walBackend) WriteAt(buf []float64, off int64) error {
 			return err
 		}
 	}
-	rec := walEncodeRecord(ws.seq+1, lg.epoch, wb.name, off, buf)
+	rec := walEncodeRecordComp(ws.seq+1, lg.epoch, wb.name, off, data, compressed)
 	if err := lg.back.WriteAt(rec, lg.head); err != nil {
 		ws.mu.Unlock()
 		return fmt.Errorf("ooc: WAL append for %s [%d,%d): %w", wb.name, off, off+int64(len(buf)), err)
@@ -732,6 +788,10 @@ func (wb *walBackend) WriteAt(buf []float64, off int64) error {
 	ws.seq++
 	ws.c.appends++
 	ws.c.appendedWords += int64(len(rec))
+	if ws.opts.Compress {
+		ws.c.compRawWords += int64(len(buf))
+		ws.c.compEncWords += int64(len(data))
+	}
 	m := ws.met
 	var pending float64
 	if m != nil {
@@ -743,6 +803,10 @@ func (wb *walBackend) WriteAt(buf []float64, off int64) error {
 		m.appends.Inc()
 		m.words.Add(int64(len(rec)))
 		m.pending.Set(pending)
+		if m.compRaw != nil {
+			m.compRaw.Add(int64(len(buf)) * ElemSize)
+			m.compEnc.Add(int64(len(data)) * ElemSize)
+		}
 	}
 	return err
 }
@@ -801,13 +865,24 @@ func walRecordWords(name string, dataLen int64) int64 {
 	return walRecHeaderWords + int64((len(name)+7)/8) + dataLen
 }
 
-// walEncodeRecord frames one record (see the package comment).
+// walEncodeRecord frames one raw-payload record (see the package
+// comment).
 func walEncodeRecord(seq, epoch uint64, name string, off int64, data []float64) []float64 {
+	return walEncodeRecordComp(seq, epoch, name, off, data, false)
+}
+
+// walEncodeRecordComp frames one record whose data words carry either
+// raw values or a codec frame, per the compressed flag.
+func walEncodeRecordComp(seq, epoch uint64, name string, off int64, data []float64, compressed bool) []float64 {
 	nameWords := (len(name) + 7) / 8
 	rec := make([]float64, walRecHeaderWords+nameWords+len(data))
 	rec[0] = math.Float64frombits(seq)
 	rec[1] = math.Float64frombits(epoch)
-	rec[2] = math.Float64frombits(uint64(len(name))<<48 | uint64(len(data))&walLenMask)
+	meta := uint64(len(name))<<48 | uint64(len(data))&walLenMask
+	if compressed {
+		meta |= 1 << 63
+	}
+	rec[2] = math.Float64frombits(meta)
 	rec[3] = math.Float64frombits(uint64(off))
 	for w := 0; w < nameWords; w++ {
 		var u uint64
@@ -850,9 +925,12 @@ func walDecodeRecord(words []float64, pos int64) (walRecord, int64, bool) {
 		return walRecord{}, 0, false
 	}
 	meta := math.Float64bits(words[pos+2])
-	nameLen := int64(meta >> 48)
+	compressed := meta>>63 == 1
+	nameLen := int64((meta >> 48) & 0x7FFF)
 	dataLen := int64(meta & walLenMask)
 	if nameLen == 0 || nameLen > walMaxNameLen {
+		// The 15-bit field spans the spare meta bits too, so any garbage
+		// there lands above walMaxNameLen and is rejected here.
 		return walRecord{}, 0, false
 	}
 	offU := math.Float64bits(words[pos+3])
@@ -876,8 +954,26 @@ func walDecodeRecord(words []float64, pos int64) (walRecord, int64, bool) {
 		w := math.Float64bits(words[pos+walRecHeaderWords+i/8])
 		nameB[i] = byte(w >> (8 * uint(i%8)))
 	}
-	data := make([]float64, dataLen)
-	copy(data, words[pos+walRecHeaderWords+nameWords:pos+total])
+	stored := words[pos+walRecHeaderWords+nameWords : pos+total]
+	var data []float64
+	if compressed {
+		// The data words carry a codec frame; unpack it so callers only
+		// ever see the logical payload. A frame that fails to parse or
+		// verify marks the whole record invalid — same torn-tail
+		// semantics as a CRC mismatch.
+		frame := wordsToFrame(make([]byte, 0, len(stored)*ElemSize), stored)
+		elems, size, err := FrameElems(frame)
+		if err != nil || size != len(frame) {
+			return walRecord{}, 0, false
+		}
+		data = make([]float64, elems)
+		if _, err := DecodeFrame(frame, data); err != nil {
+			return walRecord{}, 0, false
+		}
+	} else {
+		data = make([]float64, dataLen)
+		copy(data, stored)
+	}
 	return walRecord{
 		seq:   seq,
 		epoch: math.Float64bits(words[pos+1]),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"outcore/internal/layout"
+	"outcore/internal/ooc"
 )
 
 // LoadSpec configures the synthetic multi-client tile workload the
@@ -32,6 +33,7 @@ type LoadSpec struct {
 	ZipfS    float64 // zipf skew parameter (>1); <=1 = uniform
 	ReadFrac float64 // fraction of reads (rest are tile writes)
 	Seed     int64   // deterministic tile-choice streams
+	Compress bool    // negotiate the x-ooc-gorilla wire coding both ways
 }
 
 // LoadResult is one load run's scorecard: client-side throughput and
@@ -52,6 +54,11 @@ type LoadResult struct {
 	Hits, Misses int64   // engine delta over the run
 	HitRate      float64 // hits / (hits + misses), from the delta
 	Coalesced    int64   // server coalesced-request delta
+
+	// Wire byte deltas from the server's compression scorecard (zero
+	// when the server has no compression enabled).
+	WireRawBytes int64 // logical tile payload bytes moved
+	WireBytes    int64 // bytes that actually crossed the wire
 }
 
 // tiles enumerates the aligned tile grid over dims.
@@ -138,7 +145,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				box := tiles[pick()]
 				read := rng.Float64() < spec.ReadFrac
 				t0 := time.Now()
-				status, err := doTileRequest(client, id, spec.BaseURL, spec.Array, box, read, rng)
+				status, err := doTileRequest(client, id, spec.BaseURL, spec.Array, box, read, spec.Compress, rng)
 				d := time.Since(t0)
 				switch {
 				case err != nil:
@@ -189,24 +196,42 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		res.HitRate = float64(res.Hits) / float64(total)
 	}
 	res.Coalesced = after.Coalesced - before.Coalesced
+	if after.Compression != nil && before.Compression != nil {
+		res.WireRawBytes = after.Compression.WireRawBytes - before.Compression.WireRawBytes
+		res.WireBytes = after.Compression.WireBytes - before.Compression.WireBytes
+	}
 	return res, nil
 }
 
 // doTileRequest issues one tile read or write as client id and returns
-// the HTTP status. Request bodies for writes are rng-filled payloads
-// of the box's exact size.
-func doTileRequest(client *http.Client, id, base, array string, box layout.Box, read bool, rng *rand.Rand) (int, error) {
+// the HTTP status. Write bodies are smooth tiles — a random per-tile
+// base plus a dyadic ramp, the locally-coherent shape scientific
+// kernels produce — so compression legs measure a realistic wire win
+// rather than the noise floor. With compress set, writes travel as
+// codec frames and reads offer the coding via Accept-Encoding.
+func doTileRequest(client *http.Client, id, base, array string, box layout.Box, read, compress bool, rng *rand.Rand) (int, error) {
 	url := fmt.Sprintf("%s/v1/arrays/%s/tile?lo=%s&hi=%s", base, array, coordList(box.Lo), coordList(box.Hi))
 	var req *http.Request
 	var err error
 	if read {
 		req, err = http.NewRequest(http.MethodGet, url, nil)
+		if err == nil && compress {
+			req.Header.Set("Accept-Encoding", WireEncoding)
+		}
 	} else {
 		data := make([]float64, box.Size())
+		tileBase := float64(rng.Intn(4000)) * 0.25
 		for i := range data {
-			data[i] = rng.Float64()
+			data[i] = tileBase + float64(i)*0.25
 		}
-		req, err = http.NewRequest(http.MethodPut, url, bytes.NewReader(encodePayload(data)))
+		if compress {
+			req, err = http.NewRequest(http.MethodPut, url, bytes.NewReader(ooc.AppendFrame(nil, data)))
+			if err == nil {
+				req.Header.Set("Content-Encoding", WireEncoding)
+			}
+		} else {
+			req, err = http.NewRequest(http.MethodPut, url, bytes.NewReader(encodePayload(data)))
+		}
 	}
 	if err != nil {
 		return 0, err

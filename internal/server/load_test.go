@@ -3,6 +3,8 @@ package server
 import (
 	"testing"
 	"time"
+
+	"outcore/internal/ooc"
 )
 
 func TestLoadSpecTiles(t *testing.T) {
@@ -87,5 +89,36 @@ func TestRateLimiterEvictionBound(t *testing.T) {
 	}
 	if l.lru.Len() != len(l.buckets) {
 		t.Errorf("lru length %d != buckets %d", l.lru.Len(), len(l.buckets))
+	}
+}
+
+// TestRunLoadCompressed runs the harness with wire compression against
+// a compression-enabled server: every request still lands, and the
+// scorecard's wire delta shows fewer bytes crossed than moved.
+func TestRunLoadCompressed(t *testing.T) {
+	ts := newTestServer(t, Config{}, func(d *ooc.Disk) { d.EnableCompression() })
+	ts.createArray(t, "A", 32, 32)
+	res, err := RunLoad(LoadSpec{
+		BaseURL:  ts.http.URL,
+		Array:    "A",
+		Dims:     []int64{32, 32},
+		TileEdge: 8,
+		Clients:  2,
+		Requests: 100,
+		ReadFrac: 0.5,
+		Seed:     7,
+		Compress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 100 {
+		t.Fatalf("ok = %d of 100 (rejected %d, errors %d)", res.OK, res.Rejected, res.Errors)
+	}
+	if res.WireRawBytes <= 0 || res.WireBytes <= 0 {
+		t.Fatalf("wire deltas raw=%d enc=%d, want positive", res.WireRawBytes, res.WireBytes)
+	}
+	if res.WireBytes*2 > res.WireRawBytes {
+		t.Errorf("wire bytes %d vs raw %d: smooth tiles should beat 2x", res.WireBytes, res.WireRawBytes)
 	}
 }

@@ -28,7 +28,11 @@
 //     clipped per-request element count (Config.MaxTileElems, 413), so
 //     a client cannot drive unbounded allocations.
 //
-// API (payloads are raw little-endian float64, box-local row-major):
+// API (payloads are raw little-endian float64, box-local row-major;
+// clients offering "Accept-Encoding: x-ooc-gorilla" on tile GETs get
+// the body as a compressed codec frame instead, and may PUT one with
+// "Content-Encoding: x-ooc-gorilla" — old clients that send neither
+// header keep the raw format):
 //
 //	GET  /healthz                            liveness ("ok" / 503 "draining")
 //	GET  /metrics[?format=json]              obs registry exposition
@@ -181,6 +185,26 @@ type serverMetrics struct {
 	rejectedQueue *obs.Counter
 	inflight      *obs.Gauge
 	latency       *obs.Histogram
+	wireRaw       *obs.Counter // logical tile bytes moved over HTTP
+	wireBytes     *obs.Counter // bytes actually on the wire (after negotiation)
+}
+
+// WireEncoding is the tile content coding the server negotiates: a
+// codec frame (see ooc.AppendFrame) instead of raw little-endian
+// float64. Offered via Accept-Encoding on GET and declared via
+// Content-Encoding on PUT.
+const WireEncoding = "x-ooc-gorilla"
+
+// acceptsWireEncoding reports whether an Accept-Encoding header offers
+// WireEncoding (comma-separated codings, optional ;q parameters).
+func acceptsWireEncoding(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		c, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(c) == WireEncoding {
+			return true
+		}
+	}
+	return false
 }
 
 // MaxShards bounds the -shards flag: past it, per-shard caches get so
@@ -254,6 +278,8 @@ func New(d *ooc.Disk, eng ooc.TileEngine, cfg Config) *Server {
 		inflight:      reg.Gauge("occd_inflight", "requests currently holding an engine slot"),
 		latency: reg.Histogram("occd_request_seconds",
 			"admitted request latency in seconds", obs.ExpBuckets(1e-5, 4, 10)),
+		wireRaw:   reg.Counter("occd_wire_raw_bytes_total", "logical tile payload bytes served or accepted"),
+		wireBytes: reg.Counter("occd_wire_bytes_total", "tile payload bytes on the wire after content negotiation"),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -420,17 +446,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // (present only for a sharded plane) is the per-shard scorecard: the
 // engine-level counters broken out per partition, in shard order.
 type statsPayload struct {
-	Engine            ooc.EngineStats `json:"engine"`
-	HitRate           float64         `json:"hit_rate"`
-	Shards            []shardStat     `json:"shards,omitempty"`
-	WAL               *ooc.WALStats   `json:"wal,omitempty"`
-	Requests          int64           `json:"requests"`
-	Coalesced         int64           `json:"coalesced"`
-	RejectedRateLimit int64           `json:"rejected_ratelimit"`
-	RejectedQueue     int64           `json:"rejected_queue"`
-	Inflight          int64           `json:"inflight"`
-	Queued            int64           `json:"queued"`
-	Draining          bool            `json:"draining"`
+	Engine            ooc.EngineStats   `json:"engine"`
+	HitRate           float64           `json:"hit_rate"`
+	Shards            []shardStat       `json:"shards,omitempty"`
+	WAL               *ooc.WALStats     `json:"wal,omitempty"`
+	Compression       *compressionStats `json:"compression,omitempty"`
+	Requests          int64             `json:"requests"`
+	Coalesced         int64             `json:"coalesced"`
+	RejectedRateLimit int64             `json:"rejected_ratelimit"`
+	RejectedQueue     int64             `json:"rejected_queue"`
+	Inflight          int64             `json:"inflight"`
+	Queued            int64             `json:"queued"`
+	Draining          bool              `json:"draining"`
+}
+
+// compressionStats is the /v1/stats compression scorecard, present
+// when the disk compresses backends or WAL payloads: the disk/WAL
+// raw-vs-encoded byte counters, the wire-level tallies, and the
+// buffer-arena hit rate behind them.
+type compressionStats struct {
+	ooc.CompressionStats
+	WireRawBytes int64         `json:"wire_raw_bytes"`
+	WireBytes    int64         `json:"wire_bytes"`
+	Pool         ooc.PoolStats `json:"pool"`
 }
 
 // shardStat is one shard's row in the scorecard.
@@ -459,6 +497,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	p.WAL = s.disk.WALStats()
+	if cs := s.disk.CompressionStats(); cs != nil {
+		p.Compression = &compressionStats{
+			CompressionStats: *cs,
+			WireRawBytes:     s.met.wireRaw.Value(),
+			WireBytes:        s.met.wireBytes.Value(),
+			Pool:             ooc.ReadPoolStats(),
+		}
+	}
 	writeJSON(w, http.StatusOK, p)
 }
 
@@ -601,8 +647,16 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	compress := acceptsWireEncoding(r.Header.Get("Accept-Encoding"))
 	lk := s.lockFor(ar.Meta.Name)
-	payload, coalesced, err := s.flights.do(tileFlightKey(lk, ar.Meta.Name, box), func() ([]byte, error) {
+	// Requests negotiating different encodings must not join the same
+	// flight — they need different bodies — so the encoding is part of
+	// the flight key.
+	key := tileFlightKey(lk, ar.Meta.Name, box)
+	if compress {
+		key += "|" + WireEncoding
+	}
+	payload, coalesced, err := s.flights.do(key, func() ([]byte, error) {
 		// Shared lock: concurrent GETs overlap freely; a PUT to this
 		// array is excluded while the pinned tile's buffer is encoded.
 		lk.mu.RLock()
@@ -612,6 +666,9 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer s.eng.Release(h, false)
+		if compress {
+			return ooc.AppendFrame(nil, h.Tile().Data()), nil
+		}
 		return encodePayload(h.Tile().Data()), nil
 	})
 	if coalesced {
@@ -621,7 +678,12 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 		s.engineError(w, err)
 		return
 	}
+	s.met.wireRaw.Add(box.Size() * ooc.ElemSize)
+	s.met.wireBytes.Add(int64(len(payload)))
 	w.Header().Set("Content-Type", "application/octet-stream")
+	if compress {
+		w.Header().Set("Content-Encoding", WireEncoding)
+	}
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
 	w.Header().Set("X-Tile-Coalesced", strconv.FormatBool(coalesced))
 	w.Write(payload)
@@ -633,10 +695,44 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	want := box.Size() * ooc.ElemSize
-	body, err := readBody(r, want)
+	var body []byte
+	var err error
+	compress := false
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "":
+		body, err = readBody(r, want)
+	case WireEncoding:
+		compress = true
+		// A frame never exceeds raw-plus-header (AppendFrame's raw
+		// fallback guarantees it), which bounds the read; the real size
+		// check is the frame's own element count below.
+		body, err = readBodyMax(r, want+frameMaxOverhead)
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q (only %s)", enc, WireEncoding)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "tile payload: %v (want %d bytes for %v)", err, want, box)
 		return
+	}
+	s.met.wireRaw.Add(want)
+	s.met.wireBytes.Add(int64(len(body)))
+	// A compressed body is decoded into scratch BEFORE the tile is
+	// acquired: DecodeFrame leaves its destination unspecified on error,
+	// and a half-decoded frame must never land in a cached tile. It also
+	// enforces that the frame's element count is exactly the tile's.
+	var decoded []float64
+	if compress {
+		decoded = ooc.GetF64(int(box.Size()))
+		defer ooc.PutF64(decoded)
+		n, err := ooc.DecodeFrame(body, decoded)
+		if err == nil && n != len(body) {
+			err = fmt.Errorf("%d trailing bytes after the frame", len(body)-n)
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "tile frame: %v (want %d elements for %v)", err, box.Size(), box)
+			return
+		}
 	}
 	// Exclusive lock: while this PUT decodes into the pinned tile's
 	// buffer and releases it dirty, no GET of the same array holds a
@@ -652,7 +748,11 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 		s.engineError(w, err)
 		return
 	}
-	decodePayload(body, h.Tile().Data())
+	if compress {
+		copy(h.Tile().Data(), decoded)
+	} else {
+		decodePayload(body, h.Tile().Data())
+	}
 	s.eng.Release(h, true)
 	lk.gen.Add(1) // version GET flights past this write before acknowledging
 	lk.mu.Unlock()
@@ -728,6 +828,25 @@ func checkedProduct(dims []int64) (int64, bool) {
 		n *= d
 	}
 	return n, true
+}
+
+// frameMaxOverhead bounds how much larger than the raw payload a codec
+// frame can be: the 16-byte header plus word-padding slack (the raw
+// fallback caps the payload itself at the logical size).
+const frameMaxOverhead = 24
+
+// readBodyMax reads a variable-length body of at most max bytes
+// (compressed tile frames; the frame decoder validates the contents).
+func readBodyMax(r *http.Request, max int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, max))
+	if err != nil {
+		return nil, err
+	}
+	var extra [1]byte
+	if m, _ := r.Body.Read(extra[:]); m > 0 {
+		return nil, fmt.Errorf("body longer than the tile")
+	}
+	return body, nil
 }
 
 // readBody reads exactly want bytes of request body.

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"outcore/internal/obs"
+	"outcore/internal/ooc"
+)
+
+// doHdr is ts.do with request headers, for the content-negotiation
+// tests that need Accept-Encoding / Content-Encoding set.
+func (ts *testServer) doHdr(t *testing.T, method, url string, body []byte, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// smoothPayload is a compressible tile: a dyadic-step ramp, the shape
+// the codec is built for.
+func smoothPayload(n int) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 20.0 + float64(i)*0.25
+	}
+	return data
+}
+
+// TestTileWireNegotiation exercises the x-ooc-gorilla content coding on
+// the tile endpoints end to end: a client that offers it gets framed
+// bodies smaller than raw, a client that doesn't keeps the raw format
+// bit for bit, and the two never share a coalescing flight.
+func TestTileWireNegotiation(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 32, 32)
+
+	data := smoothPayload(16 * 16)
+	raw := encodePayload(data)
+	url := ts.url("/v1/arrays/A/tile?lo=0,0&hi=16,16")
+
+	// Seed with a plain PUT — the path every existing client uses.
+	if status, out, _ := ts.do(t, http.MethodPut, url, raw); status != http.StatusNoContent {
+		t.Fatalf("raw put: %d %s", status, out)
+	}
+
+	// A legacy GET (no Accept-Encoding) stays raw.
+	status, body, hdr := ts.do(t, http.MethodGet, url, nil)
+	if status != 200 {
+		t.Fatalf("raw get: %d", status)
+	}
+	if ce := hdr.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("raw get got Content-Encoding %q, want none", ce)
+	}
+	if !bytes.Equal(body, raw) {
+		t.Fatal("raw get body differs from the stored payload")
+	}
+
+	// A negotiating GET gets a framed body, smaller, that decodes back.
+	status, frame, hdr := ts.doHdr(t, http.MethodGet, url, nil,
+		map[string]string{"Accept-Encoding": "gzip, " + WireEncoding + ";q=0.9"})
+	if status != 200 {
+		t.Fatalf("compressed get: %d %s", status, frame)
+	}
+	if ce := hdr.Get("Content-Encoding"); ce != WireEncoding {
+		t.Fatalf("compressed get Content-Encoding = %q, want %q", ce, WireEncoding)
+	}
+	if len(frame) >= len(raw) {
+		t.Fatalf("smooth tile frame is %d bytes, raw is %d — no wire win", len(frame), len(raw))
+	}
+	got := make([]float64, len(data))
+	if _, err := ooc.DecodeFrame(frame, got); err != nil {
+		t.Fatalf("decode wire frame: %v", err)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("wire round trip differs at %d: %v != %v", i, got[i], data[i])
+		}
+	}
+
+	// A compressed PUT lands the same as a raw one.
+	data2 := smoothPayload(16 * 16)
+	for i := range data2 {
+		data2[i] += 100
+	}
+	frame2 := ooc.AppendFrame(nil, data2)
+	if status, out, _ := ts.doHdr(t, http.MethodPut, url, frame2,
+		map[string]string{"Content-Encoding": WireEncoding}); status != http.StatusNoContent {
+		t.Fatalf("compressed put: %d %s", status, out)
+	}
+	status, body, _ = ts.do(t, http.MethodGet, url, nil)
+	if status != 200 {
+		t.Fatalf("get after compressed put: %d", status)
+	}
+	if !bytes.Equal(body, encodePayload(data2)) {
+		t.Fatal("compressed PUT did not land the decoded payload")
+	}
+
+	// An unknown coding is refused up front.
+	if status, _, _ := ts.doHdr(t, http.MethodPut, url, frame2,
+		map[string]string{"Content-Encoding": "zstd"}); status != http.StatusUnsupportedMediaType {
+		t.Fatalf("unknown Content-Encoding: %d, want 415", status)
+	}
+
+	// A corrupt frame is rejected AND leaves the cached tile untouched.
+	// The flipped byte sits in the CRC-covered payload, not the tail
+	// padding.
+	bad := append([]byte(nil), frame2...)
+	bad[20] ^= 0xFF
+	if status, _, _ := ts.doHdr(t, http.MethodPut, url, bad,
+		map[string]string{"Content-Encoding": WireEncoding}); status != http.StatusBadRequest {
+		t.Fatalf("corrupt frame put: %d, want 400", status)
+	}
+	status, body, _ = ts.do(t, http.MethodGet, url, nil)
+	if status != 200 || !bytes.Equal(body, encodePayload(data2)) {
+		t.Fatal("corrupt frame PUT disturbed the cached tile")
+	}
+
+	// A frame whose element count doesn't match the tile is rejected too.
+	short := ooc.AppendFrame(nil, data2[:8])
+	if status, _, _ := ts.doHdr(t, http.MethodPut, url, short,
+		map[string]string{"Content-Encoding": WireEncoding}); status != http.StatusBadRequest {
+		t.Fatalf("wrong-size frame put: %d, want 400", status)
+	}
+}
+
+func TestAcceptsWireEncoding(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"gzip", false},
+		{WireEncoding, true},
+		{"gzip, " + WireEncoding, true},
+		{" " + WireEncoding + " ;q=0.5, gzip", true},
+		{WireEncoding + "x", false},
+		{"x-ooc", false},
+	} {
+		if got := acceptsWireEncoding(tc.header); got != tc.want {
+			t.Errorf("acceptsWireEncoding(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// goldenCompressServer is goldenServer with backend compression, WAL
+// payload compression and the pool mirrors on — the wiring cmd/occd
+// builds for -wal -compress — so the goldens pin the compression
+// scorecard block and the ooc_comp_* / ooc_wal_comp_* / ooc_pool_*
+// metric families. The seed traffic negotiates the wire coding both
+// ways so every byte counter's code path has fired.
+func goldenCompressServer(t *testing.T) *testServer {
+	t.Helper()
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	ts := &testServer{}
+	d := ooc.NewDisk(0).Observe(sink).EnableCompression()
+	d.EnableWAL(ooc.WALOptions{Logs: 2, Obs: sink, Compress: true})
+	ooc.ObservePool(sink)
+	eng := ooc.NewEngine(d, ooc.EngineOptions{Workers: 2, CacheTiles: 16, Obs: sink})
+	ts.disk = d
+	ts.srv = New(d, eng, Config{DurablePuts: true, Obs: sink})
+	ts.http = httptest.NewServer(ts.srv.Handler())
+	t.Cleanup(func() {
+		ts.http.Close()
+		ts.srv.Drain()
+	})
+	ts.createArray(t, "A", 8, 8)
+	payload := smoothPayload(16)
+	frame := ooc.AppendFrame(nil, payload)
+	if status, out, _ := ts.doHdr(t, http.MethodPut, ts.url("/v1/arrays/A/tile?lo=0,0&hi=4,4"), frame,
+		map[string]string{"Content-Encoding": WireEncoding}); status != http.StatusNoContent {
+		t.Fatalf("seed put: %d %s", status, out)
+	}
+	if status, _, _ := ts.doHdr(t, http.MethodGet, ts.url("/v1/arrays/A/tile?lo=0,0&hi=4,4"), nil,
+		map[string]string{"Accept-Encoding": WireEncoding}); status != 200 {
+		t.Fatal("seed get failed")
+	}
+	return ts
+}
+
+// TestStatsGoldenCompressSchema pins the compression-enabled /v1/stats
+// shape: the compression block (disk/WAL/wire raw-vs-encoded byte
+// tallies plus the arena scorecard) is what `occload -compress` and the
+// CI bench gate read, so its keys changing is an API change.
+func TestStatsGoldenCompressSchema(t *testing.T) {
+	ts := goldenCompressServer(t)
+	status, out, _ := ts.do(t, http.MethodGet, ts.url("/v1/stats"), nil)
+	if status != 200 {
+		t.Fatalf("stats: %d %s", status, out)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("stats is not JSON: %v\n%s", err, out)
+	}
+	comp, ok := decoded["compression"].(map[string]any)
+	if !ok {
+		t.Fatalf("compress-enabled /v1/stats has no compression block:\n%s", out)
+	}
+	// The seeded wire traffic must have registered, and the smooth tile
+	// must actually have compressed on the wire.
+	rawB, _ := comp["wire_raw_bytes"].(float64)
+	encB, _ := comp["wire_bytes"].(float64)
+	if rawB <= 0 || encB <= 0 || encB >= rawB {
+		t.Errorf("wire tallies raw=%v enc=%v, want 0 < enc < raw", rawB, encB)
+	}
+	var keys []string
+	keyPaths("", decoded, &keys)
+	checkGolden(t, "stats_schema_compress.golden", keys)
+}
+
+// TestMetricsGoldenCompressSchema pins the metric families a
+// compression-enabled plane adds to /metrics.
+func TestMetricsGoldenCompressSchema(t *testing.T) {
+	ts := goldenCompressServer(t)
+	status, out, _ := ts.do(t, http.MethodGet, ts.url("/metrics"), nil)
+	if status != 200 {
+		t.Fatalf("metrics: %d", status)
+	}
+	var families []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.TrimPrefix(line, "# TYPE "))
+		}
+	}
+	checkGolden(t, "metrics_families_compress.golden", families)
+
+	for _, want := range []string{
+		"ooc_comp_disk_read_bytes_total",
+		"ooc_comp_disk_write_bytes_total",
+		"ooc_wal_comp_bytes_total",
+		"ooc_pool_hits_total",
+		"occd_wire_bytes_total",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("compress-enabled /metrics missing family %s", want)
+		}
+	}
+}
