@@ -12,7 +12,7 @@ FUZZ_TARGETS := \
 	./internal/ooc/:FuzzWALRecord \
 	./internal/ooc/:FuzzTileCodec
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep chaos
+.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep clustersweep chaos
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,19 @@ compsweep:
 	$(GO) run ./cmd/occload -kernel trans -version c-opt \
 		-clients 16 -requests 4000 -zipf 1.2 -compress -json LOAD_comp.json
 
+# Cluster node sweep: the identical workload through an in-process
+# router + N occd nodes for N=1,2,3 (capacity-bound per-node caches,
+# uniform tile choice, so aggregate cache — and throughput — climb
+# with N), then the replicated n3-r2 shape whose row carries the
+# handoff/read-repair counters. These are the serve-cluster-n<N>-r<R>
+# rows in BENCH_baseline.json (informational — serving rows never
+# gate).
+clustersweep:
+	$(GO) run ./cmd/occload -nodes 1,2,3 -replicas 1 -requests 8000 \
+		-clients 32 -tile-edge 8 -cache-tiles 16 -zipf 1 -workers 0
+	$(GO) run ./cmd/occload -nodes 3 -replicas 2 -requests 8000 \
+		-clients 32 -tile-edge 8 -cache-tiles 16 -zipf 1 -workers 0
+
 # Deterministic chaos sweep: the dst/faultfs test suites under -race,
 # then CHAOS_EPISODES seeded simulation episodes (power cuts, torn
 # writes, failing syncs). A failing episode prints its reproducer
@@ -103,6 +116,7 @@ chaos:
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES)
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal -compress
+	$(GO) run ./cmd/occhaos -cluster -episodes $(CHAOS_EPISODES) -nodes 3 -replicas 2
 
 fmt:
 	gofmt -l -w .

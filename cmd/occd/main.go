@@ -63,10 +63,16 @@ func main() {
 	durablePuts := flag.Bool("durable-puts", false, "make every tile PUT durable before its 204 (with -wal: via the group commit)")
 	compress := flag.Bool("compress", false, "store array backends compressed (Gorilla tile codec) and, with -wal, compress log record payloads; /v1/stats grows a compression scorecard")
 	faults := flag.Int64("faults", 0, "TESTING ONLY: inject deterministic storage faults from this seed (0 = off); failures surface as 5xx")
+	clusterNode := flag.String("cluster-node", "", "run as a cluster storage node with this ID: /v1/stats reports the ID and tile responses carry write-generation headers for the router")
+	peers := flag.String("peers", "", "with -cluster-node: comma-separated sibling node IDs (gossip-free static membership, recorded for operators; the router owns placement)")
 	flag.Parse()
 
 	if err := server.ValidateShards(*shards); err != nil {
 		fmt.Fprintf(os.Stderr, "occd: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	if *peers != "" && *clusterNode == "" {
+		fmt.Fprintln(os.Stderr, "occd: -peers requires -cluster-node")
 		os.Exit(2)
 	}
 
@@ -154,9 +160,17 @@ func main() {
 		MaxArrayElems: *maxArrayElems,
 		MaxTileElems:  *maxTileElems,
 		DurablePuts:   *durablePuts,
+		NodeID:        *clusterNode,
 		Obs:           sink,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if *clusterNode != "" {
+		siblings := "none listed"
+		if *peers != "" {
+			siblings = strings.Join(strings.Split(*peers, ","), ", ")
+		}
+		log.Printf("occd: cluster node %q (peers: %s); placement is router-side", *clusterNode, siblings)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -46,6 +46,12 @@ func main() {
 	torn := flag.Float64("torn", storm.TornWrite, "probability a backend write tears (strict prefix applied)")
 	syncErr := flag.Float64("sync-err", storm.SyncErr, "probability a sync fails (writes stay volatile)")
 	syncDrop := flag.Float64("sync-drop", 0, "probability a sync LIES (reports success, persists nothing) — episodes are expected to fail")
+	clusterMode := flag.Bool("cluster", false, "run CLUSTER episodes instead: a router + -nodes storage nodes with -replicas copies per tile, node kills, partitions, hinted handoff and read-repair under test")
+	nodes := flag.Int("nodes", 3, "with -cluster: storage nodes per episode")
+	replicas := flag.Int("replicas", 2, "with -cluster: copies per tile")
+	killEvery := flag.Int("kill-every", 25, "with -cluster: ~one node kill or partition per this many steps (<0 disables)")
+	healEvery := flag.Int("heal-every", 15, "with -cluster: ~one node heal per this many steps (<0 disables)")
+	hintDir := flag.String("hint-dir", "", "with -cluster: durable hint-log directory (empty = in-memory hints)")
 	verbose := flag.Bool("v", false, "print every episode verdict; with a failure, dump its op log and fault schedule")
 	flag.Parse()
 
@@ -72,6 +78,19 @@ func main() {
 		rs := time.Now().UnixNano()
 		fmt.Printf("occhaos: random seed %d (rerun it with -seed %d -episodes 1)\n", rs, rs)
 		seeds = append(seeds, rs)
+	}
+
+	if *clusterMode {
+		runCluster(seeds, dst.ClusterOptions{
+			Ops:       *ops,
+			Nodes:     *nodes,
+			Replicas:  *replicas,
+			PutFrac:   *putFrac,
+			KillEvery: *killEvery,
+			HealEvery: *healEvery,
+			HintDir:   *hintDir,
+		}, *verbose)
+		return
 	}
 
 	start := time.Now()
@@ -112,6 +131,39 @@ func main() {
 
 	fmt.Printf("occhaos: %d episodes, %d faults injected, %d failed in %.2fs\n",
 		len(seeds), faults, failed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runCluster sweeps cluster episodes over the seed list and reports
+// with the same verdict/reproducer discipline as the single-node
+// sweep.
+func runCluster(seeds []int64, base dst.ClusterOptions, verbose bool) {
+	start := time.Now()
+	failed := 0
+	for _, s := range seeds {
+		o := base
+		o.Seed = s
+		res := dst.RunCluster(o)
+		if verbose {
+			fmt.Println("occhaos:", res.Summary())
+		}
+		if res.Failed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "occhaos: %s\n", res.Summary())
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "occhaos:   violation: %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "occhaos: reproduce with: occhaos -seed %d -episodes 1 -v%s\n",
+				s, setFlags())
+			if verbose {
+				fmt.Fprintf(os.Stderr, "--- op log (seed %d) ---\n%s", s, res.OpLog)
+			}
+		}
+	}
+	fmt.Printf("occhaos: %d cluster episodes, %d failed in %.2fs\n",
+		len(seeds), failed, time.Since(start).Seconds())
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -14,6 +14,12 @@
 // versus N (each pass appends a row to the -json report, config
 // suffixed "-s<N>").
 //
+// Cluster mode fires the same workload through an occrouter instead
+// of a single server: -cluster <url> targets an external router, and
+// -nodes "1,2,3" [-replicas R] starts an in-process router + N occd
+// nodes per pass (rows config "serve-cluster-n<N>-r<R>", with the
+// replication counters — handoff hints, read repairs — in the report).
+//
 // Two chaos modes ride on the same binary. -faults <seed> wraps the
 // served arrays' backends in the internal/faultfs injector: a
 // deterministic storm of EIO/ENOSPC/torn-write/sync failures surfaces
@@ -43,10 +49,12 @@ import (
 	"strconv"
 	"strings"
 
+	"outcore/internal/cluster"
 	"outcore/internal/codegen"
 	"outcore/internal/dst"
 	"outcore/internal/exp"
 	"outcore/internal/faultfs"
+	"outcore/internal/ir"
 	"outcore/internal/obs"
 	"outcore/internal/ooc"
 	"outcore/internal/server"
@@ -85,6 +93,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics text here after the run (last sweep pass)")
 	faults := flag.Int64("faults", 0, "inject deterministic storage faults from this seed (0 = off)")
 	crashEvery := flag.Int("crash-every", 0, "episode mode: run one dst simulation with a power cut every ~n steps instead of HTTP load (0 = off)")
+	clusterAddr := flag.String("cluster", "", "drive the load at an external occrouter at this base URL instead of serving in-process")
+	nodeSweep := flag.String("nodes", "", "in-process cluster mode: node count, or a comma list (e.g. 1,2,3) to run the identical workload once per count (rows config serve-cluster-n<N>-r<R>)")
+	replicas := flag.Int("replicas", 2, "cluster mode: copies per tile (capped at the node count)")
 	flag.Parse()
 
 	if err := server.ValidateShards(*shards); err != nil {
@@ -117,6 +128,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "occload: -version: unknown version %q (valid: %s)\n",
 			*version, strings.Join(suite.VersionNames(), ", "))
 		os.Exit(2)
+	}
+
+	if *clusterAddr != "" || *nodeSweep != "" {
+		rows, sink := clusterLoad(k, clusterLoadSpec{
+			addr:        *clusterAddr,
+			nodeSweep:   *nodeSweep,
+			replicas:    *replicas,
+			n2:          *n2,
+			n3:          *n3,
+			n4:          *n4,
+			array:       *array,
+			tileEdge:    *tileEdge,
+			clients:     *clients,
+			requests:    *requests,
+			zipf:        *zipf,
+			readFrac:    *readFrac,
+			seed:        *seed,
+			workers:     *workers,
+			cacheTiles:  *cacheTiles,
+			shards:      *shards,
+			wal:         *wal,
+			durablePuts: *durablePuts,
+			compress:    *compress,
+		})
+		writeReports(*jsonOut, *metricsOut, *n2, *n3, *n4, rows, sink)
+		return
 	}
 
 	var rows []exp.BenchEntry
@@ -287,24 +324,35 @@ func main() {
 		}
 	}
 
-	if *jsonOut != "" {
+	writeReports(*jsonOut, *metricsOut, *n2, *n3, *n4, rows, lastSink)
+}
+
+// writeReports lands the run's outcore-bench/v1 report and Prometheus
+// snapshot (last pass's sink; nil when the run had no in-process
+// observer, e.g. load fired at an external router).
+func writeReports(jsonOut, metricsOut string, n2, n3, n4 int64, rows []exp.BenchEntry, sink *obs.Sink) {
+	if jsonOut != "" {
 		rep := exp.BenchReport{
 			Schema:  exp.BenchSchema,
-			Setup:   exp.BenchSetup{N2: *n2, N3: *n3, N4: *n4},
+			Setup:   exp.BenchSetup{N2: n2, N3: n3, N4: n4},
 			Results: rows,
 		}
-		f, err := os.Create(*jsonOut)
+		f, err := os.Create(jsonOut)
 		fail(err)
 		fail(rep.WriteJSON(f))
 		fail(f.Close())
-		fmt.Printf("  wrote %s\n", *jsonOut)
+		fmt.Printf("  wrote %s\n", jsonOut)
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+	if metricsOut != "" {
+		if sink == nil {
+			fmt.Fprintln(os.Stderr, "occload: -metrics-out: no in-process metrics against an external -cluster target; scrape the router's /metrics instead")
+			return
+		}
+		f, err := os.Create(metricsOut)
 		fail(err)
-		fail(lastSink.Metrics.WritePrometheus(f))
+		fail(sink.Metrics.WritePrometheus(f))
 		fail(f.Close())
-		fmt.Printf("  wrote %s\n", *metricsOut)
+		fmt.Printf("  wrote %s\n", metricsOut)
 	}
 }
 
@@ -318,6 +366,171 @@ func parseShardSweep(s string) ([]int, error) {
 		}
 		if err := server.ValidateShards(n); err != nil {
 			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// clusterLoadSpec carries the load-shape flags into cluster mode.
+type clusterLoadSpec struct {
+	addr        string // external occrouter base URL ("" = in-process)
+	nodeSweep   string // in-process node counts, e.g. "3" or "1,2,3"
+	replicas    int
+	n2, n3, n4  int64
+	array       string
+	tileEdge    int64
+	clients     int
+	requests    int
+	zipf        float64
+	readFrac    float64
+	seed        int64
+	workers     int
+	cacheTiles  int
+	shards      int
+	wal         bool
+	durablePuts bool
+	compress    bool
+}
+
+// clusterLoad fires the identical zipf workload at a tile cluster: an
+// external occrouter (-cluster <url>) or an in-process router plus N
+// occd nodes per pass (-nodes "1,2,3"). The router's /v1/stats mirrors
+// occd's keys (engine counters summed over reachable nodes) and adds
+// the cluster scorecard, so RunLoad works unchanged and each pass
+// lands a serve-cluster-n<N>-r<R> row with the replication counters.
+func clusterLoad(k suite.Kernel, spec clusterLoadSpec) ([]exp.BenchEntry, *obs.Sink) {
+	// Placement is router-side grid tiling; the kernel only contributes
+	// the target array's name and extents (row-major on every node).
+	prog := k.Build(suite.Config{N2: spec.n2, N3: spec.n3, N4: spec.n4})
+	var target *ir.Array
+	for _, a := range prog.Arrays {
+		if spec.array != "" {
+			if a.Name == spec.array {
+				target = a
+				break
+			}
+			continue
+		}
+		if target == nil || a.Len() > target.Len() {
+			target = a
+		}
+	}
+	if target == nil {
+		if spec.array != "" {
+			fail(fmt.Errorf("kernel %s has no array %q", k.Name, spec.array))
+		}
+		fail(fmt.Errorf("kernel %s builds no arrays", k.Name))
+	}
+
+	if spec.addr != "" {
+		row := clusterPass(k, spec, target, spec.addr, nil, 0, true)
+		return []exp.BenchEntry{row}, nil
+	}
+
+	counts, err := parseNodeSweep(spec.nodeSweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occload: -nodes: %v\n", err)
+		os.Exit(2)
+	}
+	var rows []exp.BenchEntry
+	var lastSink *obs.Sink
+	for pass, n := range counts {
+		sink := &obs.Sink{Metrics: obs.NewRegistry()}
+		lastSink = sink
+		lc, err := cluster.NewLocal(cluster.LocalOptions{
+			Nodes:       n,
+			Replicas:    spec.replicas,
+			TileDim:     spec.tileEdge,
+			CacheTiles:  spec.cacheTiles,
+			Shards:      spec.shards,
+			Workers:     spec.workers,
+			WAL:         spec.wal,
+			DurablePuts: spec.durablePuts,
+			NoWire:      !spec.compress,
+			Seed:        spec.seed,
+			Obs:         sink,
+		})
+		fail(err)
+		fail(lc.CreateArray(target.Name, target.Dims...))
+		row := clusterPass(k, spec, target, lc.RouterURL, lc, n, pass == 0)
+		fail(lc.Close())
+		rows = append(rows, row)
+	}
+	return rows, lastSink
+}
+
+// clusterPass runs one workload pass against a router at base and
+// renders its bench row. lc is nil for an external target, where the
+// node count comes from the router's own scorecard.
+func clusterPass(k suite.Kernel, spec clusterLoadSpec, target *ir.Array, base string, lc *cluster.LocalCluster, n int, first bool) exp.BenchEntry {
+	cli := cluster.NewNodeClient("router", base)
+	if lc == nil {
+		fail(cli.CreateArray(target.Name, target.Dims, ""))
+		var cs struct {
+			Cluster struct {
+				Nodes int `json:"nodes"`
+			} `json:"cluster"`
+		}
+		fail(cli.Stats(&cs))
+		n = cs.Cluster.Nodes
+	}
+	res, err := server.RunLoad(server.LoadSpec{
+		BaseURL:  base,
+		Array:    target.Name,
+		Dims:     target.Dims,
+		TileEdge: spec.tileEdge,
+		Clients:  spec.clients,
+		Requests: spec.requests,
+		ZipfS:    spec.zipf,
+		ReadFrac: spec.readFrac,
+		Seed:     spec.seed,
+		Compress: spec.compress,
+	})
+	fail(err)
+
+	if first {
+		fmt.Printf("occload: %s array %s %v via occrouter, %d clients x %d requests (zipf %.2f, %d%% reads)\n",
+			k.Name, target.Name, target.Dims, spec.clients, spec.requests, spec.zipf, int(spec.readFrac*100))
+	}
+	fmt.Printf("nodes %d (replicas %d):\n", n, res.Replicas)
+	fmt.Printf("  ok %d, rejected %d, errors %d in %.2fs  (%.0f req/s)\n",
+		res.OK, res.Rejected, res.Errors, res.Seconds, res.Throughput)
+	fmt.Printf("  latency p50 %.2fms, p99 %.2fms\n", res.P50*1e3, res.P99*1e3)
+	if res.PutP99 > 0 {
+		fmt.Printf("  acked PUTs: p50 %.2fms, p99 %.2fms  [quorum %d/%d]\n",
+			res.PutP50*1e3, res.PutP99*1e3, res.Replicas/2+1, res.Replicas)
+	}
+	fmt.Printf("  engine (all nodes): %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
+		res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
+	fmt.Printf("  cluster: %d handoff hints, %d read repairs\n", res.HandoffHints, res.ReadRepairs)
+
+	config := fmt.Sprintf("serve-cluster-n%d-r%d", n, res.Replicas)
+	if spec.durablePuts {
+		config += "-dp"
+	}
+	if spec.wal {
+		config += "-wal"
+	}
+	if spec.compress {
+		config += "-comp"
+	}
+	if res.Errors > 0 {
+		fail(fmt.Errorf("%d requests failed", res.Errors))
+	}
+	return exp.LoadBenchEntry(k.Name, config, res)
+}
+
+// parseNodeSweep parses "1,2,3" into node counts.
+func parseNodeSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node count %q: %v", part, err)
+		}
+		if n < 1 || n > 16 {
+			return nil, fmt.Errorf("node count %d out of range (valid: 1..16)", n)
 		}
 		out = append(out, n)
 	}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"outcore/internal/layout"
+	"outcore/internal/ooc"
+	"outcore/internal/server"
+)
+
+// ErrUnavailable classifies a node failure the replication protocol
+// handles — connection refused, timeout, or a 5xx/429 answer. The
+// router reacts by failing over to another replica (GET) or queueing a
+// durable hint (PUT); any other error is a hard protocol error and
+// propagates to the client.
+var ErrUnavailable = errors.New("node unavailable")
+
+// NodeClient speaks the occd tile API to one storage node: the same
+// binary endpoints single-node clients use, plus the replication
+// headers (X-Tile-Gen et al) and x-ooc-gorilla wire negotiation.
+type NodeClient struct {
+	ID      string
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient with a 10s
+	// timeout). The local harness injects one whose transport can
+	// simulate a network partition.
+	HTTP *http.Client
+}
+
+// NewNodeClient builds a client for one node.
+func NewNodeClient(id, baseURL string) *NodeClient {
+	return &NodeClient{
+		ID:      id,
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// unavailable wraps err as a replica failure.
+func unavailable(err error) error {
+	return fmt.Errorf("%w: %v", ErrUnavailable, err)
+}
+
+// statusError classifies a non-2xx response: statuses a healthy node
+// never emits for a well-formed request mean the node (or the path to
+// it) is unavailable; the rest are hard errors.
+func (c *NodeClient) statusError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	msg := strings.TrimSpace(string(body))
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable, http.StatusBadGateway,
+		http.StatusGatewayTimeout, http.StatusTooManyRequests:
+		return unavailable(fmt.Errorf("%s: %s", resp.Status, msg))
+	}
+	return fmt.Errorf("node %s: %s: %s", c.ID, resp.Status, msg)
+}
+
+// tileURL renders the tile endpoint for (name, box).
+func (c *NodeClient) tileURL(name string, box layout.Box) string {
+	var lo, hi strings.Builder
+	for d := range box.Lo {
+		if d > 0 {
+			lo.WriteByte(',')
+			hi.WriteByte(',')
+		}
+		lo.WriteString(strconv.FormatInt(box.Lo[d], 10))
+		hi.WriteString(strconv.FormatInt(box.Hi[d], 10))
+	}
+	return fmt.Sprintf("%s/v1/arrays/%s/tile?lo=%s&hi=%s", c.BaseURL, name, lo.String(), hi.String())
+}
+
+// Healthz reports whether the node answers its liveness probe.
+func (c *NodeClient) Healthz() bool {
+	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// CreateArray creates (or confirms) an array on the node. An array
+// that already exists is success — catalog sync replays creates.
+func (c *NodeClient) CreateArray(name string, dims []int64, layoutName string) error {
+	body, _ := json.Marshal(map[string]any{"name": name, "dims": dims, "layout": layoutName})
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/arrays", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return unavailable(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusCreated, http.StatusConflict:
+		return nil
+	case http.StatusServiceUnavailable, http.StatusBadGateway,
+		http.StatusGatewayTimeout, http.StatusTooManyRequests:
+		return unavailable(fmt.Errorf("create %s: %s", name, resp.Status))
+	}
+	return fmt.Errorf("create %s on node %s: %s", name, c.ID, resp.Status)
+}
+
+// GetTile reads a tile, returning its elements and the node's recorded
+// write generation for the box. wire negotiates the compressed tile
+// coding on the hop.
+func (c *NodeClient) GetTile(name string, box layout.Box, wire bool) ([]float64, uint64, error) {
+	req, err := http.NewRequest(http.MethodGet, c.tileURL(name, box), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set(server.TileWantGenHeader, "1")
+	if wire {
+		req.Header.Set("Accept-Encoding", server.WireEncoding)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, 0, unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, c.statusError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, unavailable(err)
+	}
+	gen, _ := strconv.ParseUint(resp.Header.Get(server.TileGenHeader), 10, 64)
+	data := make([]float64, box.Size())
+	if resp.Header.Get("Content-Encoding") == server.WireEncoding {
+		n, err := ooc.DecodeFrame(body, data)
+		if err == nil && n != len(body) {
+			err = fmt.Errorf("%d trailing bytes after the frame", len(body)-n)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("node %s tile frame: %w", c.ID, err)
+		}
+	} else {
+		if int64(len(body)) != box.Size()*ooc.ElemSize {
+			return nil, 0, fmt.Errorf("node %s tile body: %d bytes for %d elements", c.ID, len(body), box.Size())
+		}
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*ooc.ElemSize:]))
+		}
+	}
+	return data, gen, nil
+}
+
+// PutTile writes a tile under write generation gen. stale reports that
+// the node skipped the write because it already holds storedGen > gen
+// (the router raises its counter and retries with a fresh generation).
+func (c *NodeClient) PutTile(name string, box layout.Box, data []float64, gen uint64, wire bool) (storedGen uint64, stale bool, err error) {
+	var body []byte
+	if wire {
+		body = ooc.AppendFrame(nil, data)
+	} else {
+		body = make([]byte, len(data)*ooc.ElemSize)
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(body[i*ooc.ElemSize:], math.Float64bits(v))
+		}
+	}
+	req, err := http.NewRequest(http.MethodPut, c.tileURL(name, box), bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set(server.TileGenHeader, strconv.FormatUint(gen, 10))
+	if wire {
+		req.Header.Set("Content-Encoding", server.WireEncoding)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, false, unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return 0, false, c.statusError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	storedGen, _ = strconv.ParseUint(resp.Header.Get(server.TileGenHeader), 10, 64)
+	stale = resp.Header.Get(server.TileStaleHeader) != ""
+	return storedGen, stale, nil
+}
+
+// Stats decodes the node's /v1/stats payload into v.
+func (c *NodeClient) Stats(v any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

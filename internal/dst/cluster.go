@@ -1,0 +1,376 @@
+package dst
+
+// Cluster episodes: the deterministic-simulation discipline applied
+// to the distributed plane. A seeded scheduler drives tile PUTs and
+// GETs through a {router + N nodes, R replicas} LocalCluster while
+// killing nodes (power cut: caches and unsynced bytes lost),
+// partitioning them (reachability lost, state intact), and healing
+// them back, then checks the replication contract:
+//
+//   - Episode liveness: every successful read is whole-tile uniform
+//     (never torn) and its value was actually written to that tile at
+//     some point (or is the initial zero). Staleness during failures
+//     is allowed — with replicas down, a read may be served by a
+//     survivor that missed recent writes — but fabricated or torn
+//     values never are.
+//   - Epilogue durability: after every node heals, the owed hints
+//     drain to empty, and each tile's converged value must be the
+//     last ACKED write or one attempted after it (a failed PUT may
+//     still have landed on a replica or in a hint — a post-ack maybe;
+//     anything older was superseded by the ack). Then, with each
+//     single replica in turn marked down, the router must still serve
+//     exactly the converged value — every acked write survives the
+//     loss of any one replica — and finally the replicas themselves
+//     must be byte-equal under direct per-node reads.
+//
+// The router's replica fan-out uses real goroutines, so the schedule
+// is not byte-replayable the way single-engine episodes are; the
+// invariants above are schedule-independent, and the op log still
+// narrates the episode for debugging.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"outcore/internal/cluster"
+	"outcore/internal/layout"
+)
+
+// ClusterOptions configures one cluster episode. The zero value gets
+// sane defaults from RunCluster; Seed alone is enough.
+type ClusterOptions struct {
+	Seed int64
+
+	Ops       int   // scheduler steps (default 200)
+	Nodes     int   // storage nodes (default 3)
+	Replicas  int   // copies per tile (default 2)
+	Tiles     int   // tile-grid length (default 8)
+	TileElems int64 // elements per tile (default 16)
+
+	PutFrac    float64 // fraction of client ops that are PUTs (default 0.4)
+	KillEvery  int     // ~one node failure per this many steps (default 25; <0 disables)
+	HealEvery  int     // ~one node heal per this many steps (default 15; <0 disables)
+	HintDir    string  // durable hint-log directory ("" = in-memory hints)
+	MaxPending int     // epilogue probe rounds allowed to drain hints (default 10)
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Ops <= 0 {
+		o.Ops = 200
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Tiles <= 0 {
+		o.Tiles = 8
+	}
+	if o.TileElems <= 0 {
+		o.TileElems = 16
+	}
+	if o.PutFrac <= 0 {
+		o.PutFrac = 0.4
+	}
+	if o.KillEvery == 0 {
+		o.KillEvery = 25
+	}
+	if o.HealEvery == 0 {
+		o.HealEvery = 15
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 10
+	}
+	return o
+}
+
+// ClusterResult is one cluster episode's verdict.
+type ClusterResult struct {
+	Seed int64
+
+	Ops, Gets, Puts       int
+	PutRejects, GetErrors int // quorum refusals during failures (surfaced, not hidden)
+	Kills, Partitions     int
+	Heals                 int
+	HintsDrained          int // hints delivered during the epilogue drain
+
+	Violations []string
+	OpLog      string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *ClusterResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a one-line verdict.
+func (r *ClusterResult) Summary() string {
+	verdict := "ok"
+	if r.Failed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("cluster seed=%d ops=%d gets=%d puts=%d rejects=%d/%d kills=%d partitions=%d heals=%d drained=%d %s",
+		r.Seed, r.Ops, r.Gets, r.Puts, r.PutRejects, r.GetErrors, r.Kills, r.Partitions, r.Heals, r.HintsDrained, verdict)
+}
+
+// clusterEpisode is the running state of one seeded cluster episode.
+type clusterEpisode struct {
+	o   ClusterOptions
+	rng *rand.Rand
+	lc  *cluster.LocalCluster
+	cli *cluster.NodeClient
+	res *ClusterResult
+	log strings.Builder
+
+	// The per-tile model of what the cluster may legitimately serve.
+	written   [][]float64 // every value ever attempted on the tile
+	lastAcked []float64   // value of the most recent acked PUT (0 = none)
+	maybes    [][]float64 // values attempted after the last ack (may have landed)
+
+	nextVal float64
+}
+
+// RunCluster executes one seeded cluster episode. Violations are
+// collected, never panicked, so a harness can sweep many seeds and
+// report every failing one.
+func RunCluster(o ClusterOptions) *ClusterResult {
+	o = o.withDefaults()
+	ep := &clusterEpisode{
+		o:   o,
+		rng: rand.New(rand.NewSource(o.Seed)),
+		res: &ClusterResult{Seed: o.Seed},
+	}
+	lc, err := cluster.NewLocal(cluster.LocalOptions{
+		Nodes:       o.Nodes,
+		Replicas:    o.Replicas,
+		TileDim:     o.TileElems, // 1-D grid: one routing tile per model tile
+		DurablePuts: true,
+		HintDir:     o.HintDir,
+		Seed:        o.Seed + 1,
+	})
+	if err != nil {
+		ep.violate("building cluster: %v", err)
+		return ep.res
+	}
+	ep.lc = lc
+	defer lc.Close()
+	if err := lc.CreateArray(arrayName, int64(o.Tiles)*o.TileElems); err != nil {
+		ep.violate("creating %s: %v", arrayName, err)
+		return ep.res
+	}
+	ep.cli = lc.Client()
+	ep.written = make([][]float64, o.Tiles)
+	ep.maybes = make([][]float64, o.Tiles)
+	ep.lastAcked = make([]float64, o.Tiles)
+
+	for step := 0; step < o.Ops; step++ {
+		ep.res.Ops++
+		switch {
+		case o.KillEvery > 0 && ep.rng.Float64() < 1/float64(o.KillEvery):
+			ep.failNode()
+		case o.HealEvery > 0 && ep.rng.Float64() < 1/float64(o.HealEvery):
+			ep.healNode()
+		default:
+			t := ep.rng.Intn(o.Tiles)
+			if ep.rng.Float64() < o.PutFrac {
+				ep.put(t)
+			} else {
+				ep.get(t)
+			}
+		}
+	}
+	ep.epilogue()
+	ep.res.OpLog = ep.log.String()
+	return ep.res
+}
+
+// tileBox returns model tile t's (routing-aligned) box.
+func (ep *clusterEpisode) tileBox(t int) layout.Box {
+	lo := int64(t) * ep.o.TileElems
+	return layout.NewBox([]int64{lo}, []int64{lo + ep.o.TileElems})
+}
+
+// failNode takes a healthy node out: a coin chooses a power cut
+// (cache and unsynced bytes lost) or a partition (state intact,
+// unreachable). With every node already out, the step is a no-op op.
+func (ep *clusterEpisode) failNode() {
+	i := ep.rng.Intn(ep.lc.Nodes())
+	kill := ep.rng.Intn(2) == 0
+	if ep.lc.Killed(i) || ep.lc.Partitioned(i) {
+		ep.logf("fail n%d -> already out", i)
+		return
+	}
+	if kill {
+		ep.res.Kills++
+		ep.lc.Kill(i)
+		ep.logf("kill n%d", i)
+	} else {
+		ep.res.Partitions++
+		ep.lc.Partition(i)
+		ep.logf("partition n%d", i)
+	}
+}
+
+// healNode brings one downed node back (restart or partition lift)
+// and probes so the router re-admits it and drains owed hints.
+func (ep *clusterEpisode) healNode() {
+	for _, i := range ep.rng.Perm(ep.lc.Nodes()) {
+		switch {
+		case ep.lc.Killed(i):
+			ep.res.Heals++
+			ep.lc.Restart(i)
+			ep.lc.Router.Probe()
+			ep.logf("heal n%d (restart)", i)
+			return
+		case ep.lc.Partitioned(i):
+			ep.res.Heals++
+			ep.lc.Unpartition(i)
+			ep.lc.Router.Probe()
+			ep.logf("heal n%d (unpartition)", i)
+			return
+		}
+	}
+	ep.logf("heal -> nothing out")
+}
+
+// put fills tile t with a fresh unique value through the router. An
+// ack means a sloppy quorum holds the write durably; a refusal leaves
+// the value a "maybe" — some replica or hint may still carry it.
+func (ep *clusterEpisode) put(t int) {
+	ep.res.Puts++
+	ep.nextVal++
+	v := ep.nextVal
+	box := ep.tileBox(t)
+	data := make([]float64, box.Size())
+	for i := range data {
+		data[i] = v
+	}
+	ep.written[t] = append(ep.written[t], v)
+	_, _, err := ep.cli.PutTile(arrayName, box, data, 0, true)
+	if err != nil {
+		ep.res.PutRejects++
+		ep.maybes[t] = append(ep.maybes[t], v)
+		ep.logf("put t%d v=%v -> rejected (%v)", t, v, err)
+		return
+	}
+	// Under last-write-wins this ack supersedes every earlier attempt:
+	// older maybes can no longer win a generation comparison.
+	ep.lastAcked[t] = v
+	ep.maybes[t] = nil
+	ep.logf("put t%d v=%v -> acked", t, v)
+}
+
+// get checks episode liveness: a served read is never torn and never
+// fabricated. Staleness is legal while replicas are down.
+func (ep *clusterEpisode) get(t int) {
+	ep.res.Gets++
+	box := ep.tileBox(t)
+	got, _, err := ep.cli.GetTile(arrayName, box, true)
+	if err != nil {
+		ep.res.GetErrors++
+		ep.logf("get t%d -> err %v", t, err)
+		return
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			ep.violate("liveness: tile %d torn: elem %d = %v, elem 0 = %v", t, i, got[i], got[0])
+			ep.logf("get t%d -> TORN", t)
+			return
+		}
+	}
+	if got[0] != 0 && !contains(ep.written[t], got[0]) {
+		ep.violate("liveness: tile %d = %v, never written there", t, got[0])
+	}
+	ep.logf("get t%d -> %v", t, got[0])
+}
+
+// epilogue heals the world and enforces the durability contract: owed
+// hints drain to empty, each tile converges to the last acked write
+// (or a post-ack maybe), the converged value survives the loss of any
+// single replica, and the replicas byte-equal each other.
+func (ep *clusterEpisode) epilogue() {
+	ep.logf("epilogue heal")
+	ep.lc.Heal()
+	drainedFrom := ep.lc.HintsPendingTotal()
+	for round := 0; ep.lc.HintsPendingTotal() > 0; round++ {
+		if round >= ep.o.MaxPending {
+			ep.violate("epilogue: %d hints still queued after %d probe rounds",
+				ep.lc.HintsPendingTotal(), round)
+			break
+		}
+		ep.lc.Router.Probe()
+	}
+	ep.res.HintsDrained = drainedFrom - ep.lc.HintsPendingTotal()
+
+	for t := 0; t < ep.o.Tiles; t++ {
+		box := ep.tileBox(t)
+
+		// Converge: the first read after heal runs read-repair wherever
+		// a returned replica lags.
+		got, _, err := ep.cli.GetTile(arrayName, box, true)
+		if err != nil {
+			ep.violate("epilogue: reading tile %d with all nodes up: %v", t, err)
+			continue
+		}
+		v := got[0]
+		for i := 1; i < len(got); i++ {
+			if got[i] != v {
+				ep.violate("epilogue: tile %d torn: elem %d = %v, elem 0 = %v", t, i, got[i], v)
+				break
+			}
+		}
+		acked := ep.lastAcked[t]
+		if v != acked && !contains(ep.maybes[t], v) {
+			ep.violate("epilogue: tile %d converged to %v, want the acked %v or one of %d post-ack maybes",
+				t, v, acked, len(ep.maybes[t]))
+			continue
+		}
+
+		// Single-replica loss: each replica down in turn, the router
+		// must still serve exactly the converged value from a survivor.
+		reps := ep.lc.ReplicaNodes(arrayName, box)
+		for _, i := range reps {
+			ep.lc.SetNodeDown(i, true)
+			lost, _, err := ep.cli.GetTile(arrayName, box, true)
+			ep.lc.SetNodeDown(i, false)
+			if err != nil {
+				ep.violate("epilogue: tile %d unreadable with replica n%d down: %v", t, i, err)
+				continue
+			}
+			for k := range lost {
+				if lost[k] != v {
+					ep.violate("epilogue: tile %d elem %d = %v with replica n%d down, converged value was %v",
+						t, k, lost[k], i, v)
+					break
+				}
+			}
+		}
+
+		// Byte-equal replicas under direct reads: handoff and repair
+		// really did rebuild identical copies.
+		for _, i := range reps {
+			direct, _, err := ep.lc.NodeClientDirect(i).GetTile(arrayName, box, true)
+			if err != nil {
+				ep.violate("epilogue: direct read of tile %d on n%d: %v", t, i, err)
+				continue
+			}
+			for k := range direct {
+				if direct[k] != v {
+					ep.violate("epilogue: replica n%d of tile %d diverged: elem %d = %v, want %v",
+						i, t, k, direct[k], v)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (ep *clusterEpisode) violate(format string, args ...any) {
+	ep.res.Violations = append(ep.res.Violations, fmt.Sprintf(format, args...))
+	ep.logf("VIOLATION: "+format, args...)
+}
+
+func (ep *clusterEpisode) logf(format string, args ...any) {
+	fmt.Fprintf(&ep.log, format, args...)
+	ep.log.WriteByte('\n')
+}

@@ -1,0 +1,73 @@
+package dst
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClusterEpisodes sweeps seeded cluster episodes across node and
+// replica shapes; every one must pass its liveness and epilogue
+// durability invariants. CI's nightly chaos job runs a wider sweep
+// through cmd/occhaos -cluster.
+func TestClusterEpisodes(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for _, shape := range []struct{ nodes, replicas int }{
+		{2, 2},
+		{3, 2},
+		{5, 3},
+	} {
+		shape := shape
+		t.Run(fmt.Sprintf("n%d-r%d", shape.nodes, shape.replicas), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= seeds; seed++ {
+				res := RunCluster(ClusterOptions{
+					Seed:     seed,
+					Nodes:    shape.nodes,
+					Replicas: shape.replicas,
+				})
+				if res.Failed() {
+					t.Errorf("%s", res.Summary())
+					for _, v := range res.Violations {
+						t.Errorf("  violation: %s", v)
+					}
+					t.Logf("op log:\n%s", res.OpLog)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterEpisodeDurableHints replays an episode with the durable
+// hint log: the run must pass with hints framed through disk.
+func TestClusterEpisodeDurableHints(t *testing.T) {
+	res := RunCluster(ClusterOptions{
+		Seed:    5,
+		Nodes:   3,
+		HintDir: t.TempDir(),
+	})
+	if res.Failed() {
+		t.Fatalf("%s\nviolations: %v\nop log:\n%s", res.Summary(), res.Violations, res.OpLog)
+	}
+}
+
+// TestClusterEpisodeStats sanity-checks that an episode actually
+// exercised the failure machinery (a sweep that never kills a node
+// proves nothing).
+func TestClusterEpisodeStats(t *testing.T) {
+	kills, partitions, heals := 0, 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		res := RunCluster(ClusterOptions{Seed: seed, Nodes: 3})
+		if res.Failed() {
+			t.Fatalf("%s", res.Summary())
+		}
+		kills += res.Kills
+		partitions += res.Partitions
+		heals += res.Heals
+	}
+	if kills == 0 || partitions == 0 || heals == 0 {
+		t.Fatalf("8 episodes exercised kills=%d partitions=%d heals=%d; want all nonzero", kills, partitions, heals)
+	}
+}

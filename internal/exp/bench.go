@@ -97,6 +97,13 @@ type BenchEntry struct {
 	PutP99Seconds     float64 `json:"latency_put_p99_seconds,omitempty"`
 	CoalescedFetches  int64   `json:"coalesced_fetches,omitempty"`
 	Rejected          int64   `json:"rejected,omitempty"`
+
+	// Cluster-serving metrics (occload cluster rows only, additive as
+	// above): the replication factor and the run's handoff/read-repair
+	// activity through the router.
+	Replicas     int   `json:"replicas,omitempty"`
+	HandoffHints int64 `json:"handoff_hints,omitempty"`
+	ReadRepairs  int64 `json:"read_repairs,omitempty"`
 }
 
 // BenchFailure records one (kernel, configuration) run that errored;

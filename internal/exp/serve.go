@@ -25,5 +25,8 @@ func LoadBenchEntry(kernel, config string, r server.LoadResult) BenchEntry {
 		Rejected:          int64(r.Rejected),
 		BytesWireRaw:      r.WireRawBytes,
 		BytesWire:         r.WireBytes,
+		Replicas:          r.Replicas,
+		HandoffHints:      r.HandoffHints,
+		ReadRepairs:       r.ReadRepairs,
 	}
 }

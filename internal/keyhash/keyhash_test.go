@@ -1,0 +1,207 @@
+package keyhash
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"outcore/internal/layout"
+)
+
+// TestShardOfPinned pins ShardOf against precomputed values: the hash
+// is part of the on-disk/operational contract (a tile's owning shard
+// must never move across runs, processes or releases while the shard
+// count is fixed), so these anchors fail loudly if anyone touches the
+// key encoding or the hash function. The values are the ones
+// internal/ooc pinned when the hash lived there — extraction into this
+// package must not have moved a single tile.
+func TestShardOfPinned(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi []int64
+		shards int
+		want   int
+	}{
+		{"A", []int64{0, 0}, []int64{8, 8}, 2, 1},
+		{"A", []int64{0, 0}, []int64{8, 8}, 4, 1},
+		{"A", []int64{0, 0}, []int64{8, 8}, 8, 1},
+		{"A", []int64{8, 0}, []int64{16, 8}, 8, 3},
+		{"A", []int64{0, 8}, []int64{8, 16}, 8, 6},
+		{"B", []int64{0, 0}, []int64{8, 8}, 8, 6},
+		{"T", []int64{0}, []int64{16}, 4, 3},
+		{"T", []int64{16}, []int64{32}, 4, 3},
+		{"T", []int64{112}, []int64{128}, 4, 0},
+	}
+	for _, c := range cases {
+		box := layout.NewBox(c.lo, c.hi)
+		if got := ShardOf(c.name, box, c.shards); got != c.want {
+			t.Errorf("ShardOf(%q, %v, %d) = %d, pinned %d", c.name, box, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestShardOfProperties is the quick-check property suite: for
+// arbitrary names, boxes and shard counts the hash is a pure function
+// (same inputs, same shard — it has no hidden state to drift across
+// calls) and always lands in [0, shards).
+func TestShardOfProperties(t *testing.T) {
+	f := func(name string, lo0, lo1, ext0, ext1 uint16, s uint8) bool {
+		shards := int(s)%16 + 1
+		lo := []int64{int64(lo0), int64(lo1)}
+		hi := []int64{lo[0] + int64(ext0) + 1, lo[1] + int64(ext1) + 1}
+		box := layout.NewBox(lo, hi)
+		got := ShardOf(name, box, shards)
+		return got >= 0 && got < shards && got == ShardOf(name, box, shards)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardOfZipfBalance checks placement balance under the load
+// harness's skewed access pattern: the distinct tiles of a zipf-drawn
+// stream over a 64x64 grid of 8x8 tiles must spread across 8 shards
+// within 15% of the per-shard mean. (Balance is a property of the
+// key hash over the key population — skew concentrates traffic, not
+// placement.)
+func TestShardOfZipfBalance(t *testing.T) {
+	const (
+		gridEdge = 64
+		tileEdge = 8
+		shards   = 8
+	)
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.1, 1, gridEdge*gridEdge-1)
+	distinct := map[uint64]bool{}
+	for draws := 0; draws < 1<<20 && len(distinct) < 3000; draws++ {
+		distinct[zipf.Uint64()] = true
+	}
+	if len(distinct) < 3000 {
+		t.Fatalf("zipf stream produced only %d distinct tiles", len(distinct))
+	}
+	counts := make([]int, shards)
+	for k := range distinct {
+		tr, tc := int64(k)/gridEdge, int64(k)%gridEdge
+		box := layout.NewBox(
+			[]int64{tr * tileEdge, tc * tileEdge},
+			[]int64{(tr + 1) * tileEdge, (tc + 1) * tileEdge},
+		)
+		counts[ShardOf("A", box, shards)]++
+	}
+	mean := float64(len(distinct)) / shards
+	for i, c := range counts {
+		if dev := float64(c)/mean - 1; dev > 0.15 || dev < -0.15 {
+			t.Errorf("shard %d holds %d of %d distinct tiles (%.1f%% off the mean %.0f)",
+				i, c, len(distinct), 100*dev, mean)
+		}
+	}
+}
+
+// TestSumMatchesBytes pins Sum as exactly Bytes over AppendKey — the
+// stack-buffer fast path must not diverge from the materialized form.
+func TestSumMatchesBytes(t *testing.T) {
+	f := func(name string, lo0, ext0 uint16) bool {
+		box := layout.NewBox([]int64{int64(lo0)}, []int64{int64(lo0) + int64(ext0) + 1})
+		return Sum(name, box) == Bytes(AppendKey(nil, name, box))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRendezvousStability is the property rendezvous hashing exists
+// for: removing one member never moves a key between two surviving
+// members — only keys owned by the removed member relocate. Modulo
+// placement (ShardOf) reshuffles almost everything; the cluster
+// router's membership math depends on this difference.
+func TestRendezvousStability(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3", "n4"}
+	sums := make([]uint64, len(members))
+	for i, m := range members {
+		sums[i] = String(m)
+	}
+	rank := func(keySum uint64, skip int) []int {
+		type sc struct {
+			i int
+			s uint64
+		}
+		var scores []sc
+		for i := range members {
+			if i == skip {
+				continue
+			}
+			scores = append(scores, sc{i, Rendezvous(keySum, sums[i])})
+		}
+		sort.Slice(scores, func(a, b int) bool { return scores[a].s > scores[b].s })
+		out := make([]int, len(scores))
+		for i, s := range scores {
+			out[i] = s.i
+		}
+		return out
+	}
+	moved, total := 0, 0
+	for tr := int64(0); tr < 32; tr++ {
+		for tc := int64(0); tc < 32; tc++ {
+			box := layout.NewBox([]int64{tr * 8, tc * 8}, []int64{(tr + 1) * 8, (tc + 1) * 8})
+			ks := Sum("A", box)
+			full := rank(ks, -1)
+			for dead := range members {
+				without := rank(ks, dead)
+				if full[0] == dead {
+					moved++ // this key's owner died; it must relocate
+					continue
+				}
+				if without[0] != full[0] {
+					t.Fatalf("tile (%d,%d): removing member %d moved the owner %d -> %d",
+						tr, tc, dead, full[0], without[0])
+				}
+			}
+			total++
+		}
+	}
+	if moved == 0 || moved == total*len(members) {
+		t.Fatalf("degenerate ownership distribution: %d of %d (key, removal) pairs relocated", moved, total*len(members))
+	}
+}
+
+// TestRendezvousBalance checks that top-2 rendezvous placement (the
+// cluster's R=2 replica sets) spreads a tile grid across 5 members
+// within 20% of the per-member mean — same obligation as the shard
+// balance test, for the cluster's placement function.
+func TestRendezvousBalance(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3", "n4"}
+	sums := make([]uint64, len(members))
+	for i, m := range members {
+		sums[i] = String(m)
+	}
+	counts := make([]int, len(members))
+	tiles := 0
+	for tr := int64(0); tr < 64; tr++ {
+		for tc := int64(0); tc < 64; tc++ {
+			box := layout.NewBox([]int64{tr * 8, tc * 8}, []int64{(tr + 1) * 8, (tc + 1) * 8})
+			ks := Sum("A", box)
+			best, second := -1, -1
+			var bs, ss uint64
+			for i := range members {
+				s := Rendezvous(ks, sums[i])
+				switch {
+				case best < 0 || s > bs:
+					second, ss = best, bs
+					best, bs = i, s
+				case second < 0 || s > ss:
+					second, ss = i, s
+				}
+			}
+			counts[best]++
+			counts[second]++
+			tiles++
+		}
+	}
+	mean := float64(2*tiles) / float64(len(members))
+	for i, c := range counts {
+		if dev := float64(c)/mean - 1; dev > 0.20 || dev < -0.20 {
+			t.Errorf("member %d holds %d replica slots (%.1f%% off the mean %.0f)", i, c, 100*dev, mean)
+		}
+	}
+}

@@ -1,51 +1,34 @@
 package ooc
 
 import (
-	"strconv"
-
+	"outcore/internal/keyhash"
 	"outcore/internal/layout"
 )
 
 // TileKey canonically identifies a cached tile: the array name plus the
 // clipped tile rectangle. Two (name, box) pairs map to the same key iff
-// the name and every box bound are equal; the encoding length-prefixes
-// the name so that names containing digits, commas or brackets cannot
+// the name and every box bound are equal; the encoding (shared with the
+// shard and cluster routers via internal/keyhash) length-prefixes the
+// name so that names containing digits, commas or brackets cannot
 // collide with the coordinate section.
 type TileKey string
 
 // tileKeyStackBytes sizes the stack buffers hot paths build key bytes
-// in: enough for the longest realistic name plus a rank-3 box of full
-// int64 coordinates. Longer keys still work — append spills to the
-// heap — they just cost the allocation the fast path avoids.
-const tileKeyStackBytes = 128
+// in. See keyhash.StackBytes.
+const tileKeyStackBytes = keyhash.StackBytes
 
 // appendTileKey appends the canonical key bytes for (name, box) to
-// dst. The encoding is shared by the cache map, ShardOf and walRoute;
-// tileKey wraps it when a materialized TileKey is needed, while the
-// hot paths (cache-hit Acquire, shard routing) build the bytes in a
-// stack buffer and never allocate.
+// dst. The encoding is shared by the cache map, ShardOf, walRoute and
+// the cluster router's rendezvous placement — all via
+// internal/keyhash, so router and engine provably agree; tileKey wraps
+// it when a materialized TileKey is needed, while the hot paths
+// (cache-hit Acquire, shard routing) build the bytes in a stack buffer
+// and never allocate.
 func appendTileKey(dst []byte, name string, box layout.Box) []byte {
-	dst = strconv.AppendInt(dst, int64(len(name)), 10)
-	dst = append(dst, ':')
-	dst = append(dst, name...)
-	dst = append(dst, '[')
-	for d, lo := range box.Lo {
-		if d > 0 {
-			dst = append(dst, ',')
-		}
-		dst = strconv.AppendInt(dst, lo, 10)
-	}
-	dst = append(dst, ';')
-	for d, hi := range box.Hi {
-		if d > 0 {
-			dst = append(dst, ',')
-		}
-		dst = strconv.AppendInt(dst, hi, 10)
-	}
-	return append(dst, ')')
+	return keyhash.AppendKey(dst, name, box)
 }
 
 // tileKey encodes (name, box) into its canonical key.
 func tileKey(name string, box layout.Box) TileKey {
-	return TileKey(appendTileKey(make([]byte, 0, len(name)+16+8*len(box.Lo)), name, box))
+	return TileKey(keyhash.AppendKey(make([]byte, 0, len(name)+16+8*len(box.Lo)), name, box))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"outcore/internal/keyhash"
 	"outcore/internal/layout"
 	"outcore/internal/obs"
 )
@@ -34,38 +35,16 @@ var (
 	_ TileEngine = (*ShardedEngine)(nil)
 )
 
-// ShardOf deterministically maps a tile to a shard: an FNV-1a hash of
-// the canonical tile key (array name + clipped box bounds) modulo the
-// shard count. The hash is a pure function of its inputs — stable
+// ShardOf deterministically maps a tile to a shard: the pinned
+// FNV-1a+fmix64 hash of the canonical tile key (array name + clipped
+// box bounds) modulo the shard count — keyhash.ShardOf, the same
+// function the multi-process cluster router derives its rendezvous
+// placement from. The hash is a pure function of its inputs — stable
 // across processes, runs and machines — so a tile's owning shard never
 // moves while the shard count is fixed. Callers pass the box exactly
 // as the engine caches it (clipped to the array's dims).
 func ShardOf(name string, box layout.Box, shards int) int {
-	if shards <= 1 {
-		return 0
-	}
-	// The canonical key bytes stay on the stack: routing runs on every
-	// sharded tile request, ahead of the shard's own zero-alloc hit
-	// path, and must not be the one allocation left on it.
-	var kb [tileKeyStackBytes]byte
-	key := appendTileKey(kb[:0], name, box)
-	h := uint64(14695981039346656037) // FNV-64 offset basis
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211 // FNV-64 prime
-	}
-	// FNV's low bits mix poorly over the highly structured key family a
-	// tile grid produces (adjacent coordinates differ in one digit), and
-	// the modulo below keeps only those bits. A 64-bit avalanche
-	// finalizer (the murmur3 fmix64 constants) spreads every input bit
-	// across the whole word first, which is what makes the placement
-	// balance the conformance/property tests pin actually hold.
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return int(h % uint64(shards))
+	return keyhash.ShardOf(name, box, shards)
 }
 
 // ShardedEngine partitions the tile plane across N independent Engine

@@ -7,99 +7,16 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"testing/quick"
 
 	"outcore/internal/ir"
 	"outcore/internal/layout"
 	"outcore/internal/obs"
 )
 
-// TestShardOfPinned pins ShardOf against precomputed values: the hash
-// is part of the on-disk/operational contract (a tile's owning shard
-// must never move across runs, processes or releases while the shard
-// count is fixed), so these anchors fail loudly if anyone touches the
-// key encoding or the hash function.
-func TestShardOfPinned(t *testing.T) {
-	cases := []struct {
-		name   string
-		lo, hi []int64
-		shards int
-		want   int
-	}{
-		{"A", []int64{0, 0}, []int64{8, 8}, 2, 1},
-		{"A", []int64{0, 0}, []int64{8, 8}, 4, 1},
-		{"A", []int64{0, 0}, []int64{8, 8}, 8, 1},
-		{"A", []int64{8, 0}, []int64{16, 8}, 8, 3},
-		{"A", []int64{0, 8}, []int64{8, 16}, 8, 6},
-		{"B", []int64{0, 0}, []int64{8, 8}, 8, 6},
-		{"T", []int64{0}, []int64{16}, 4, 3},
-		{"T", []int64{16}, []int64{32}, 4, 3},
-		{"T", []int64{112}, []int64{128}, 4, 0},
-	}
-	for _, c := range cases {
-		box := layout.NewBox(c.lo, c.hi)
-		if got := ShardOf(c.name, box, c.shards); got != c.want {
-			t.Errorf("ShardOf(%q, %v, %d) = %d, pinned %d", c.name, box, c.shards, got, c.want)
-		}
-	}
-}
-
-// TestShardOfProperties is the quick-check property suite: for
-// arbitrary names, boxes and shard counts the hash is a pure function
-// (same inputs, same shard — it has no hidden state to drift across
-// calls) and always lands in [0, shards).
-func TestShardOfProperties(t *testing.T) {
-	f := func(name string, lo0, lo1, ext0, ext1 uint16, s uint8) bool {
-		shards := int(s)%16 + 1
-		lo := []int64{int64(lo0), int64(lo1)}
-		hi := []int64{lo[0] + int64(ext0) + 1, lo[1] + int64(ext1) + 1}
-		box := layout.NewBox(lo, hi)
-		got := ShardOf(name, box, shards)
-		return got >= 0 && got < shards && got == ShardOf(name, box, shards)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// TestShardOfZipfBalance checks placement balance under the load
-// harness's skewed access pattern: the distinct tiles of a zipf-drawn
-// stream over a 64x64 grid of 8x8 tiles must spread across 8 shards
-// within 15% of the per-shard mean. (Balance is a property of the
-// key hash over the key population — skew concentrates traffic, not
-// placement.)
-func TestShardOfZipfBalance(t *testing.T) {
-	const (
-		gridEdge = 64
-		tileEdge = 8
-		shards   = 8
-	)
-	rng := rand.New(rand.NewSource(42))
-	zipf := rand.NewZipf(rng, 1.1, 1, gridEdge*gridEdge-1)
-	distinct := map[uint64]bool{}
-	for draws := 0; draws < 1<<20 && len(distinct) < 3000; draws++ {
-		distinct[zipf.Uint64()] = true
-	}
-	if len(distinct) < 3000 {
-		t.Fatalf("zipf stream produced only %d distinct tiles", len(distinct))
-	}
-	counts := make([]int, shards)
-	for k := range distinct {
-		tr, tc := int64(k)/gridEdge, int64(k)%gridEdge
-		box := layout.NewBox(
-			[]int64{tr * tileEdge, tc * tileEdge},
-			[]int64{(tr + 1) * tileEdge, (tc + 1) * tileEdge},
-		)
-		counts[ShardOf("A", box, shards)]++
-	}
-	mean := float64(len(distinct)) / shards
-	for i, c := range counts {
-		if dev := float64(c)/mean - 1; dev > 0.15 || dev < -0.15 {
-			t.Errorf("shard %d holds %d of %d distinct tiles (%.1f%% off the mean %.0f)",
-				i, c, len(distinct), 100*dev, mean)
-		}
-	}
-}
+// The pinned-value, pure-function and zipf-balance tests for the tile
+// hash itself live in internal/keyhash, where the hash moved; ShardOf
+// here is a thin delegation, covered transitively by every sharded
+// test below.
 
 // shardedFixture builds an n-shard plane over a fresh in-memory array.
 func shardedFixture(t *testing.T, n, cacheTiles int) (*ShardedEngine, *Array) {

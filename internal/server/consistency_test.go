@@ -104,10 +104,10 @@ func TestReadYourWritesAcrossFlights(t *testing.T) {
 	block := make(chan struct{})
 	staleDone := make(chan []byte, 1)
 	go func() {
-		payload, _, _ := ts.srv.flights.do(staleKey, func() ([]byte, error) {
+		payload, _, _, _ := ts.srv.flights.do(staleKey, func() ([]byte, uint64, error) {
 			close(started)
 			<-block
-			return encodePayload(make([]float64, 8*8)), nil // pre-write zeros
+			return encodePayload(make([]float64, 8*8)), 0, nil // pre-write zeros
 		})
 		staleDone <- payload
 	}()

@@ -59,6 +59,13 @@ type LoadResult struct {
 	// when the server has no compression enabled).
 	WireRawBytes int64 // logical tile payload bytes moved
 	WireBytes    int64 // bytes that actually crossed the wire
+
+	// Cluster deltas, filled when the target is an occrouter (its
+	// /v1/stats mirrors the occd keys and adds a cluster scorecard);
+	// all zero against a single occd.
+	Replicas     int   // copies per tile the router maintains
+	HandoffHints int64 // writes durably queued for down replicas during the run
+	ReadRepairs  int64 // stale replicas rewritten during the run
 }
 
 // tiles enumerates the aligned tile grid over dims.
@@ -200,6 +207,11 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		res.WireRawBytes = after.Compression.WireRawBytes - before.Compression.WireRawBytes
 		res.WireBytes = after.Compression.WireBytes - before.Compression.WireBytes
 	}
+	if after.Cluster != nil && before.Cluster != nil {
+		res.Replicas = after.Cluster.Replicas
+		res.HandoffHints = after.Cluster.HandoffHints - before.Cluster.HandoffHints
+		res.ReadRepairs = after.Cluster.ReadRepairs - before.Cluster.ReadRepairs
+	}
 	return res, nil
 }
 
@@ -273,9 +285,20 @@ func percentile(sorted []time.Duration, q float64) float64 {
 	return sorted[i].Seconds()
 }
 
+// loadStats is statsPayload plus the cluster scorecard an occrouter's
+// /v1/stats carries on top of the shared occd keys.
+type loadStats struct {
+	statsPayload
+	Cluster *struct {
+		Replicas     int   `json:"replicas"`
+		HandoffHints int64 `json:"handoff_hints"`
+		ReadRepairs  int64 `json:"read_repairs"`
+	} `json:"cluster"`
+}
+
 // fetchStats polls /v1/stats.
-func fetchStats(client *http.Client, base string) (statsPayload, error) {
-	var out statsPayload
+func fetchStats(client *http.Client, base string) (loadStats, error) {
+	var out loadStats
 	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
 		return out, err

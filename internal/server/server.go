@@ -112,6 +112,11 @@ type Config struct {
 	// by every concurrent PUT in the commit window; without a WAL it
 	// is a real per-PUT backend fsync.
 	DurablePuts bool
+	// NodeID names this server as a cluster storage node (occd
+	// -cluster-node). Purely informational: it surfaces in /v1/stats so
+	// operators and the router's scorecard can tell nodes apart. Empty
+	// outside cluster mode.
+	NodeID string
 	// Obs supplies the metrics registry behind /metrics (a registry is
 	// created when absent, so the endpoints always work).
 	Obs *obs.Sink
@@ -159,9 +164,64 @@ type Server struct {
 // read that starts after a completed PUT can never join a flight whose
 // leader acquired the tile before that write applied
 // (read-your-writes; see flightGroup).
+//
+// boxGens is the cluster replication plane's per-box write-generation
+// table: a PUT carrying X-Tile-Gen records its generation under the
+// exact box it wrote, and a GET reports the max generation over the
+// recorded boxes overlapping it (an unaligned read is as fresh as the
+// freshest write it can observe). Entries are written under mu held
+// exclusively (the PUT path) and read under the shared lock, and are
+// bounded by the distinct boxes ever PUT with a generation — the
+// router's replication grid in cluster mode, none otherwise. The table
+// is deliberately volatile: a crashed node forgets its generations,
+// reports 0, loses every freshness comparison, and gets read-repaired
+// by the replica that remembers.
 type tileLock struct {
 	mu  sync.RWMutex
 	gen atomic.Uint64
+
+	boxGens []boxGen
+	genIdx  map[string]int
+}
+
+// boxGen is one recorded (box, write generation) pair.
+type boxGen struct {
+	box layout.Box
+	gen uint64
+}
+
+// storedGen returns the generation recorded for the exact box key, 0
+// when none. Callers hold mu in either mode.
+func (l *tileLock) storedGen(key string) uint64 {
+	if i, ok := l.genIdx[key]; ok {
+		return l.boxGens[i].gen
+	}
+	return 0
+}
+
+// setGen records g for the exact box. Callers hold mu exclusively.
+func (l *tileLock) setGen(key string, box layout.Box, g uint64) {
+	if i, ok := l.genIdx[key]; ok {
+		l.boxGens[i].gen = g
+		return
+	}
+	if l.genIdx == nil {
+		l.genIdx = map[string]int{}
+	}
+	l.genIdx[key] = len(l.boxGens)
+	l.boxGens = append(l.boxGens, boxGen{box: box, gen: g})
+}
+
+// overlapGen returns the max generation over recorded boxes that
+// overlap box. Callers hold mu in either mode.
+func (l *tileLock) overlapGen(box layout.Box) uint64 {
+	var max uint64
+	for i := range l.boxGens {
+		if l.boxGens[i].gen > max && l.boxGens[i].box.Overlaps(box) {
+			max = l.boxGens[i].gen
+		}
+	}
+	return max
 }
 
 // lockFor returns (creating on first use) the array's tile lock.
@@ -194,6 +254,25 @@ type serverMetrics struct {
 // float64. Offered via Accept-Encoding on GET and declared via
 // Content-Encoding on PUT.
 const WireEncoding = "x-ooc-gorilla"
+
+// Cluster replication headers. The router versions every replicated
+// write with a per-tile generation; nodes gate PUTs on it and report
+// it on GETs, which is what lets the router rank replicas by freshness
+// and repair the stale ones. Requests without these headers get the
+// exact pre-cluster behavior.
+const (
+	// TileGenHeader carries a write generation: on a PUT request, the
+	// generation to record (the write is skipped as stale when a newer
+	// one is already recorded for the same box); on GET and PUT
+	// responses, the node's recorded generation.
+	TileGenHeader = "X-Tile-Gen"
+	// TileWantGenHeader, set to any non-empty value on a GET, asks the
+	// node to report the box's write generation on the response.
+	TileWantGenHeader = "X-Tile-Want-Gen"
+	// TileStaleHeader marks a 204 PUT response whose write was skipped
+	// because the node already holds a newer generation for the box.
+	TileStaleHeader = "X-Tile-Stale"
+)
 
 // acceptsWireEncoding reports whether an Accept-Encoding header offers
 // WireEncoding (comma-separated codings, optional ;q parameters).
@@ -446,6 +525,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // (present only for a sharded plane) is the per-shard scorecard: the
 // engine-level counters broken out per partition, in shard order.
 type statsPayload struct {
+	NodeID            string            `json:"node_id,omitempty"`
 	Engine            ooc.EngineStats   `json:"engine"`
 	HitRate           float64           `json:"hit_rate"`
 	Shards            []shardStat       `json:"shards,omitempty"`
@@ -481,6 +561,7 @@ type shardStat struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
 	p := statsPayload{
+		NodeID:            s.cfg.NodeID,
 		Engine:            es,
 		HitRate:           es.HitRate(),
 		Requests:          s.met.requests.Value(),
@@ -656,20 +737,23 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 	if compress {
 		key += "|" + WireEncoding
 	}
-	payload, coalesced, err := s.flights.do(key, func() ([]byte, error) {
+	payload, gen, coalesced, err := s.flights.do(key, func() ([]byte, uint64, error) {
 		// Shared lock: concurrent GETs overlap freely; a PUT to this
 		// array is excluded while the pinned tile's buffer is encoded.
 		lk.mu.RLock()
 		defer lk.mu.RUnlock()
 		h, err := s.eng.Acquire(ar, box)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		defer s.eng.Release(h, false)
+		// The generation is read under the same lock hold as the bytes,
+		// so a replica never reports a freshness its payload lacks.
+		g := lk.overlapGen(box)
 		if compress {
-			return ooc.AppendFrame(nil, h.Tile().Data()), nil
+			return ooc.AppendFrame(nil, h.Tile().Data()), g, nil
 		}
-		return encodePayload(h.Tile().Data()), nil
+		return encodePayload(h.Tile().Data()), g, nil
 	})
 	if coalesced {
 		s.met.coalesced.Inc()
@@ -684,6 +768,9 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 	if compress {
 		w.Header().Set("Content-Encoding", WireEncoding)
 	}
+	if r.Header.Get(TileWantGenHeader) != "" {
+		w.Header().Set(TileGenHeader, strconv.FormatUint(gen, 10))
+	}
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
 	w.Header().Set("X-Tile-Coalesced", strconv.FormatBool(coalesced))
 	w.Write(payload)
@@ -693,6 +780,16 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 	ar, box, ok := s.tileTarget(w, r)
 	if !ok {
 		return
+	}
+	var gen uint64
+	genGated := false
+	if v := r.Header.Get(TileGenHeader); v != "" {
+		g, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad %s %q: %v", TileGenHeader, v, err)
+			return
+		}
+		gen, genGated = g, true
 	}
 	want := box.Size() * ooc.ElemSize
 	var body []byte
@@ -742,6 +839,22 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 	// reader-pinned stale entry).
 	lk := s.lockFor(ar.Meta.Name)
 	lk.mu.Lock()
+	var boxKey string
+	if genGated {
+		// Replicated writes are last-writer-wins by generation: a write
+		// older than what this box already holds is skipped (the router
+		// learns the newer generation from the response and catches its
+		// counter up). Equal generations re-apply — a handoff replay or
+		// retry of the same write is idempotent.
+		boxKey = box.String()
+		if stored := lk.storedGen(boxKey); gen < stored {
+			lk.mu.Unlock()
+			w.Header().Set(TileGenHeader, strconv.FormatUint(stored, 10))
+			w.Header().Set(TileStaleHeader, "true")
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
 	h, err := s.eng.Acquire(ar, box)
 	if err != nil {
 		lk.mu.Unlock()
@@ -754,6 +867,9 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 		decodePayload(body, h.Tile().Data())
 	}
 	s.eng.Release(h, true)
+	if genGated {
+		lk.setGen(boxKey, box, gen)
+	}
 	lk.gen.Add(1) // version GET flights past this write before acknowledging
 	lk.mu.Unlock()
 	if s.cfg.DurablePuts {
@@ -769,6 +885,9 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 			s.engineError(w, err)
 			return
 		}
+	}
+	if genGated {
+		w.Header().Set(TileGenHeader, strconv.FormatUint(gen, 10))
 	}
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
 	w.WriteHeader(http.StatusNoContent)

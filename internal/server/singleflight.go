@@ -24,10 +24,15 @@ type flightGroup struct {
 	m  map[string]*flight
 }
 
-// flight is one in-progress execution and its eventual result.
+// flight is one in-progress execution and its eventual result. gen
+// rides along with the payload so every caller sharing the flight
+// reports the same write generation as the bytes it actually got —
+// computing it outside the flight could pair a fresher generation with
+// an older body.
 type flight struct {
-	done    chan struct{} // closed when payload/err are final
+	done    chan struct{} // closed when payload/gen/err are final
 	payload []byte
+	gen     uint64
 	err     error
 }
 
@@ -35,7 +40,7 @@ type flight struct {
 // concurrent callers. coalesced reports whether this caller joined an
 // existing flight instead of leading one. The shared payload must be
 // treated as read-only by all callers.
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) (payload []byte, coalesced bool, err error) {
+func (g *flightGroup) do(key string, fn func() ([]byte, uint64, error)) (payload []byte, gen uint64, coalesced bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flight{}
@@ -43,17 +48,17 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (payload []byte,
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		<-f.done
-		return f.payload, true, f.err
+		return f.payload, f.gen, true, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
 
-	f.payload, f.err = fn()
+	f.payload, f.gen, f.err = fn()
 
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(f.done)
-	return f.payload, false, f.err
+	return f.payload, f.gen, false, f.err
 }
