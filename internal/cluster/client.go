@@ -190,6 +190,24 @@ func (c *NodeClient) PutTile(name string, box layout.Box, data []float64, gen ui
 	return storedGen, stale, nil
 }
 
+// ListArrays fetches the node's array catalog (GET /v1/arrays) into
+// the router's row type — the wire fields match occd's listing.
+func (c *NodeClient) ListArrays() ([]arrayMeta, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/arrays")
+	if err != nil {
+		return nil, unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.statusError(resp)
+	}
+	var out []arrayMeta
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("node %s array list: %w", c.ID, err)
+	}
+	return out, nil
+}
+
 // Stats decodes the node's /v1/stats payload into v.
 func (c *NodeClient) Stats(v any) error {
 	resp, err := c.HTTP.Get(c.BaseURL + "/v1/stats")

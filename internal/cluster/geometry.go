@@ -1,10 +1,21 @@
 // Package cluster is the distributed serving plane: a stateless
 // router that rendezvous-hashes tile keys across N occd storage nodes
-// with R-way replication, quorum reads and writes, hinted handoff for
+// with R-way replication, sloppy-quorum writes, hinted handoff for
 // replicas that are down, and generation-resolved read-repair when
 // replicas disagree. Placement reuses the pinned key hash every other
 // layer routes by (internal/keyhash), so the router and the engines
 // provably agree on who owns a tile.
+//
+// The consistency contract is availability-first, not linearizable.
+// Writes ack on a sloppy quorum: at least one live replica plus
+// durably queued hints reaching R/2+1. Reads fan out to the whole
+// replica set but resolve with whoever answers — freshest generation
+// wins, stale responders are synchronously read-repaired — so a read
+// is served even when only one replica is reachable, and that replica
+// may be stale if its copy of the write is still queued as a hint
+// (eventual consistency; the hint drain and the next read's repair
+// converge it). Callers that need a read to reflect every acked write
+// must wait for hints to drain — the chaos epilogue's discipline.
 //
 // The routing unit is the aligned grid tile (Options.TileDim per
 // dimension), not the raw request box: a write to a tile and a later

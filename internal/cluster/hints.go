@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -41,9 +42,10 @@ type hintStore struct {
 
 // hintQueue is one node's pending hints plus its durable log.
 type hintQueue struct {
-	hints []hint
-	seq   uint64 // next record sequence
-	f     *os.File
+	hints    []hint
+	seq      uint64 // next record sequence
+	f        *os.File
+	draining bool // a Drain snapshot is being delivered off-lock
 }
 
 var hintCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -280,24 +282,51 @@ func (hs *hintStore) PendingTotal() int {
 	return n
 }
 
+// errDrainBusy reports a Drain that found another drain of the same
+// node still delivering; the caller retries on its next probe tick.
+var errDrainBusy = errors.New("cluster: hint drain already in flight")
+
 // Drain replays node's hints in FIFO order through deliver, stopping
 // at the first failure (the node went away again; the remainder stays
 // queued). It returns how many hints were delivered.
+//
+// Delivery is synchronous network replay — seconds, possibly — so the
+// store lock is NOT held across it: the queue is snapshotted under the
+// lock, delivered unlocked (writers keep enqueueing hints for other
+// nodes AND for this one; piecePut hints inline on the request path
+// and must never stall behind a drain), then the delivered prefix is
+// dropped under the lock again. FIFO order makes the reconciliation
+// exact: hints enqueued mid-drain append after the snapshot, so the
+// snapshot is always still the queue's prefix. The per-queue draining
+// flag keeps a second concurrent Drain of the same node from
+// re-delivering the same snapshot.
 func (hs *hintStore) Drain(node string, deliver func(hint) error) (int, error) {
 	hs.mu.Lock()
-	defer hs.mu.Unlock()
 	q := hs.q[node]
 	if q == nil || len(q.hints) == 0 {
+		hs.mu.Unlock()
 		return 0, nil
 	}
+	if q.draining {
+		hs.mu.Unlock()
+		return 0, errDrainBusy
+	}
+	q.draining = true
+	snap := append([]hint(nil), q.hints...)
+	hs.mu.Unlock()
+
 	delivered := 0
 	var derr error
-	for _, h := range q.hints {
+	for _, h := range snap {
 		if derr = deliver(h); derr != nil {
 			break
 		}
 		delivered++
 	}
+
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	q.draining = false
 	q.hints = q.hints[delivered:]
 	if q.f != nil {
 		if err := hs.rewriteLocked(node, q); err != nil && derr == nil {

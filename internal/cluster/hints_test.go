@@ -135,3 +135,62 @@ func TestHintStoreDrainStopsAtFailure(t *testing.T) {
 		t.Fatalf("pending after failed drain = %d, want 2", n)
 	}
 }
+
+// TestHintStoreDrainDoesNotBlockEnqueue proves the store lock is not
+// held across delivery: while one node's drain is parked mid-replay
+// (simulating a slow network PUT), Enqueue, Pending, and PendingTotal
+// for other nodes — the inline piecePut hint path — must complete, a
+// hint enqueued for the DRAINING node mid-drain must survive the
+// reconciliation, and a second Drain of the same node must refuse
+// instead of re-delivering the snapshot.
+func TestHintStoreDrainDoesNotBlockEnqueue(t *testing.T) {
+	hs, err := newHintStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := hs.Enqueue("n4", "A", hintBox(), uint64(i+1), []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		first := true
+		if _, err := hs.Drain("n4", func(hint) error {
+			if first {
+				first = false
+				close(entered)
+				<-release
+			}
+			return nil
+		}); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	<-entered
+	// Mid-drain: the store must answer without waiting for delivery.
+	if err := hs.Enqueue("n5", "A", hintBox(), 7, []float64{2}); err != nil {
+		t.Fatalf("enqueue during drain: %v", err)
+	}
+	if err := hs.Enqueue("n4", "A", hintBox(), 8, []float64{3}); err != nil {
+		t.Fatalf("enqueue for draining node: %v", err)
+	}
+	if n := hs.PendingTotal(); n < 2 {
+		t.Fatalf("pending total mid-drain = %d, want >= 2", n)
+	}
+	if _, err := hs.Drain("n4", func(hint) error { return nil }); !errors.Is(err, errDrainBusy) {
+		t.Fatalf("concurrent drain of the same node: err = %v, want errDrainBusy", err)
+	}
+	close(release)
+	<-done
+	// The snapshot (2 hints) drained; the mid-drain enqueue survived.
+	if n := hs.Pending("n4"); n != 1 {
+		t.Fatalf("pending after drain = %d, want the mid-drain hint (1)", n)
+	}
+	if n := hs.Pending("n5"); n != 1 {
+		t.Fatalf("pending for n5 = %d, want 1", n)
+	}
+}

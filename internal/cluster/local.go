@@ -106,6 +106,7 @@ type LocalCluster struct {
 	opts      LocalOptions
 	routerSrv *httptest.Server
 	nodes     []*LocalNode
+	clients   []*NodeClient
 	arrays    []arrayMeta // creations to replay on node restart
 }
 
@@ -141,9 +142,37 @@ func NewLocal(o LocalOptions) (*LocalCluster, error) {
 		return nil, err
 	}
 	lc.Router = r
+	lc.clients = clients
 	lc.routerSrv = httptest.NewServer(r.Handler())
 	lc.RouterURL = lc.routerSrv.URL
 	return lc, nil
+}
+
+// RestartRouter simulates replacing a crashed router: the old
+// instance's listener disappears without a drain (a crash doesn't get
+// one — only its hint-log handles are released, as process exit
+// would), and a fresh router is built over the same membership and
+// hint dir. Every piece of in-memory router state — array catalog,
+// generation table, liveness — starts empty in the replacement and
+// must be recovered from the nodes' listings, raise-on-contact, and
+// the durable hint logs.
+func (lc *LocalCluster) RestartRouter() error {
+	lc.routerSrv.Close()
+	lc.Router.hints.Close()
+	r, err := NewRouter(Options{
+		Nodes:    lc.clients,
+		Replicas: lc.opts.Replicas,
+		TileDim:  lc.opts.TileDim,
+		HintDir:  lc.opts.HintDir,
+		NoWire:   lc.opts.NoWire,
+	})
+	if err != nil {
+		return err
+	}
+	lc.Router = r
+	lc.routerSrv = httptest.NewServer(r.Handler())
+	lc.RouterURL = lc.routerSrv.URL
+	return nil
 }
 
 // boot builds the node's disk/engine/server over the injector's

@@ -185,6 +185,14 @@ func NewRouter(o Options) (*Router, error) {
 	}
 	r.hints = hints
 	r.catalog.m = map[string]arrayMeta{}
+	// The catalog, like the generation table, is an in-memory cache of
+	// state the nodes durably hold: rebuild it from their listings so a
+	// restarted router keeps serving every existing array instead of
+	// 404ing until re-creation. Union across nodes — a node that was
+	// down during a create is missing arrays its peers have. Nodes that
+	// don't answer are skipped here; the probe loop and the data plane
+	// discover unreachable nodes the normal way.
+	r.recoverCatalog()
 
 	reg := o.Obs.MetricsOf()
 	if reg == nil {
@@ -198,7 +206,7 @@ func NewRouter(o Options) (*Router, error) {
 		puts:     reg.Counter("occrouter_tile_puts_total", "tile writes routed"),
 		latency: reg.Histogram("occrouter_request_seconds",
 			"routed request latency in seconds", obs.ExpBuckets(1e-5, 4, 10)),
-		readRepairs:    reg.Counter("ooc_cluster_read_repairs_total", "stale replicas rewritten after a divergent quorum read"),
+		readRepairs:    reg.Counter("ooc_cluster_read_repairs_total", "stale replicas rewritten after a divergent fan-out read"),
 		handoffHints:   reg.Counter("ooc_cluster_handoff_hints_total", "writes queued as hints for unreachable replicas"),
 		hintsDrained:   reg.Counter("ooc_cluster_hints_drained_total", "hinted writes replayed to a returned replica"),
 		quorumFailures: reg.Counter("ooc_cluster_quorum_failures_total", "requests failed for lack of a replica quorum"),
@@ -330,6 +338,26 @@ func (r *Router) Probe() {
 		}
 	}
 	r.met.hintsQueued.Set(float64(r.hints.PendingTotal()))
+}
+
+// recoverCatalog seeds the catalog with the union of the reachable
+// nodes' array listings. Best-effort: an unreachable node contributes
+// nothing (its arrays exist on replicas too, replication permitting),
+// and listing failures never fail router construction.
+func (r *Router) recoverCatalog() {
+	for _, m := range r.members {
+		arrays, err := m.client.ListArrays()
+		if err != nil {
+			continue
+		}
+		r.catalog.mu.Lock()
+		for _, am := range arrays {
+			if _, ok := r.catalog.m[am.Name]; !ok {
+				r.catalog.m[am.Name] = am
+			}
+		}
+		r.catalog.mu.Unlock()
+	}
 }
 
 // syncCatalog replays every known array creation to a returning node.
@@ -609,8 +637,13 @@ func (r *Router) target(w http.ResponseWriter, req *http.Request) (arrayMeta, la
 	return am, box, true
 }
 
-// pieceGet reads one grid-tile piece with quorum fan-out and
-// read-repair, returning the freshest payload.
+// pieceGet reads one grid-tile piece: fan out to the whole replica
+// set, resolve with the freshest of WHOEVER ANSWERS (read-one /
+// latest-wins — a single reply suffices, so reads stay available
+// while any replica lives, at the price of possible staleness when
+// the only survivor's copy is still a queued hint), and synchronously
+// read-repair stale responders. See the package comment for the full
+// consistency contract.
 func (r *Router) pieceGet(name string, piece layout.Box) ([]float64, uint64, error) {
 	key := tileKeyOf(name, routingTile(piece, r.opts.TileDim))
 	reps := r.replicasFor(keyhash.Bytes([]byte(key)))

@@ -125,6 +125,43 @@ func TestQuorumFailure503(t *testing.T) {
 	}
 }
 
+// TestRouterRestartRecoversCatalog replaces the router after data has
+// been written and requires the replacement to serve the existing
+// array without any re-creation: the catalog, like the generation
+// table, is an in-memory cache of state the nodes durably hold, so a
+// fresh router must rebuild it from the nodes' listings instead of
+// 404ing every pre-restart array.
+func TestRouterRestartRecoversCatalog(t *testing.T) {
+	lc := newTestCluster(t, 3, 2)
+	cli := lc.Client()
+	box := layout.NewBox([]int64{0, 0}, []int64{testTile, testTile})
+	if _, _, err := cli.PutTile("A", box, fillTile(9, box), 0, true); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := lc.RestartRouter(); err != nil {
+		t.Fatalf("router restart: %v", err)
+	}
+	cli = lc.Client()
+	resp, err := http.Get(lc.RouterURL + "/v1/arrays/A")
+	if err != nil {
+		t.Fatalf("array get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/arrays/A = %d after router restart, want 200", resp.StatusCode)
+	}
+	got, _, err := cli.GetTile("A", box, true)
+	if err != nil {
+		t.Fatalf("tile get after router restart: %v", err)
+	}
+	for i, v := range got {
+		if v != 9 {
+			t.Fatalf("elem %d = %v after router restart, want 9", i, v)
+		}
+	}
+}
+
 // TestPartialPutHintedHandoff writes through a one-replica-down
 // window: the write acks on a sloppy quorum (one live ack + one
 // durable hint), and after the node heals the drained hint leaves the

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"outcore/internal/layout"
+)
+
+// putGen issues a generation-carrying tile PUT of a constant value and
+// returns the response's recorded generation and stale flag.
+func putGen(t *testing.T, ts *testServer, query string, gen uint64, elems int, val float64) (uint64, bool) {
+	t.Helper()
+	payload := make([]float64, elems)
+	for i := range payload {
+		payload[i] = val
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.url("/v1/arrays/A/tile?%s", query), bytes.NewReader(encodePayload(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TileGenHeader, strconv.FormatUint(gen, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT %s gen %d: status %d", query, gen, resp.StatusCode)
+	}
+	stored, _ := strconv.ParseUint(resp.Header.Get(TileGenHeader), 10, 64)
+	return stored, resp.Header.Get(TileStaleHeader) != ""
+}
+
+// getGen reads a tile with generation reporting on.
+func getGen(t *testing.T, ts *testServer, query string, elems int) ([]float64, uint64) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.url("/v1/arrays/A/tile?%s", query), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TileWantGenHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", query, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, elems)
+	decodePayload(buf.Bytes(), data)
+	gen, _ := strconv.ParseUint(resp.Header.Get(TileGenHeader), 10, 64)
+	return data, gen
+}
+
+// TestGenGateStaleAcrossBoxShapes pins the cross-shape stale gate: a
+// newer write of the full tile must not be rolled back by an older
+// sub-box write arriving late — even though the two writes carry
+// different box keys. The old behaviour compared generations only for
+// the exact box key, so the late gen-5 write started from a recorded
+// generation of 0, overwrote gen-6 bytes, and reads still reported
+// gen 6 for them.
+func TestGenGateStaleAcrossBoxShapes(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 16, 16)
+
+	if _, stale := putGen(t, ts, "lo=0,0&hi=8,8", 6, 8*8, 6); stale {
+		t.Fatal("first write reported stale")
+	}
+	stored, stale := putGen(t, ts, "lo=0,0&hi=4,8", 5, 4*8, 5)
+	if !stale {
+		t.Fatal("older sub-box write was not reported stale")
+	}
+	if stored != 6 {
+		t.Fatalf("stale response reported generation %d, want 6", stored)
+	}
+	data, gen := getGen(t, ts, "lo=0,0&hi=8,8", 8*8)
+	if gen != 6 {
+		t.Fatalf("read generation %d, want 6", gen)
+	}
+	for i, v := range data {
+		if v != 6 {
+			t.Fatalf("element %d is %v: the stale gen-5 write rolled back gen-6 data", i, v)
+		}
+	}
+}
+
+// TestGenGateConvergesAnyArrivalOrder replays the same two
+// partially-overlapping writes in both orders on two independent
+// servers and requires identical bytes and identical reported
+// generations — the property read-repair depends on: replicas that saw
+// the same writes must agree, or divergence hides behind equal
+// generations forever. The newer write covers only part of the older
+// one, so the late-arriving older write must merge (land on the cells
+// the newer one didn't touch) rather than be dropped or applied whole.
+func TestGenGateConvergesAnyArrivalOrder(t *testing.T) {
+	type write struct {
+		query string
+		box   layout.Box
+		gen   uint64
+		val   float64
+	}
+	w1 := write{"lo=0,0&hi=4,4", layout.NewBox([]int64{0, 0}, []int64{4, 4}), 2, 2}
+	w2 := write{"lo=2,2&hi=6,6", layout.NewBox([]int64{2, 2}, []int64{6, 6}), 1, 1}
+
+	run := func(order ...write) ([]float64, uint64) {
+		ts := newTestServer(t, Config{}, nil)
+		ts.createArray(t, "A", 16, 16)
+		for _, w := range order {
+			putGen(t, ts, w.query, w.gen, int(w.box.Size()), w.val)
+		}
+		return getGen(t, ts, "lo=0,0&hi=6,6", 6*6)
+	}
+	a, genA := run(w1, w2)
+	b, genB := run(w2, w1)
+	if genA != genB {
+		t.Fatalf("orders report different generations: %d vs %d", genA, genB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d diverges by arrival order: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// And both match the generation order: w1 (gen 2) wins everywhere it
+	// wrote, w2 (gen 1) only outside w1.
+	for r := int64(0); r < 6; r++ {
+		for c := int64(0); c < 6; c++ {
+			want := 0.0
+			switch {
+			case w1.box.Contains([]int64{r, c}):
+				want = w1.val
+			case w2.box.Contains([]int64{r, c}):
+				want = w2.val
+			}
+			if got := a[r*6+c]; got != want {
+				t.Fatalf("cell (%d,%d) = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestSubtractBoxes brute-forces the guillotine split against per-cell
+// membership on random small boxes.
+func TestSubtractBoxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randBox := func() layout.Box {
+		lo := []int64{rng.Int63n(6), rng.Int63n(6)}
+		return layout.NewBox(lo, []int64{lo[0] + 1 + rng.Int63n(5), lo[1] + 1 + rng.Int63n(5)})
+	}
+	for trial := 0; trial < 200; trial++ {
+		box := randBox()
+		covers := make([]layout.Box, rng.Intn(4))
+		for i := range covers {
+			covers[i] = randBox()
+		}
+		got := subtractBoxes(box, covers)
+		for x := int64(0); x < 12; x++ {
+			for y := int64(0); y < 12; y++ {
+				cell := []int64{x, y}
+				covered := false
+				for _, c := range covers {
+					covered = covered || c.Contains(cell)
+				}
+				want := box.Contains(cell) && !covered
+				hits := 0
+				for _, g := range got {
+					if g.Contains(cell) {
+						hits++
+					}
+				}
+				if want && hits != 1 {
+					t.Fatalf("trial %d: cell %v in %d result boxes, want exactly 1 (box %v minus %v = %v)", trial, cell, hits, box, covers, got)
+				}
+				if !want && hits != 0 {
+					t.Fatalf("trial %d: cell %v in %d result boxes, want 0 (box %v minus %v = %v)", trial, cell, hits, box, covers, got)
+				}
+			}
+		}
+	}
+}

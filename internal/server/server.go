@@ -167,13 +167,24 @@ type Server struct {
 //
 // boxGens is the cluster replication plane's per-box write-generation
 // table: a PUT carrying X-Tile-Gen records its generation under the
-// exact box it wrote, and a GET reports the max generation over the
+// box it wrote, and a GET reports the max generation over the
 // recorded boxes overlapping it (an unaligned read is as fresh as the
-// freshest write it can observe). Entries are written under mu held
-// exclusively (the PUT path) and read under the shared lock, and are
-// bounded by the distinct boxes ever PUT with a generation — the
-// router's replication grid in cluster mode, none otherwise. The table
-// is deliberately volatile: a crashed node forgets its generations,
+// freshest write it can observe). Overlapping boxes always share a
+// routing grid tile (the router decomposes every request along the
+// grid), so their generations are totally ordered and comparable even
+// when the box shapes differ — a client PUT of a sub-box, a hint
+// replay, and a read-repair rewrite of a read piece all compete in
+// one order. A PUT applies only to the cells no strictly-newer
+// recorded box covers (newerOverlaps/subtractBoxes), which makes the
+// final bytes a pure function of the set of writes seen, independent
+// of arrival order — replicas that saw the same writes hold the same
+// bytes AND report the same generations, so equal reported
+// generations really mean equal data and read-repair has a sound
+// signal. Entries are written under mu held exclusively (the PUT
+// path) and read under the shared lock, and are bounded by the
+// distinct boxes ever PUT with a generation — the router's
+// replication grid in cluster mode, none otherwise. The table is
+// deliberately volatile: a crashed node forgets its generations,
 // reports 0, loses every freshness comparison, and gets read-repaired
 // by the replica that remembers.
 type tileLock struct {
@@ -190,13 +201,18 @@ type boxGen struct {
 	gen uint64
 }
 
-// storedGen returns the generation recorded for the exact box key, 0
-// when none. Callers hold mu in either mode.
-func (l *tileLock) storedGen(key string) uint64 {
-	if i, ok := l.genIdx[key]; ok {
-		return l.boxGens[i].gen
+// newerOverlaps returns the recorded boxes overlapping box whose
+// generation is strictly newer than g — the writes that supersede (a
+// part of) an incoming generation-g write. Callers hold mu in either
+// mode.
+func (l *tileLock) newerOverlaps(box layout.Box, g uint64) []layout.Box {
+	var out []layout.Box
+	for i := range l.boxGens {
+		if l.boxGens[i].gen > g && l.boxGens[i].box.Overlaps(box) {
+			out = append(out, l.boxGens[i].box)
+		}
 	}
-	return 0
+	return out
 }
 
 // setGen records g for the exact box. Callers hold mu exclusively.
@@ -222,6 +238,84 @@ func (l *tileLock) overlapGen(box layout.Box) uint64 {
 		}
 	}
 	return max
+}
+
+// subtractBoxes returns the parts of box covered by none of covers, as
+// disjoint boxes. Empty result means covers blanket the whole box.
+func subtractBoxes(box layout.Box, covers []layout.Box) []layout.Box {
+	remain := []layout.Box{box}
+	for _, c := range covers {
+		var next []layout.Box
+		for _, r := range remain {
+			next = subtractBox(next, r, c)
+		}
+		remain = next
+		if len(remain) == 0 {
+			break
+		}
+	}
+	return remain
+}
+
+// subtractBox appends the parts of a outside b to out: a guillotine
+// split peeling at most two slabs per dimension off a, leaving the
+// core a∩b dropped.
+func subtractBox(out []layout.Box, a, b layout.Box) []layout.Box {
+	if !a.Overlaps(b) {
+		return append(out, a)
+	}
+	lo := append([]int64(nil), a.Lo...)
+	hi := append([]int64(nil), a.Hi...)
+	for d := range lo {
+		if b.Lo[d] > lo[d] {
+			slabHi := append([]int64(nil), hi...)
+			slabHi[d] = b.Lo[d]
+			out = append(out, layout.NewBox(append([]int64(nil), lo...), slabHi))
+			lo[d] = b.Lo[d]
+		}
+		if b.Hi[d] < hi[d] {
+			slabLo := append([]int64(nil), lo...)
+			slabLo[d] = b.Hi[d]
+			out = append(out, layout.NewBox(slabLo, append([]int64(nil), hi...)))
+			hi[d] = b.Hi[d]
+		}
+	}
+	return out
+}
+
+// copyBoxLocal copies region's elements from src to dst, both box-local
+// row-major buffers of box (region must lie inside box). Runs along
+// the innermost dimension are contiguous at identical offsets in both
+// buffers, so the copy moves whole rows.
+func copyBoxLocal(dst, src []float64, box, region layout.Box) {
+	rank := len(box.Lo)
+	strides := make([]int64, rank)
+	acc := int64(1)
+	for d := rank - 1; d >= 0; d-- {
+		strides[d] = acc
+		acc *= box.Hi[d] - box.Lo[d]
+	}
+	rowLen := region.Hi[rank-1] - region.Lo[rank-1]
+	cur := append([]int64(nil), region.Lo...)
+	for {
+		var off int64
+		for d := 0; d < rank; d++ {
+			off += (cur[d] - box.Lo[d]) * strides[d]
+		}
+		copy(dst[off:off+rowLen], src[off:off+rowLen])
+		d := rank - 2
+		for d >= 0 {
+			cur[d]++
+			if cur[d] < region.Hi[d] {
+				break
+			}
+			cur[d] = region.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
 }
 
 // lockFor returns (creating on first use) the array's tile lock.
@@ -262,15 +356,17 @@ const WireEncoding = "x-ooc-gorilla"
 // exact pre-cluster behavior.
 const (
 	// TileGenHeader carries a write generation: on a PUT request, the
-	// generation to record (the write is skipped as stale when a newer
-	// one is already recorded for the same box); on GET and PUT
-	// responses, the node's recorded generation.
+	// generation to record (cells covered by an overlapping recorded
+	// box with a newer generation keep the newer bytes; the write lands
+	// on the rest); on GET and PUT responses, the node's recorded
+	// generation.
 	TileGenHeader = "X-Tile-Gen"
 	// TileWantGenHeader, set to any non-empty value on a GET, asks the
 	// node to report the box's write generation on the response.
 	TileWantGenHeader = "X-Tile-Want-Gen"
 	// TileStaleHeader marks a 204 PUT response whose write was skipped
-	// because the node already holds a newer generation for the box.
+	// entirely because newer recorded generations cover every cell of
+	// the box; the response's TileGenHeader reports the newest of them.
 	TileStaleHeader = "X-Tile-Stale"
 )
 
@@ -839,20 +935,32 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 	// reader-pinned stale entry).
 	lk := s.lockFor(ar.Meta.Name)
 	lk.mu.Lock()
-	var boxKey string
+	// Replicated writes are last-writer-wins by generation, per cell:
+	// generations are comparable across box shapes (overlapping boxes
+	// share a routing tile — see the boxGens comment), so any recorded
+	// overlapping box with a strictly newer generation supersedes the
+	// cells it covers, and the write applies only to the remainder.
+	// That keeps the bytes a pure function of the writes seen, whatever
+	// order a sub-box PUT, a full-tile PUT, a hint replay, and a
+	// read-repair rewrite arrive in — gating on the exact box key alone
+	// would let an older differently-shaped write roll back newer cells
+	// while overlapGen still reported the newer generation, diverging
+	// the replicas invisibly. Equal generations re-apply — a handoff
+	// replay or retry of the same write is idempotent.
+	var apply []layout.Box // nil: the whole box; non-nil: the merge remainder
 	if genGated {
-		// Replicated writes are last-writer-wins by generation: a write
-		// older than what this box already holds is skipped (the router
-		// learns the newer generation from the response and catches its
-		// counter up). Equal generations re-apply — a handoff replay or
-		// retry of the same write is idempotent.
-		boxKey = box.String()
-		if stored := lk.storedGen(boxKey); gen < stored {
-			lk.mu.Unlock()
-			w.Header().Set(TileGenHeader, strconv.FormatUint(stored, 10))
-			w.Header().Set(TileStaleHeader, "true")
-			w.WriteHeader(http.StatusNoContent)
-			return
+		if newer := lk.newerOverlaps(box, gen); len(newer) > 0 {
+			if apply = subtractBoxes(box, newer); len(apply) == 0 {
+				// Newer writes blanket every cell: skip, and report the
+				// newest overlapping generation so the router catches
+				// its counter up.
+				stored := lk.overlapGen(box)
+				lk.mu.Unlock()
+				w.Header().Set(TileGenHeader, strconv.FormatUint(stored, 10))
+				w.Header().Set(TileStaleHeader, "true")
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
 		}
 	}
 	h, err := s.eng.Acquire(ar, box)
@@ -861,14 +969,26 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 		s.engineError(w, err)
 		return
 	}
-	if compress {
+	switch {
+	case apply == nil && compress:
 		copy(h.Tile().Data(), decoded)
-	} else {
+	case apply == nil:
 		decodePayload(body, h.Tile().Data())
+	default:
+		// Partial apply: land only the un-superseded regions.
+		scratch := decoded
+		if !compress {
+			scratch = ooc.GetF64(int(box.Size()))
+			defer ooc.PutF64(scratch)
+			decodePayload(body, scratch)
+		}
+		for _, region := range apply {
+			copyBoxLocal(h.Tile().Data(), scratch, box, region)
+		}
 	}
 	s.eng.Release(h, true)
 	if genGated {
-		lk.setGen(boxKey, box, gen)
+		lk.setGen(box.String(), box, gen)
 	}
 	lk.gen.Add(1) // version GET flights past this write before acknowledging
 	lk.mu.Unlock()
