@@ -10,9 +10,11 @@ FUZZ_TARGETS := \
 	./internal/layout/:FuzzBoxOverlaps \
 	./internal/ooc/:FuzzTileKey \
 	./internal/ooc/:FuzzWALRecord \
-	./internal/ooc/:FuzzTileCodec
+	./internal/ooc/:FuzzTileCodec \
+	./internal/server/:FuzzScanCursor \
+	./internal/server/:FuzzBatchRequest
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep clustersweep chaos
+.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep clustersweep opsweep chaos
 
 build:
 	$(GO) build ./...
@@ -105,6 +107,22 @@ clustersweep:
 		-clients 32 -tile-edge 8 -cache-tiles 16 -zipf 1 -workers 0
 	$(GO) run ./cmd/occload -nodes 3 -replicas 2 -requests 8000 \
 		-clients 32 -tile-edge 8 -cache-tiles 16 -zipf 1 -workers 0
+
+# Operator sweep: the batched & streaming operator scenarios. The
+# scan-heavy pass streams layout-aware range scans over whole tile
+# stripes in open-loop arrival mode (latency measured from scheduled
+# arrivals — no coordinated omission) and the write-heavy pass moves 8
+# tiles per batch PUT. These are the serve-scan-* / serve-batch-* rows
+# in BENCH_baseline.json; CI gates serve-scan rows at a >=5x
+# round-trip reduction vs point GETs (see "Operator round-trip gate"
+# in ci.yml), the batch rows ride along informationally.
+opsweep:
+	$(GO) run ./cmd/occload -kernel trans -version c-opt -clients 16 \
+		-requests 4000 -tile-edge 8 -scenario scan-heavy \
+		-arrival-rate 20000 -json LOAD_scan.json
+	$(GO) run ./cmd/occload -kernel trans -version c-opt -clients 16 \
+		-requests 4000 -tile-edge 8 -scenario write-heavy \
+		-json LOAD_batch.json
 
 # Deterministic chaos sweep: the dst/faultfs test suites under -race,
 # then CHAOS_EPISODES seeded simulation episodes (power cuts, torn

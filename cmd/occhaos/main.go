@@ -47,6 +47,7 @@ func main() {
 	syncErr := flag.Float64("sync-err", storm.SyncErr, "probability a sync fails (writes stay volatile)")
 	syncDrop := flag.Float64("sync-drop", 0, "probability a sync LIES (reports success, persists nothing) — episodes are expected to fail")
 	clusterMode := flag.Bool("cluster", false, "run CLUSTER episodes instead: a router + -nodes storage nodes with -replicas copies per tile, node kills, partitions, hinted handoff and read-repair under test")
+	operatorMode := flag.Bool("operators", false, "run OPERATOR episodes instead: batched PUTs and resumable streaming scans through the router, with scans interrupted by node crashes (cursor resume must never skip or re-deliver) and batch acks checked across whole-cluster power cuts")
 	nodes := flag.Int("nodes", 3, "with -cluster: storage nodes per episode")
 	replicas := flag.Int("replicas", 2, "with -cluster: copies per tile")
 	killEvery := flag.Int("kill-every", 25, "with -cluster: ~one node kill or partition per this many steps (<0 disables)")
@@ -78,6 +79,16 @@ func main() {
 		rs := time.Now().UnixNano()
 		fmt.Printf("occhaos: random seed %d (rerun it with -seed %d -episodes 1)\n", rs, rs)
 		seeds = append(seeds, rs)
+	}
+
+	if *operatorMode {
+		runOps(seeds, dst.OpsOptions{
+			Rounds:   *ops,
+			Nodes:    *nodes,
+			Replicas: *replicas,
+			HintDir:  *hintDir,
+		}, *verbose)
+		return
 	}
 
 	if *clusterMode {
@@ -163,6 +174,39 @@ func runCluster(seeds []int64, base dst.ClusterOptions, verbose bool) {
 		}
 	}
 	fmt.Printf("occhaos: %d cluster episodes, %d failed in %.2fs\n",
+		len(seeds), failed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOps sweeps operator episodes (scan-interrupted-by-crash,
+// batch-PUT-power-cut) over the seed list with the same
+// verdict/reproducer discipline as the other sweeps.
+func runOps(seeds []int64, base dst.OpsOptions, verbose bool) {
+	start := time.Now()
+	failed := 0
+	for _, s := range seeds {
+		o := base
+		o.Seed = s
+		res := dst.RunOps(o)
+		if verbose {
+			fmt.Println("occhaos:", res.Summary())
+		}
+		if res.Failed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "occhaos: %s\n", res.Summary())
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "occhaos:   violation: %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "occhaos: reproduce with: occhaos -seed %d -episodes 1 -v%s\n",
+				s, setFlags())
+			if verbose {
+				fmt.Fprintf(os.Stderr, "--- op log (seed %d) ---\n%s", s, res.OpLog)
+			}
+		}
+	}
+	fmt.Printf("occhaos: %d operator episodes, %d failed in %.2fs\n",
 		len(seeds), failed, time.Since(start).Seconds())
 	if failed > 0 {
 		os.Exit(1)

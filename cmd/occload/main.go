@@ -14,6 +14,18 @@
 // versus N (each pass appends a row to the -json report, config
 // suffixed "-s<N>").
 //
+// -scenario switches the operator mix: scan-heavy streams layout-aware
+// range scans over whole tile stripes (rows config serve-scan-*),
+// write-heavy moves -batch-ops tiles per multi-op batch PUT
+// (serve-batch-*), and mixed interleaves scans, batches and point ops
+// (serve-mixed-*). The scorecard then adds the round-trip reduction —
+// point-GET-equivalent requests over requests actually issued — which
+// CI gates at >=5x for serve-scan rows. -arrival-rate R runs the mix
+// open loop: arrivals follow a schedule fixed before the run and
+// latency is measured from each scheduled arrival, so a stalling
+// server accrues queueing delay instead of quietly thinning the
+// offered load (no coordinated omission); config gains an -ol suffix.
+//
 // Cluster mode fires the same workload through an occrouter instead
 // of a single server: -cluster <url> targets an external router, and
 // -nodes "1,2,3" [-replicas R] starts an in-process router + N occd
@@ -81,6 +93,9 @@ func main() {
 	shardSweep := flag.String("shard-sweep", "", "comma-separated shard counts (e.g. 1,2,4,8): run the identical workload once per count and report throughput vs N (overrides -shards)")
 	inflight := flag.Int("inflight", 0, "max concurrent data-plane requests (0 = 2*GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue depth")
+	scenario := flag.String("scenario", "", "operator mix: empty/point = single-tile GET/PUT; scan-heavy = streaming range scans over tile stripes; write-heavy = multi-op batch PUTs; mixed = scans+batches+point ops (rows config serve-scan-*/serve-batch-*/serve-mixed-*)")
+	batchOps := flag.Int("batch-ops", 8, "tiles per batch request in the write-heavy/mixed scenarios")
+	arrivalRate := flag.Float64("arrival-rate", 0, "open-loop arrivals/second across all clients: the schedule is fixed before the run and latency is measured from each request's scheduled arrival, so server stalls surface as queueing delay instead of thinning the offered load (coordinated-omission-safe; 0 = closed loop)")
 	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
 	dir := flag.String("dir", "", "backing directory for array files (empty = in-memory); sweeps use a subdirectory per pass")
@@ -100,6 +115,12 @@ func main() {
 
 	if err := server.ValidateShards(*shards); err != nil {
 		fmt.Fprintf(os.Stderr, "occload: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	switch *scenario {
+	case "", "point", "scan-heavy", "write-heavy", "mixed":
+	default:
+		fmt.Fprintf(os.Stderr, "occload: -scenario: unknown mix %q (valid: point, scan-heavy, write-heavy, mixed)\n", *scenario)
 		os.Exit(2)
 	}
 	counts := []int{*shards}
@@ -151,6 +172,9 @@ func main() {
 			wal:         *wal,
 			durablePuts: *durablePuts,
 			compress:    *compress,
+			scenario:    *scenario,
+			batchOps:    *batchOps,
+			arrivalRate: *arrivalRate,
 		})
 		writeReports(*jsonOut, *metricsOut, *n2, *n3, *n4, rows, sink)
 		return
@@ -231,16 +255,19 @@ func main() {
 		hts := httptest.NewServer(srv.Handler())
 
 		res, err := server.RunLoad(server.LoadSpec{
-			BaseURL:  hts.URL,
-			Array:    target.Meta.Name,
-			Dims:     target.Meta.Dims,
-			TileEdge: *tileEdge,
-			Clients:  *clients,
-			Requests: *requests,
-			ZipfS:    *zipf,
-			ReadFrac: *readFrac,
-			Seed:     *seed,
-			Compress: *compress,
+			BaseURL:      hts.URL,
+			Array:        target.Meta.Name,
+			Dims:         target.Meta.Dims,
+			TileEdge:     *tileEdge,
+			Clients:      *clients,
+			Requests:     *requests,
+			ZipfS:        *zipf,
+			ReadFrac:     *readFrac,
+			Seed:         *seed,
+			Compress:     *compress,
+			Scenario:     *scenario,
+			BatchOps:     *batchOps,
+			OpenLoopRate: *arrivalRate,
 		})
 		hts.Close()
 		// The per-shard scorecard reads live shard counters, so capture it
@@ -283,6 +310,7 @@ func main() {
 		}
 		fmt.Printf("  engine: %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
 			res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
+		printOperators(res)
 		if *compress && res.WireRawBytes > 0 && res.WireBytes > 0 {
 			fmt.Printf("  wire: %d raw bytes moved as %d encoded (%.2fx)\n",
 				res.WireRawBytes, res.WireBytes, float64(res.WireRawBytes)/float64(res.WireBytes))
@@ -305,9 +333,12 @@ func main() {
 		}
 		prevThroughput = res.Throughput
 
-		config := fmt.Sprintf("serve-%s-c%d-z%g", ver, *clients, *zipf)
+		config := fmt.Sprintf("%s-%s-c%d-z%g", configPrefix(*scenario), ver, *clients, *zipf)
 		if sweeping || n > 1 {
 			config += fmt.Sprintf("-s%d", n)
+		}
+		if *arrivalRate > 0 {
+			config += "-ol"
 		}
 		if *durablePuts {
 			config += "-dp"
@@ -325,6 +356,42 @@ func main() {
 	}
 
 	writeReports(*jsonOut, *metricsOut, *n2, *n3, *n4, rows, lastSink)
+}
+
+// configPrefix names the bench row after the operator mix, so operator
+// rows are greppable by config: serve-scan-* rows carry the streaming
+// range-scan numbers CI gates at a >=5x round-trip reduction, and
+// serve-batch-*/serve-mixed-* rows ride alongside informationally.
+func configPrefix(scenario string) string {
+	switch scenario {
+	case "scan-heavy":
+		return "serve-scan"
+	case "write-heavy":
+		return "serve-batch"
+	case "mixed":
+		return "serve-mixed"
+	}
+	return "serve"
+}
+
+// printOperators renders the operator scorecard: how many streaming
+// scans / batch requests ran, and the round-trip reduction — the
+// single-tile-request equivalent of the same tile volume divided by
+// the HTTP requests actually issued.
+func printOperators(res server.LoadResult) {
+	if res.ScanRequests == 0 && res.BatchRequests == 0 {
+		return
+	}
+	if res.ScanRequests > 0 {
+		fmt.Printf("  scans: %d requests streamed %d chunks\n", res.ScanRequests, res.ScanChunks)
+	}
+	if res.BatchRequests > 0 {
+		fmt.Printf("  batches: %d requests moved %d tile ops\n", res.BatchRequests, res.BatchOpsMoved)
+	}
+	if res.RoundTrips > 0 {
+		fmt.Printf("  round trips: %d issued vs %d point-GET equivalent (%.1fx reduction)\n",
+			res.RoundTrips, res.PointRoundTrips, float64(res.PointRoundTrips)/float64(res.RoundTrips))
+	}
 }
 
 // writeReports lands the run's outcore-bench/v1 report and Prometheus
@@ -391,6 +458,9 @@ type clusterLoadSpec struct {
 	wal         bool
 	durablePuts bool
 	compress    bool
+	scenario    string
+	batchOps    int
+	arrivalRate float64
 }
 
 // clusterLoad fires the identical zipf workload at a tile cluster: an
@@ -476,16 +546,19 @@ func clusterPass(k suite.Kernel, spec clusterLoadSpec, target *ir.Array, base st
 		n = cs.Cluster.Nodes
 	}
 	res, err := server.RunLoad(server.LoadSpec{
-		BaseURL:  base,
-		Array:    target.Name,
-		Dims:     target.Dims,
-		TileEdge: spec.tileEdge,
-		Clients:  spec.clients,
-		Requests: spec.requests,
-		ZipfS:    spec.zipf,
-		ReadFrac: spec.readFrac,
-		Seed:     spec.seed,
-		Compress: spec.compress,
+		BaseURL:      base,
+		Array:        target.Name,
+		Dims:         target.Dims,
+		TileEdge:     spec.tileEdge,
+		Clients:      spec.clients,
+		Requests:     spec.requests,
+		ZipfS:        spec.zipf,
+		ReadFrac:     spec.readFrac,
+		Seed:         spec.seed,
+		Compress:     spec.compress,
+		Scenario:     spec.scenario,
+		BatchOps:     spec.batchOps,
+		OpenLoopRate: spec.arrivalRate,
 	})
 	fail(err)
 
@@ -504,8 +577,9 @@ func clusterPass(k suite.Kernel, spec clusterLoadSpec, target *ir.Array, base st
 	fmt.Printf("  engine (all nodes): %d hits / %d misses (hit rate %.1f%%), %d coalesced requests\n",
 		res.Hits, res.Misses, 100*res.HitRate, res.Coalesced)
 	fmt.Printf("  cluster: %d handoff hints, %d read repairs\n", res.HandoffHints, res.ReadRepairs)
+	printOperators(res)
 
-	config := fmt.Sprintf("serve-cluster-n%d-r%d", n, res.Replicas)
+	config := fmt.Sprintf("%s-cluster-n%d-r%d", configPrefix(spec.scenario), n, res.Replicas)
 	if spec.durablePuts {
 		config += "-dp"
 	}
@@ -514,6 +588,9 @@ func clusterPass(k suite.Kernel, spec clusterLoadSpec, target *ir.Array, base st
 	}
 	if spec.compress {
 		config += "-comp"
+	}
+	if spec.arrivalRate > 0 {
+		config += "-ol"
 	}
 	if res.Errors > 0 {
 		fail(fmt.Errorf("%d requests failed", res.Errors))

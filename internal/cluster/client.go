@@ -190,6 +190,29 @@ func (c *NodeClient) PutTile(name string, box layout.Box, data []float64, gen ui
 	return storedGen, stale, nil
 }
 
+// Reduce pushes one fold down to the node (POST /v1/arrays/{name}/reduce)
+// and returns the scalar — decoded from the bit-exact value_bits field,
+// so NaN/Inf results survive the JSON hop — plus the element count.
+func (c *NodeClient) Reduce(name string, box layout.Box, op string) (float64, int64, error) {
+	reqBody, _ := json.Marshal(map[string]any{"op": op, "lo": box.Lo, "hi": box.Hi})
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/arrays/"+name+"/reduce", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return 0, 0, unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, c.statusError(resp)
+	}
+	var out struct {
+		Count int64  `json:"count"`
+		Bits  uint64 `json:"value_bits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, fmt.Errorf("node %s reduce: %w", c.ID, err)
+	}
+	return math.Float64frombits(out.Bits), out.Count, nil
+}
+
 // ListArrays fetches the node's array catalog (GET /v1/arrays) into
 // the router's row type — the wire fields match occd's listing.
 func (c *NodeClient) ListArrays() ([]arrayMeta, error) {

@@ -1,0 +1,215 @@
+package cluster
+
+// Error-path coverage for the router's operator endpoints: every
+// rejection must be a clean 4xx/5xx with the offending op named, and
+// losing the whole node set must surface as 503 (quorum/replica
+// unavailable), never a hang or a fabricated answer.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"outcore/internal/layout"
+	"outcore/internal/server"
+)
+
+func postRaw(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(out)
+}
+
+func TestRouterBatchRejections(t *testing.T) {
+	lc := opsConfCluster(t, 900)
+	batchURL := lc.RouterURL + "/v1/arrays/A/batch"
+
+	if code, _ := postRaw(t, lc.RouterURL+"/v1/arrays/nope/batch", `{"ops":[{"op":"get","lo":[0,0],"hi":[4,4]}]}`); code != http.StatusNotFound {
+		t.Errorf("unknown array: %d, want 404", code)
+	}
+	for _, bad := range []string{`{"ops": [`, `{"ops": []}`, `nonsense`} {
+		if code, _ := postRaw(t, batchURL, bad); code != http.StatusBadRequest {
+			t.Errorf("body %q: %d, want 400", bad, code)
+		}
+	}
+
+	// Per-op failures ride inside an overall 200.
+	var resp struct {
+		Results []struct {
+			Status int    `json:"status"`
+			Error  string `json:"error"`
+		} `json:"results"`
+		Failed int `json:"failed"`
+	}
+	code, raw := postJSON(t, batchURL, map[string]any{"ops": []map[string]any{
+		{"op": "frobnicate", "lo": []int64{0, 0}, "hi": []int64{4, 4}},
+		{"op": "get", "lo": []int64{0}, "hi": []int64{4}},
+		{"op": "get", "lo": []int64{-1, 0}, "hi": []int64{4, 4}},
+		{"op": "get", "lo": []int64{4, 4}, "hi": []int64{0, 0}},
+		{"op": "get", "lo": []int64{70, 70}, "hi": []int64{80, 80}},
+		{"op": "put", "lo": []int64{0, 0}, "hi": []int64{4, 4}, "data_b64": "!!!not-base64!!!"},
+		{"op": "put", "lo": []int64{0, 0}, "hi": []int64{4, 4}, "data_b64": "AAAA"},
+		{"op": "get", "lo": []int64{0, 0}, "hi": []int64{4, 4}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mixed batch: %d: %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("batch response: %v", err)
+	}
+	if resp.Failed != 7 || len(resp.Results) != 8 {
+		t.Fatalf("failed=%d results=%d, want 7/8: %s", resp.Failed, len(resp.Results), raw)
+	}
+	for i, r := range resp.Results[:7] {
+		if r.Status != http.StatusBadRequest || r.Error == "" {
+			t.Errorf("op %d: status=%d error=%q, want a described 400", i, r.Status, r.Error)
+		}
+	}
+	if resp.Results[7].Status != http.StatusOK {
+		t.Errorf("trailing good op: %d, want 200 despite earlier failures", resp.Results[7].Status)
+	}
+}
+
+func TestRouterOperatorsUnavailable(t *testing.T) {
+	lc := opsConfCluster(t, 901)
+	for i := 0; i < 3; i++ {
+		lc.Kill(i)
+	}
+
+	var resp struct {
+		Results []struct {
+			Status int `json:"status"`
+		} `json:"results"`
+		Failed int `json:"failed"`
+	}
+	code, raw := postJSON(t, lc.RouterURL+"/v1/arrays/A/batch", map[string]any{"ops": []map[string]any{
+		{"op": "get", "lo": []int64{0, 0}, "hi": []int64{4, 4}},
+		{"op": "put", "lo": []int64{0, 0}, "hi": []int64{4, 4},
+			"data_b64": base64.StdEncoding.EncodeToString(leBytes(make([]float64, 16)))},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("batch with cluster down: %d: %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("batch response: %v", err)
+	}
+	if resp.Failed != 2 {
+		t.Fatalf("failed=%d, want both ops down: %s", resp.Failed, raw)
+	}
+	for i, r := range resp.Results {
+		if r.Status != http.StatusServiceUnavailable {
+			t.Errorf("op %d with no nodes: %d, want 503", i, r.Status)
+		}
+	}
+
+	hr, err := http.Get(lc.RouterURL + "/v1/arrays/A/scan?lo=0,0&hi=8,8")
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("scan with no nodes: %d, want 503", hr.StatusCode)
+	}
+
+	if code, _ := postRaw(t, lc.RouterURL+"/v1/arrays/A/reduce", `{"op":"sum","lo":[0,0],"hi":[8,8]}`); code != http.StatusServiceUnavailable {
+		t.Errorf("reduce with no nodes: %d, want 503", code)
+	}
+}
+
+func TestRouterScanRejections(t *testing.T) {
+	lc := opsConfCluster(t, 902)
+	get := func(path string) int {
+		resp, err := http.Get(lc.RouterURL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		path, why string
+		want      int
+	}{
+		{"/v1/arrays/nope/scan?lo=0,0&hi=8,8", "unknown array", http.StatusNotFound},
+		{"/v1/arrays/A/scan?lo=zero,0&hi=8,8", "bad lo", http.StatusBadRequest},
+		{"/v1/arrays/A/scan?lo=0,0&hi=8,8&chunk=-3", "bad chunk", http.StatusBadRequest},
+		{"/v1/arrays/A/scan?cursor=garbage", "garbage cursor", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code := get(c.path); code != c.want {
+			t.Errorf("%s: %d, want %d", c.why, code, c.want)
+		}
+	}
+
+	// A cursor minted for one array must not resume against a
+	// different layout, a shrunken geometry, or past the plan's end.
+	box := layout.NewBox([]int64{0, 0}, []int64{16, 16})
+	wrongLayout := server.EncodeScanCursor("A", box, 64, "col-major", 1)
+	if code := get("/v1/arrays/A/scan?cursor=" + wrongLayout); code != http.StatusBadRequest {
+		t.Errorf("wrong-layout cursor: %d, want 400", code)
+	}
+	unknown := server.EncodeScanCursor("nope", box, 64, "row-major", 1)
+	if code := get("/v1/arrays/A/scan?cursor=" + unknown); code != http.StatusNotFound {
+		t.Errorf("unknown-array cursor: %d, want 404", code)
+	}
+	oob := server.EncodeScanCursor("A", layout.NewBox([]int64{0, 0}, []int64{999, 999}), 64, "row-major", 1)
+	if code := get("/v1/arrays/A/scan?cursor=" + oob); code != http.StatusBadRequest {
+		t.Errorf("out-of-bounds cursor: %d, want 400", code)
+	}
+	past := server.EncodeScanCursor("A", box, 64, "row-major", 9999)
+	if code := get("/v1/arrays/A/scan?cursor=" + past); code != http.StatusBadRequest {
+		t.Errorf("past-the-plan cursor: %d, want 400", code)
+	}
+}
+
+func TestRouterReduceRejections(t *testing.T) {
+	lc := opsConfCluster(t, 903)
+	url := lc.RouterURL + "/v1/arrays/A/reduce"
+	cases := []struct {
+		url, body, why string
+		want           int
+	}{
+		{lc.RouterURL + "/v1/arrays/nope/reduce", `{"op":"sum","lo":[0,0],"hi":[8,8]}`, "unknown array", http.StatusNotFound},
+		{url, `{"op":"sum","lo":[`, "truncated body", http.StatusBadRequest},
+		{url, `{"op":"median","lo":[0,0],"hi":[8,8]}`, "unknown op", http.StatusBadRequest},
+		{url, `{"op":"sum","lo":[0],"hi":[8]}`, "rank mismatch", http.StatusBadRequest},
+		{url, `{"op":"sum","lo":[8,8],"hi":[0,0]}`, "inverted box", http.StatusBadRequest},
+		{url, `{"op":"sum","lo":[64,64],"hi":[70,70]}`, "empty after clip", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, body := postRaw(t, c.url, c.body); code != c.want {
+			t.Errorf("%s: %d, want %d (%s)", c.why, code, c.want, body)
+		}
+	}
+}
+
+// TestRouterColMajorScan covers the catalog's column-major layout
+// reconstruction: the router's scan over a col array must plan column
+// runs, exactly as the single-node plane does.
+func TestRouterColMajorScan(t *testing.T) {
+	lc := opsConfCluster(t, 904)
+	if err := lc.Client().CreateArray("C", []int64{confEdge, confEdge}, "col"); err != nil {
+		t.Fatalf("create col array: %v", err)
+	}
+	dims := []int64{confEdge, confEdge}
+	box := layout.NewBox([]int64{0, 0}, []int64{24, 24})
+	chunks := routerScan(t, fmt.Sprintf("%s/v1/arrays/C/scan?lo=0,0&hi=24,24&chunk=%d", lc.RouterURL, confTile*confTile))
+	plan := layout.PlanScan(layout.ColMajor(dims...), box, confTile*confTile)
+	if len(chunks) != len(plan) {
+		t.Fatalf("col scan: %d chunks, plan %d", len(chunks), len(plan))
+	}
+	for i, ch := range chunks {
+		if ch.Box.String() != plan[i].String() {
+			t.Fatalf("col scan chunk %d: %v, plan %v — not column order", i, ch.Box, plan[i])
+		}
+	}
+}

@@ -117,6 +117,14 @@ type routerMetrics struct {
 	errors         *obs.Counter
 	gets           *obs.Counter
 	puts           *obs.Counter
+	batches        *obs.Counter
+	batchOps       *obs.Counter
+	batchOpErrors  *obs.Counter
+	scans          *obs.Counter
+	scanChunks     *obs.Counter
+	scanResumes    *obs.Counter
+	reduces        *obs.Counter
+	reduceElems    *obs.Counter
 	latency        *obs.Histogram
 	readRepairs    *obs.Counter
 	handoffHints   *obs.Counter
@@ -204,6 +212,15 @@ func NewRouter(o Options) (*Router, error) {
 		errors:   reg.Counter("occrouter_errors_total", "router requests that failed (5xx)"),
 		gets:     reg.Counter("occrouter_tile_gets_total", "tile reads routed"),
 		puts:     reg.Counter("occrouter_tile_puts_total", "tile writes routed"),
+		batches:  reg.Counter("occd_batch_requests_total", "batch requests routed"),
+		batchOps: reg.Counter("occd_batch_ops_total", "individual ops carried by routed batches"),
+		batchOpErrors: reg.Counter("occd_batch_op_errors_total",
+			"routed batch ops that answered a per-op 4xx/5xx"),
+		scans:       reg.Counter("occd_scan_requests_total", "streaming range scans routed"),
+		scanChunks:  reg.Counter("occd_scan_chunks_total", "scan chunks stitched and sent by the router"),
+		scanResumes: reg.Counter("occd_scan_resumes_total", "scans resumed from a cursor token"),
+		reduces:     reg.Counter("occd_reduce_requests_total", "pushed-down reductions routed"),
+		reduceElems: reg.Counter("occd_reduce_elems_total", "elements folded by routed reductions"),
 		latency: reg.Histogram("occrouter_request_seconds",
 			"routed request latency in seconds", obs.ExpBuckets(1e-5, 4, 10)),
 		readRepairs:    reg.Counter("ooc_cluster_read_repairs_total", "stale replicas rewritten after a divergent fan-out read"),
@@ -229,6 +246,9 @@ func NewRouter(o Options) (*Router, error) {
 	r.mux.HandleFunc("GET /v1/arrays/{name}", r.handleArrayGet)
 	r.mux.HandleFunc("GET /v1/arrays/{name}/tile", r.timed(r.handleTileGet))
 	r.mux.HandleFunc("PUT /v1/arrays/{name}/tile", r.timed(r.handleTilePut))
+	r.mux.HandleFunc("POST /v1/arrays/{name}/batch", r.timed(r.handleBatch))
+	r.mux.HandleFunc("GET /v1/arrays/{name}/scan", r.timed(r.handleScan))
+	r.mux.HandleFunc("POST /v1/arrays/{name}/reduce", r.timed(r.handleReduce))
 	return r, nil
 }
 
@@ -460,14 +480,38 @@ type routerStatsPayload struct {
 	Inflight          int64           `json:"inflight"`
 	Queued            int64           `json:"queued"`
 	Draining          bool            `json:"draining"`
+	Ops               routerOpsStats  `json:"ops"`
 	Cluster           clusterStats    `json:"cluster"`
 	Nodes             []nodeStat      `json:"nodes"`
+}
+
+// routerOpsStats mirrors occd's batch/scan/reduce scorecard keys, with
+// router-side counts (ops the router decomposed and fanned out).
+type routerOpsStats struct {
+	BatchRequests  int64 `json:"batch_requests"`
+	BatchOps       int64 `json:"batch_ops"`
+	BatchOpErrors  int64 `json:"batch_op_errors"`
+	ScanRequests   int64 `json:"scan_requests"`
+	ScanChunks     int64 `json:"scan_chunks"`
+	ScanResumes    int64 `json:"scan_resumes"`
+	ReduceRequests int64 `json:"reduce_requests"`
+	ReduceElems    int64 `json:"reduce_elems"`
 }
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	p := routerStatsPayload{
 		Requests: r.met.requests.Value(),
 		Draining: r.draining.Load(),
+		Ops: routerOpsStats{
+			BatchRequests:  r.met.batches.Value(),
+			BatchOps:       r.met.batchOps.Value(),
+			BatchOpErrors:  r.met.batchOpErrors.Value(),
+			ScanRequests:   r.met.scans.Value(),
+			ScanChunks:     r.met.scanChunks.Value(),
+			ScanResumes:    r.met.scanResumes.Value(),
+			ReduceRequests: r.met.reduces.Value(),
+			ReduceElems:    r.met.reduceElems.Value(),
+		},
 		Cluster: clusterStats{
 			Nodes:          len(r.members),
 			Replicas:       r.opts.Replicas,

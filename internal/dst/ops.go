@@ -1,0 +1,509 @@
+package dst
+
+// Operator episodes: the deterministic-simulation discipline applied
+// to the batched & streaming operators (PR 9). A seeded scheduler
+// drives multi-tile batch PUTs and resumable streaming scans through a
+// {router + N nodes, R replicas} LocalCluster while interrupting them
+// with the two faults the operators were designed to survive:
+//
+//   - scan-interrupted-by-crash: a streaming scan is abandoned after a
+//     random number of CRC-framed chunks (the connection a node crash
+//     would sever), a node may be power-cut and healed underneath it,
+//     and the client resumes from the last intact chunk's cursor. The
+//     chunk sequence delivered across all resume legs must equal the
+//     layout plan exactly — never a skipped box, never a chunk
+//     delivered twice — and every chunk's bytes must be values that
+//     were actually written (or the initial zero), never torn within
+//     one tile's span and never fabricated.
+//
+//   - batch-PUT-power-cut: a multi-op batch PUT gets its per-box acks,
+//     then the whole cluster loses power. After restart, every box the
+//     batch response acked must still hold the acked value (or one
+//     attempted after it) — a batch ack is the same durable promise a
+//     single-tile PUT ack is.
+//
+// The epilogue heals the world, drains owed hints, and requires every
+// tile to converge to its last acked write or a post-ack maybe, same
+// contract as the cluster episodes.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+
+	"outcore/internal/cluster"
+	"outcore/internal/layout"
+	"outcore/internal/ooc"
+	"outcore/internal/server"
+)
+
+// OpsOptions configures one operator episode. The zero value gets sane
+// defaults from RunOps; Seed alone is enough.
+type OpsOptions struct {
+	Seed int64
+
+	Rounds    int   // scheduler steps (default 40)
+	Nodes     int   // storage nodes (default 3)
+	Replicas  int   // copies per tile (default 2)
+	Tiles     int   // tile-grid length (default 8)
+	TileElems int64 // elements per tile (default 16)
+
+	HintDir    string // durable hint-log directory ("" = in-memory hints)
+	MaxPending int    // epilogue probe rounds allowed to drain hints (default 10)
+}
+
+func (o OpsOptions) withDefaults() OpsOptions {
+	if o.Rounds <= 0 {
+		o.Rounds = 40
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Tiles <= 0 {
+		o.Tiles = 8
+	}
+	if o.TileElems <= 0 {
+		o.TileElems = 16
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 10
+	}
+	return o
+}
+
+// OpsResult is one operator episode's verdict.
+type OpsResult struct {
+	Seed int64
+
+	Rounds       int
+	BatchOps     int // individual ops inside batch requests
+	BatchAcks    int // per-op 204s
+	BatchRejects int // per-op quorum refusals (surfaced, not hidden)
+	Scans        int // scan requests started
+	ScanChunks   int // intact chunks delivered across all legs
+	ScanResumes  int // cursor-resume legs
+	PowerCuts    int // whole-cluster power cuts
+	Kills        int // single-node kills under a live scan
+
+	Violations []string
+	OpLog      string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *OpsResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a one-line verdict.
+func (r *OpsResult) Summary() string {
+	verdict := "ok"
+	if r.Failed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("ops seed=%d rounds=%d batch=%d acks=%d rejects=%d scans=%d chunks=%d resumes=%d cuts=%d kills=%d %s",
+		r.Seed, r.Rounds, r.BatchOps, r.BatchAcks, r.BatchRejects, r.Scans, r.ScanChunks,
+		r.ScanResumes, r.PowerCuts, r.Kills, verdict)
+}
+
+// opsEpisode is the running state of one seeded operator episode.
+type opsEpisode struct {
+	o   OpsOptions
+	rng *rand.Rand
+	lc  *cluster.LocalCluster
+	res *OpsResult
+	log strings.Builder
+
+	written   [][]float64 // every value ever attempted on the tile
+	lastAcked []float64   // value of the most recent acked write (0 = none)
+	maybes    [][]float64 // values attempted after the last ack
+
+	nextVal float64
+}
+
+// RunOps executes one seeded operator episode. Violations are
+// collected, never panicked, so a harness can sweep many seeds and
+// report every failing one.
+func RunOps(o OpsOptions) *OpsResult {
+	o = o.withDefaults()
+	ep := &opsEpisode{
+		o:   o,
+		rng: rand.New(rand.NewSource(o.Seed)),
+		res: &OpsResult{Seed: o.Seed},
+	}
+	lc, err := cluster.NewLocal(cluster.LocalOptions{
+		Nodes:       o.Nodes,
+		Replicas:    o.Replicas,
+		TileDim:     o.TileElems, // 1-D grid: one routing tile per model tile
+		DurablePuts: true,
+		HintDir:     o.HintDir,
+		Seed:        o.Seed + 1,
+	})
+	if err != nil {
+		ep.violate("building cluster: %v", err)
+		return ep.res
+	}
+	ep.lc = lc
+	defer lc.Close()
+	if err := lc.CreateArray(arrayName, int64(o.Tiles)*o.TileElems); err != nil {
+		ep.violate("creating %s: %v", arrayName, err)
+		return ep.res
+	}
+	ep.written = make([][]float64, o.Tiles)
+	ep.maybes = make([][]float64, o.Tiles)
+	ep.lastAcked = make([]float64, o.Tiles)
+
+	for round := 0; round < o.Rounds; round++ {
+		ep.res.Rounds++
+		switch u := ep.rng.Float64(); {
+		case u < 0.45:
+			ep.batchPut()
+		case u < 0.90:
+			ep.interruptedScan()
+		default:
+			ep.powerCut("scheduled")
+		}
+	}
+	ep.epilogue()
+	ep.res.OpLog = ep.log.String()
+	return ep.res
+}
+
+// tileBox returns model tile t's (routing-aligned) box.
+func (ep *opsEpisode) tileBox(t int) layout.Box {
+	lo := int64(t) * ep.o.TileElems
+	return layout.NewBox([]int64{lo}, []int64{lo + ep.o.TileElems})
+}
+
+// batchPut issues one multi-op batch PUT through the router — several
+// whole tiles, each filled with a fresh unique value — and applies the
+// per-op acks to the model. With some probability the whole cluster
+// then loses power and the batch's acks are checked immediately: this
+// is the batch-PUT-power-cut episode.
+func (ep *opsEpisode) batchPut() {
+	n := 1 + ep.rng.Intn(4)
+	type wire struct {
+		Op   string  `json:"op"`
+		Lo   []int64 `json:"lo"`
+		Hi   []int64 `json:"hi"`
+		Data string  `json:"data_b64"`
+	}
+	ops := make([]wire, 0, n)
+	tiles := make([]int, 0, n)
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		t := ep.rng.Intn(ep.o.Tiles)
+		ep.nextVal++
+		v := ep.nextVal
+		box := ep.tileBox(t)
+		raw := make([]byte, box.Size()*ooc.ElemSize)
+		for j := int64(0); j < box.Size(); j++ {
+			binary.LittleEndian.PutUint64(raw[j*ooc.ElemSize:], math.Float64bits(v))
+		}
+		ops = append(ops, wire{Op: "put", Lo: box.Lo, Hi: box.Hi,
+			Data: base64.StdEncoding.EncodeToString(raw)})
+		tiles = append(tiles, t)
+		vals = append(vals, v)
+		ep.written[t] = append(ep.written[t], v)
+	}
+	ep.res.BatchOps += n
+
+	body, _ := json.Marshal(map[string]any{"ops": ops})
+	resp, err := http.Post(ep.lc.RouterURL+"/v1/arrays/"+arrayName+"/batch",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		// The request never got an answer: every op is a maybe.
+		for i, t := range tiles {
+			ep.maybes[t] = append(ep.maybes[t], vals[i])
+		}
+		ep.logf("batch n=%d -> transport error %v", n, err)
+		return
+	}
+	var out struct {
+		Results []struct {
+			Status int    `json:"status"`
+			Error  string `json:"error"`
+		} `json:"results"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if decodeErr != nil || len(out.Results) != n {
+		ep.violate("batch: undecodable response (err %v, %d results for %d ops)", decodeErr, len(out.Results), n)
+		return
+	}
+	acked := make([]bool, n)
+	for i, res := range out.Results {
+		t := tiles[i]
+		if res.Status == http.StatusNoContent {
+			ep.res.BatchAcks++
+			acked[i] = true
+			// Later ops in the same batch overwrite earlier ones on the
+			// same tile, so apply acks in op order.
+			ep.lastAcked[t] = vals[i]
+			ep.maybes[t] = nil
+		} else {
+			ep.res.BatchRejects++
+			ep.maybes[t] = append(ep.maybes[t], vals[i])
+		}
+	}
+	ep.logf("batch n=%d acks=%d", n, ep.res.BatchAcks)
+
+	if ep.rng.Float64() < 0.35 {
+		ep.powerCut("post-batch")
+		// The batch-PUT-power-cut check: every box this batch acked must
+		// come back as the acked value or one attempted after it.
+		for i, t := range tiles {
+			if !acked[i] {
+				continue
+			}
+			got, _, err := ep.lc.Client().GetTile(arrayName, ep.tileBox(t), true)
+			if err != nil {
+				ep.violate("batch-put-power-cut: tile %d unreadable after restart: %v", t, err)
+				continue
+			}
+			if !ep.checkUniform(t, got, "batch-put-power-cut") {
+				continue
+			}
+			if got[0] != ep.lastAcked[t] && !contains(ep.maybes[t], got[0]) {
+				ep.violate("batch-put-power-cut: tile %d = %v after restart, batch acked %v", t, got[0], ep.lastAcked[t])
+			}
+		}
+	}
+}
+
+// interruptedScan streams a scan through the router, abandons the
+// connection after a random number of chunks (maybe power-cutting a
+// node underneath it), then resumes from the last intact cursor until
+// the trailer arrives. The chunk sequence across all legs must equal
+// the layout plan exactly, and every chunk's bytes must be legitimate.
+func (ep *opsEpisode) interruptedScan() {
+	ep.res.Scans++
+	total := int64(ep.o.Tiles) * ep.o.TileElems
+	lo := ep.rng.Int63n(total - 1)
+	hi := lo + 1 + ep.rng.Int63n(total-lo)
+	box := layout.NewBox([]int64{lo}, []int64{hi})
+	chunkElems := 1 + ep.rng.Int63n(ep.o.TileElems*3)
+	plan := layout.PlanScan(layout.RowMajor(total), box, chunkElems)
+
+	url := fmt.Sprintf("%s/v1/arrays/%s/scan?lo=%d&hi=%d&chunk=%d",
+		ep.lc.RouterURL, arrayName, lo, hi, chunkElems)
+	ep.logf("scan [%d,%d) chunk=%d plan=%d", lo, hi, chunkElems, len(plan))
+
+	next := 0 // next plan index we expect
+	legs := 0
+	for {
+		legs++
+		if legs > len(plan)+4 {
+			ep.violate("scan [%d,%d): no progress after %d legs (%d/%d chunks)", lo, hi, legs, next, len(plan))
+			return
+		}
+		chunks, sawTrailer, cursor := ep.scanLeg(url, box, plan, next)
+		next += chunks
+		if sawTrailer {
+			if next != len(plan) {
+				ep.violate("scan [%d,%d): trailer after %d/%d chunks", lo, hi, next, len(plan))
+			}
+			return
+		}
+		if cursor == "" {
+			// The leg died before its first chunk (a 503 while a node is
+			// down, or a mid-frame truncation): retry the same leg.
+			ep.lc.Heal()
+			ep.lc.Router.Probe()
+			if next == 0 {
+				url = fmt.Sprintf("%s/v1/arrays/%s/scan?lo=%d&hi=%d&chunk=%d",
+					ep.lc.RouterURL, arrayName, lo, hi, chunkElems)
+				continue
+			}
+		}
+		if cursor != "" {
+			ep.res.ScanResumes++
+			url = ep.lc.RouterURL + "/v1/arrays/" + arrayName + "/scan?cursor=" + cursor
+		}
+	}
+}
+
+// scanLeg runs one HTTP leg of a scan: it validates each intact chunk
+// against the plan and the write model, may abandon the stream early
+// (simulating the crash-severed connection) and may kill + heal a node
+// mid-stream. It returns how many chunks were consumed, whether the
+// trailer arrived, and the cursor to resume from ("" if no chunk
+// arrived this leg).
+func (ep *opsEpisode) scanLeg(url string, box layout.Box, plan []layout.Box, next int) (int, bool, string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		ep.logf("scan leg -> transport error %v", err)
+		return 0, false, ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		ep.logf("scan leg -> status %d", resp.StatusCode)
+		return 0, false, ""
+	}
+	sr := server.NewScanReader(resp.Body)
+
+	// Decide this leg's interruption up front: after how many chunks we
+	// abandon the stream, and whether a node dies underneath it first.
+	abandonAfter := -1
+	if remaining := len(plan) - next; remaining > 1 && ep.rng.Intn(2) == 0 {
+		abandonAfter = 1 + ep.rng.Intn(remaining-1)
+	}
+	killAt := -1
+	if abandonAfter > 0 && ep.rng.Intn(2) == 0 {
+		killAt = ep.rng.Intn(abandonAfter)
+	}
+
+	got := 0
+	cursor := ""
+	for {
+		if got == abandonAfter {
+			ep.logf("scan leg -> abandoned after %d chunks", got)
+			return got, false, cursor
+		}
+		if got == killAt {
+			i := ep.rng.Intn(ep.lc.Nodes())
+			if !ep.lc.Killed(i) && !ep.lc.Partitioned(i) {
+				ep.res.Kills++
+				ep.lc.Kill(i)
+				ep.logf("scan leg -> kill n%d under the stream", i)
+			}
+			killAt = -1
+		}
+		ch, err := sr.Next()
+		if err == io.EOF {
+			return got, true, cursor
+		}
+		if err != nil {
+			// A truncated or corrupt tail — everything before it was CRC
+			// intact, so resuming from `cursor` is safe.
+			ep.logf("scan leg -> stream error after %d chunks: %v", got, err)
+			return got, false, cursor
+		}
+		idx := next + got
+		if idx >= len(plan) {
+			ep.violate("scan: chunk seq %d beyond the %d-chunk plan", ch.Seq, len(plan))
+			return got, true, cursor
+		}
+		if ch.Seq != uint64(idx) || ch.Box.String() != plan[idx].String() {
+			ep.violate("scan: got seq %d box %v, plan position %d is %v — skipped or re-delivered",
+				ch.Seq, ch.Box, idx, plan[idx])
+			return got, true, cursor
+		}
+		ep.checkChunk(ch)
+		got++
+		cursor = ch.Cursor
+		ep.res.ScanChunks++
+	}
+}
+
+// checkChunk verifies one intact chunk's bytes against the model: the
+// span inside any one tile is uniform (never torn) and holds a value
+// actually written to that tile (or the initial zero). Staleness is
+// legal — a chunk may predate a concurrent write — fabrication is not.
+func (ep *opsEpisode) checkChunk(ch *server.ScanChunk) {
+	lo, hi := ch.Box.Lo[0], ch.Box.Hi[0]
+	for t := int(lo / ep.o.TileElems); int64(t)*ep.o.TileElems < hi; t++ {
+		s := max64(lo, int64(t)*ep.o.TileElems)
+		e := min64(hi, (int64(t)+1)*ep.o.TileElems)
+		v := ch.Data[s-lo]
+		for i := s; i < e; i++ {
+			if ch.Data[i-lo] != v {
+				ep.violate("scan: chunk %v torn inside tile %d: elem %d = %v, elem %d = %v",
+					ch.Box, t, i, ch.Data[i-lo], s, v)
+				return
+			}
+		}
+		if v != 0 && !contains(ep.written[t], v) {
+			ep.violate("scan: chunk %v carries %v, never written to tile %d", ch.Box, v, t)
+		}
+	}
+}
+
+// checkUniform requires a whole-tile read to be a single value.
+func (ep *opsEpisode) checkUniform(t int, got []float64, where string) bool {
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			ep.violate("%s: tile %d torn: elem %d = %v, elem 0 = %v", where, t, i, got[i], got[0])
+			return false
+		}
+	}
+	return true
+}
+
+// powerCut kills every node, heals the cluster, and probes so the
+// router re-admits everyone.
+func (ep *opsEpisode) powerCut(why string) {
+	ep.res.PowerCuts++
+	for i := 0; i < ep.lc.Nodes(); i++ {
+		if !ep.lc.Killed(i) {
+			ep.lc.Kill(i)
+		}
+	}
+	ep.lc.Heal()
+	ep.lc.Router.Probe()
+	ep.logf("power cut (%s)", why)
+}
+
+// epilogue heals the world, drains owed hints, and requires every tile
+// to converge to its last acked write or a post-ack maybe.
+func (ep *opsEpisode) epilogue() {
+	ep.logf("epilogue heal")
+	ep.lc.Heal()
+	ep.lc.Router.Probe()
+	for round := 0; ep.lc.HintsPendingTotal() > 0; round++ {
+		if round >= ep.o.MaxPending {
+			ep.violate("epilogue: %d hints still queued after %d probe rounds",
+				ep.lc.HintsPendingTotal(), round)
+			break
+		}
+		ep.lc.Router.Probe()
+	}
+	cli := ep.lc.Client()
+	for t := 0; t < ep.o.Tiles; t++ {
+		got, _, err := cli.GetTile(arrayName, ep.tileBox(t), true)
+		if err != nil {
+			ep.violate("epilogue: reading tile %d with all nodes up: %v", t, err)
+			continue
+		}
+		if !ep.checkUniform(t, got, "epilogue") {
+			continue
+		}
+		v := got[0]
+		if v != ep.lastAcked[t] && !(v == 0 && ep.lastAcked[t] == 0) && !contains(ep.maybes[t], v) {
+			ep.violate("epilogue: tile %d converged to %v, want the acked %v or one of %d post-ack maybes",
+				t, v, ep.lastAcked[t], len(ep.maybes[t]))
+		}
+	}
+}
+
+func (ep *opsEpisode) violate(format string, args ...any) {
+	ep.res.Violations = append(ep.res.Violations, fmt.Sprintf(format, args...))
+	ep.logf("VIOLATION: "+format, args...)
+}
+
+func (ep *opsEpisode) logf(format string, args ...any) {
+	fmt.Fprintf(&ep.log, format, args...)
+	ep.log.WriteByte('\n')
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

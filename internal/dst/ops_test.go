@@ -1,0 +1,82 @@
+package dst
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestOpsEpisodes sweeps the operator episodes — scan-interrupted-by-
+// crash and batch-PUT-power-cut — across seeds; every one must pass
+// its resume-exactness and acked-durability invariants. CI's nightly
+// chaos job runs a wider sweep through cmd/occhaos -operators.
+func TestOpsEpisodes(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res := RunOps(OpsOptions{Seed: seed})
+			if res.Failed() {
+				t.Errorf("%s", res.Summary())
+				for _, v := range res.Violations {
+					t.Errorf("  violation: %s", v)
+				}
+				t.Logf("op log:\n%s", res.OpLog)
+			}
+		})
+	}
+}
+
+// TestOpsEpisodeStats sanity-checks that the sweep actually exercised
+// both episodes' fault machinery — resumed scans, mid-stream kills,
+// and post-batch power cuts all have to occur, or the episodes prove
+// nothing.
+func TestOpsEpisodeStats(t *testing.T) {
+	var resumes, kills, cuts, acks, chunks int
+	for seed := int64(1); seed <= 10; seed++ {
+		res := RunOps(OpsOptions{Seed: seed})
+		if res.Failed() {
+			t.Fatalf("%s\nviolations: %v\nop log:\n%s", res.Summary(), res.Violations, res.OpLog)
+		}
+		resumes += res.ScanResumes
+		kills += res.Kills
+		cuts += res.PowerCuts
+		acks += res.BatchAcks
+		chunks += res.ScanChunks
+	}
+	if resumes == 0 || kills == 0 || cuts == 0 || acks == 0 || chunks == 0 {
+		t.Fatalf("10 episodes exercised resumes=%d kills=%d cuts=%d acks=%d chunks=%d; want all nonzero",
+			resumes, kills, cuts, acks, chunks)
+	}
+}
+
+// TestOpsEpisodeDurableHints replays an operator episode with the
+// durable hint log in the path.
+func TestOpsEpisodeDurableHints(t *testing.T) {
+	res := RunOps(OpsOptions{Seed: 3, HintDir: t.TempDir()})
+	if res.Failed() {
+		t.Fatalf("%s\nviolations: %v\nop log:\n%s", res.Summary(), res.Violations, res.OpLog)
+	}
+}
+
+// TestOpsResultSummary pins the verdict line and the violation
+// plumbing occhaos prints on a red episode.
+func TestOpsResultSummary(t *testing.T) {
+	ok := OpsResult{Seed: 7, Rounds: 40, BatchAcks: 3}
+	if ok.Failed() || !strings.Contains(ok.Summary(), "seed=7") || !strings.Contains(ok.Summary(), " ok") {
+		t.Errorf("clean summary wrong: %q", ok.Summary())
+	}
+	ep := &opsEpisode{res: &OpsResult{}}
+	ep.violate("tile %d lost", 9)
+	ep.res.Violations = append(ep.res.Violations, "second")
+	if !ep.res.Failed() || !strings.Contains(ep.res.Summary(), "FAIL (2 violations)") {
+		t.Errorf("failing summary wrong: %q", ep.res.Summary())
+	}
+	if ep.res.Violations[0] != "tile 9 lost" {
+		t.Errorf("violation not formatted: %q", ep.res.Violations[0])
+	}
+}

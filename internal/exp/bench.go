@@ -104,6 +104,19 @@ type BenchEntry struct {
 	Replicas     int   `json:"replicas,omitempty"`
 	HandoffHints int64 `json:"handoff_hints,omitempty"`
 	ReadRepairs  int64 `json:"read_repairs,omitempty"`
+
+	// Batched/streaming-operator metrics (occload scenario rows only,
+	// additive as above). RoundTrips is the HTTP requests the workload
+	// actually issued; PointRoundTrips is what moving the same tile
+	// volume would have cost as single-tile requests — their ratio is
+	// the operators' round-trip reduction at equal bytes, and CI gates
+	// serve-scan rows at 5x.
+	RoundTrips      int64 `json:"round_trips,omitempty"`
+	PointRoundTrips int64 `json:"point_round_trips,omitempty"`
+	ScanRequests    int64 `json:"scan_requests,omitempty"`
+	ScanChunks      int64 `json:"scan_chunks,omitempty"`
+	BatchRequests   int64 `json:"batch_requests,omitempty"`
+	BatchOps        int64 `json:"batch_ops,omitempty"`
 }
 
 // BenchFailure records one (kernel, configuration) run that errored;

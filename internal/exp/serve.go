@@ -28,5 +28,11 @@ func LoadBenchEntry(kernel, config string, r server.LoadResult) BenchEntry {
 		Replicas:          r.Replicas,
 		HandoffHints:      r.HandoffHints,
 		ReadRepairs:       r.ReadRepairs,
+		RoundTrips:        r.RoundTrips,
+		PointRoundTrips:   r.PointRoundTrips,
+		ScanRequests:      r.ScanRequests,
+		ScanChunks:        r.ScanChunks,
+		BatchRequests:     r.BatchRequests,
+		BatchOps:          r.BatchOpsMoved,
 	}
 }

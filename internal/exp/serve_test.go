@@ -15,7 +15,10 @@ func TestLoadBenchEntryFields(t *testing.T) {
 		P50: 0.001, P99: 0.004,
 		PutP50: 0.002, PutP99: 0.006,
 		Hits: 590, Misses: 10, HitRate: 590.0 / 600,
-		Coalesced: 7,
+		Coalesced:  7,
+		RoundTrips: 600, PointRoundTrips: 3600,
+		ScanRequests: 400, ScanChunks: 3200,
+		BatchRequests: 100, BatchOpsMoved: 800,
 	})
 	raw, err := json.Marshal(e)
 	if err != nil {
@@ -25,6 +28,8 @@ func TestLoadBenchEntryFields(t *testing.T) {
 		"requests", "throughput_rps", "latency_p50_seconds",
 		"latency_p99_seconds", "latency_put_p50_seconds",
 		"latency_put_p99_seconds", "coalesced_fetches", "rejected",
+		"round_trips", "point_round_trips", "scan_requests",
+		"scan_chunks", "batch_requests", "batch_ops",
 	} {
 		if !strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("load entry missing %q: %s", key, raw)
@@ -54,7 +59,8 @@ func TestServeFieldsAreAdditive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(string(raw), "throughput_rps") || strings.Contains(string(raw), "requests") {
+	if strings.Contains(string(raw), "throughput_rps") || strings.Contains(string(raw), "requests") ||
+		strings.Contains(string(raw), "round_trips") {
 		t.Errorf("suite row carries serving fields: %s", raw)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,6 +35,26 @@ type LoadSpec struct {
 	ReadFrac float64 // fraction of reads (rest are tile writes)
 	Seed     int64   // deterministic tile-choice streams
 	Compress bool    // negotiate the x-ooc-gorilla wire coding both ways
+
+	// Scenario selects the operator mix. "" or "point" is the classic
+	// single-tile GET/PUT workload. "scan-heavy" replaces most reads
+	// with streaming range scans that each cover a full stripe of tiles
+	// in one request; "write-heavy" replaces most writes with multi-op
+	// batch PUTs; "mixed" interleaves scans, batches, and point ops.
+	Scenario string
+	BatchOps int // tiles per batch request (default 8)
+
+	// OpenLoopRate switches the harness from closed-loop (each client
+	// fires its next request when the previous answer lands — a regime
+	// that hides server stalls by slowing the offered load with them)
+	// to an open-loop schedule: arrivals are fixed at this many
+	// requests/second across all clients BEFORE the run starts, and
+	// each request's latency is measured from its scheduled arrival,
+	// not from when the client got around to sending it. A stalled
+	// server therefore accrues queueing delay in the percentiles
+	// instead of silently thinning the load — the coordinated-omission
+	// trap the closed loop falls into. 0 keeps the closed loop.
+	OpenLoopRate float64
 }
 
 // LoadResult is one load run's scorecard: client-side throughput and
@@ -66,6 +87,18 @@ type LoadResult struct {
 	Replicas     int   // copies per tile the router maintains
 	HandoffHints int64 // writes durably queued for down replicas during the run
 	ReadRepairs  int64 // stale replicas rewritten during the run
+
+	// Operator accounting. RoundTrips counts HTTP requests actually
+	// issued; PointRoundTrips counts what moving the same tile volume
+	// would have cost as single-tile requests. Their ratio is the
+	// batched/streaming operators' round-trip reduction at equal bytes
+	// (1:1 for a pure point workload).
+	RoundTrips      int64
+	PointRoundTrips int64
+	ScanRequests    int64 // streaming scans issued
+	ScanChunks      int64 // CRC-framed chunks those scans delivered
+	BatchRequests   int64 // batch requests issued
+	BatchOpsMoved   int64 // individual ops inside those batches
 }
 
 // tiles enumerates the aligned tile grid over dims.
@@ -132,8 +165,18 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		ok, rejected, errs int
 		lat                []time.Duration
 		putLat             []time.Duration
+
+		roundTrips, pointTrips int64
+		scans, scanChunks      int64
+		batches, batchOps      int64
 	}
 	tallies := make([]clientTally, spec.Clients)
+	// The open-loop inter-arrival gap per client: arrivals are pinned
+	// to the schedule computed here, before the run starts.
+	var interarrival time.Duration
+	if spec.OpenLoopRate > 0 {
+		interarrival = time.Duration(float64(time.Second) * float64(spec.Clients) / spec.OpenLoopRate)
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < spec.Clients; c++ {
@@ -149,10 +192,45 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 			pick := picker(rng, spec.ZipfS, len(tiles))
 			id := fmt.Sprintf("load-client-%d", c)
 			for i := 0; i < per; i++ {
-				box := tiles[pick()]
-				read := rng.Float64() < spec.ReadFrac
 				t0 := time.Now()
-				status, err := doTileRequest(client, id, spec.BaseURL, spec.Array, box, read, spec.Compress, rng)
+				if interarrival > 0 {
+					// Open loop: latency runs from the scheduled arrival,
+					// so a late send (the server stalled us) shows up as
+					// queueing delay instead of vanishing.
+					sched := start.Add(time.Duration(int64(i)*int64(spec.Clients)+int64(c)) * interarrival / time.Duration(spec.Clients))
+					if wait := time.Until(sched); wait > 0 {
+						time.Sleep(wait)
+					}
+					t0 = sched
+				}
+				var status int
+				var err error
+				isPut := false
+				tally.roundTrips++
+				switch spec.pickOp(rng) {
+				case opScan:
+					var chunks int64
+					var pointEq int64
+					status, chunks, pointEq, err = doScanRequest(client, id, spec, tiles[pick()], rng)
+					tally.scans++
+					tally.scanChunks += chunks
+					tally.pointTrips += pointEq
+				case opBatch:
+					n := spec.BatchOps
+					if n <= 0 {
+						n = 8
+					}
+					status, err = doBatchRequest(client, id, spec, tiles, pick, n, rng)
+					isPut = true
+					tally.batches++
+					tally.batchOps += int64(n)
+					tally.pointTrips += int64(n)
+				default:
+					read := rng.Float64() < spec.ReadFrac
+					isPut = !read
+					status, err = doTileRequest(client, id, spec.BaseURL, spec.Array, tiles[pick()], read, spec.Compress, rng)
+					tally.pointTrips++
+				}
 				d := time.Since(t0)
 				switch {
 				case err != nil:
@@ -162,7 +240,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				case status >= 200 && status < 300:
 					tally.ok++
 					tally.lat = append(tally.lat, d)
-					if !read {
+					if isPut {
 						tally.putLat = append(tally.putLat, d)
 					}
 				default:
@@ -185,6 +263,12 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		res.OK += tallies[i].ok
 		res.Rejected += tallies[i].rejected
 		res.Errors += tallies[i].errs
+		res.RoundTrips += tallies[i].roundTrips
+		res.PointRoundTrips += tallies[i].pointTrips
+		res.ScanRequests += tallies[i].scans
+		res.ScanChunks += tallies[i].scanChunks
+		res.BatchRequests += tallies[i].batches
+		res.BatchOpsMoved += tallies[i].batchOps
 		lat = append(lat, tallies[i].lat...)
 		putLat = append(putLat, tallies[i].putLat...)
 	}
@@ -213,6 +297,135 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 		res.ReadRepairs = after.Cluster.ReadRepairs - before.Cluster.ReadRepairs
 	}
 	return res, nil
+}
+
+// Load op kinds per request.
+const (
+	opPoint = iota
+	opScan
+	opBatch
+)
+
+// pickOp chooses this request's operator under the spec's scenario.
+func (spec LoadSpec) pickOp(rng *rand.Rand) int {
+	switch spec.Scenario {
+	case "scan-heavy":
+		if rng.Float64() < 0.8 {
+			return opScan
+		}
+	case "write-heavy":
+		if rng.Float64() < 0.8 {
+			return opBatch
+		}
+	case "mixed":
+		switch u := rng.Float64(); {
+		case u < 1.0/3:
+			return opScan
+		case u < 2.0/3:
+			return opBatch
+		}
+	}
+	return opPoint
+}
+
+// doScanRequest streams one range scan: the chosen tile's box widened
+// to the array's full extent along the last dimension, chunked at one
+// tile per frame — the same bytes a client would otherwise move with
+// one point GET per tile on the stripe. Returns the chunk count
+// consumed and that point-GET equivalent.
+func doScanRequest(client *http.Client, id string, spec LoadSpec, tile layout.Box, rng *rand.Rand) (int, int64, int64, error) {
+	last := len(tile.Lo) - 1
+	lo := append([]int64{}, tile.Lo...)
+	hi := append([]int64{}, tile.Hi...)
+	edge := hi[last] - lo[last]
+	lo[last] = 0
+	hi[last] = spec.Dims[last]
+	pointEq := (spec.Dims[last] + edge - 1) / edge
+	chunk := edge
+	for d := 0; d < last; d++ {
+		chunk *= hi[d] - lo[d]
+	}
+	url := fmt.Sprintf("%s/v1/arrays/%s/scan?lo=%s&hi=%s&chunk=%d",
+		spec.BaseURL, spec.Array, coordList(lo), coordList(hi), chunk)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if spec.Compress {
+		req.Header.Set("Accept-Encoding", WireEncoding)
+	}
+	req.Header.Set("X-Client-ID", id)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, 0, 0, nil
+	}
+	sr := NewScanReader(resp.Body)
+	chunks := int64(0)
+	for {
+		_, err := sr.Next()
+		if err == io.EOF {
+			return resp.StatusCode, chunks, pointEq, nil
+		}
+		if err != nil {
+			return 0, chunks, pointEq, err
+		}
+		chunks++
+	}
+}
+
+// doBatchRequest issues one multi-op batch PUT over n picked tiles
+// (smooth payloads, like the point writes). The per-op statuses fold
+// into one verdict: any failed op fails the request.
+func doBatchRequest(client *http.Client, id string, spec LoadSpec, tiles []layout.Box, pick func() int, n int, rng *rand.Rand) (int, error) {
+	type wireOp struct {
+		Op   string  `json:"op"`
+		Lo   []int64 `json:"lo"`
+		Hi   []int64 `json:"hi"`
+		Data string  `json:"data_b64"`
+	}
+	ops := make([]wireOp, 0, n)
+	for i := 0; i < n; i++ {
+		box := tiles[pick()]
+		data := make([]float64, box.Size())
+		tileBase := float64(rng.Intn(4000)) * 0.25
+		for j := range data {
+			data[j] = tileBase + float64(j)*0.25
+		}
+		ops = append(ops, wireOp{Op: "put", Lo: box.Lo, Hi: box.Hi,
+			Data: base64.StdEncoding.EncodeToString(encodePayload(data))})
+	}
+	body, _ := json.Marshal(map[string]any{"ops": ops})
+	req, err := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("%s/v1/arrays/%s/batch", spec.BaseURL, spec.Array), bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", id)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	var out struct {
+		Failed int `json:"failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	if out.Failed > 0 {
+		return http.StatusInternalServerError, nil
+	}
+	return resp.StatusCode, nil
 }
 
 // doTileRequest issues one tile read or write as client id and returns

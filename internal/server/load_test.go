@@ -78,6 +78,109 @@ func TestRunLoadAgainstServer(t *testing.T) {
 	}
 }
 
+// TestRunLoadScanScenario drives the scan-heavy operator scenario in
+// open-loop mode: scans must move the stripe's tiles in single
+// requests, so the point-GET round-trip equivalent has to come out
+// well above the requests actually issued — the ratio the serve-scan
+// bench rows gate on.
+func TestRunLoadScanScenario(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 64, 64)
+	res, err := RunLoad(LoadSpec{
+		BaseURL:      ts.http.URL,
+		Array:        "A",
+		Dims:         []int64{64, 64},
+		TileEdge:     8,
+		Clients:      4,
+		Requests:     120,
+		ReadFrac:     1,
+		Seed:         7,
+		Scenario:     "scan-heavy",
+		OpenLoopRate: 100000, // effectively unthrottled; exercises the schedule path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 120 || res.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want 120/0", res.OK, res.Errors)
+	}
+	if res.ScanRequests == 0 || res.ScanChunks == 0 {
+		t.Fatalf("scan scenario issued no scans: %+v", res)
+	}
+	if res.RoundTrips != 120 {
+		t.Errorf("round trips %d, want 120", res.RoundTrips)
+	}
+	// 80% scans, each spanning 8 tiles of the 64-wide stripe: the
+	// point-GET equivalent must clear the 5x gate with margin.
+	if res.PointRoundTrips < 5*res.RoundTrips {
+		t.Errorf("point equivalent %d < 5x round trips %d — scans are not batching the stripe",
+			res.PointRoundTrips, res.RoundTrips)
+	}
+}
+
+// TestRunLoadBatchScenario drives the write-heavy batch scenario.
+func TestRunLoadBatchScenario(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 64, 64)
+	res, err := RunLoad(LoadSpec{
+		BaseURL:  ts.http.URL,
+		Array:    "A",
+		Dims:     []int64{64, 64},
+		TileEdge: 8,
+		Clients:  4,
+		Requests: 120,
+		ReadFrac: 0.5,
+		Seed:     7,
+		Scenario: "write-heavy",
+		BatchOps: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 120 || res.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want 120/0", res.OK, res.Errors)
+	}
+	if res.BatchRequests == 0 || res.BatchOpsMoved < 8*res.BatchRequests {
+		t.Fatalf("batch scenario incoherent: %+v", res)
+	}
+	if res.PointRoundTrips < 5*res.RoundTrips {
+		t.Errorf("point equivalent %d < 5x round trips %d", res.PointRoundTrips, res.RoundTrips)
+	}
+}
+
+// TestRunLoadMixedScenario drives the three-way mix: scans, batches
+// and point ops must all appear, and the tally must cover every
+// request.
+func TestRunLoadMixedScenario(t *testing.T) {
+	ts := newTestServer(t, Config{}, nil)
+	ts.createArray(t, "A", 64, 64)
+	res, err := RunLoad(LoadSpec{
+		BaseURL:  ts.http.URL,
+		Array:    "A",
+		Dims:     []int64{64, 64},
+		TileEdge: 8,
+		Clients:  4,
+		Requests: 150,
+		ReadFrac: 0.7,
+		Seed:     11,
+		Scenario: "mixed",
+		BatchOps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 150 || res.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want 150/0", res.OK, res.Errors)
+	}
+	if res.ScanRequests == 0 || res.BatchRequests == 0 {
+		t.Fatalf("mixed scenario missing an op kind: %+v", res)
+	}
+	points := res.RoundTrips - res.ScanRequests - res.BatchRequests
+	if points <= 0 {
+		t.Errorf("mixed scenario issued no point ops: %+v", res)
+	}
+}
+
 func TestRateLimiterEvictionBound(t *testing.T) {
 	l := newRateLimiter(1, 1, func() time.Time { return time.Unix(0, 0) })
 	l.maxClients = 8

@@ -1,0 +1,824 @@
+// Batched and streaming operators: multi-tile batch GET/PUT, the
+// layout-aware streaming range scan, and pushed-down reductions. These
+// are the serving-plane answer to ROADMAP item 4 — aggregate traffic
+// should move bytes-out, not tiles-out, and a range read should cost
+// one round-trip planned from the array's layout hyperplane instead of
+// one HTTP request per tile.
+//
+//	POST /v1/arrays/{name}/batch    many GET/PUT boxes, one admission
+//	                                slot, per-op status (partial
+//	                                failure is explicit, not a 500)
+//	GET  /v1/arrays/{name}/scan     streaming range scan: CRC-framed
+//	                                chunks over chunked transfer
+//	                                encoding, visit order planned via
+//	                                layout.PlanScan, resumable by the
+//	                                opaque cursor each frame carries
+//	POST /v1/arrays/{name}/reduce   sum/min/max/count over a box,
+//	                                folded tile-side, scalar out
+//
+// Consistency: every batch op and every scan chunk takes the array's
+// tile lock exactly as the single-tile handlers do (ops and chunks are
+// individually atomic against concurrent PUTs; the stream as a whole
+// is not a snapshot). A scan chunk's payload is byte-identical to a
+// tile GET of the chunk's box, batch ops are identical to the same
+// boxes issued one request at a time, and a reduce equals the
+// client-side row-major fold over a plain GET — the differential
+// contract the conformance suite replays.
+package server
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"outcore/internal/layout"
+	"outcore/internal/obs"
+	"outcore/internal/ooc"
+)
+
+// Scan wire format: a sequence of little-endian frames, one per chunk,
+// closed by a trailer frame.
+//
+//	[0:4)   magic "OCS1"
+//	[4:8)   flags (bit 0: payload is a codec frame; bit 1: trailer)
+//	[8:16)  seq — chunk index in the plan; on the trailer, the plan length
+//	[16:20) rank
+//	[20:24) cursor length in bytes
+//	[24:28) payload length in bytes
+//	then    lo[rank] int64, hi[rank] int64
+//	then    cursor bytes — resumes the scan AFTER this chunk
+//	then    payload bytes — box-local row-major float64, raw or codec frame
+//	then    CRC-32C over everything above
+//
+// A client that stops mid-stream resumes by presenting the cursor of
+// the last frame whose CRC checked out; the plan is a pure function of
+// (layout, box, chunk size), so the resumed scan continues at exactly
+// the next chunk — never skipping, never double-delivering.
+const (
+	// ScanContentType marks a scan response body.
+	ScanContentType = "application/x-ooc-scan"
+	// DefaultScanChunkElems is the chunk size when ?chunk is absent.
+	DefaultScanChunkElems = int64(1) << 16
+
+	scanMagic          = 0x3153434f // "OCS1" little-endian
+	scanFlagCompressed = 1 << 0
+	scanFlagTrailer    = 1 << 1
+	scanHeaderLen      = 28
+	maxScanRank        = 64
+	maxScanCursorLen   = 4096
+
+	// maxBatchOps caps one batch request's op list.
+	maxBatchOps = 4096
+	// maxBatchBody caps the batch request body read.
+	maxBatchBody = int64(1) << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// opsMetrics are the batch/scan/reduce registry series.
+type opsMetrics struct {
+	batchRequests  *obs.Counter
+	batchOps       *obs.Counter
+	batchOpErrors  *obs.Counter
+	scanRequests   *obs.Counter
+	scanChunks     *obs.Counter
+	scanResumes    *obs.Counter
+	reduceRequests *obs.Counter
+	reduceElems    *obs.Counter
+}
+
+// ---------------------------------------------------------------------------
+// Batch
+
+// batchOp is one entry of a batch request: "get" returns the box's
+// bytes, "put" writes them. Data is base64 of the raw little-endian
+// float64 payload (JSON numbers would lose NaN/Inf and bit-exactness).
+// Gen, when non-zero on a put, generation-gates the write exactly like
+// the X-Tile-Gen header on a single-tile PUT.
+type batchOp struct {
+	Op   string  `json:"op"`
+	Lo   []int64 `json:"lo"`
+	Hi   []int64 `json:"hi"`
+	Data string  `json:"data_b64,omitempty"`
+	Gen  uint64  `json:"gen,omitempty"`
+}
+
+type batchRequest struct {
+	Ops []batchOp `json:"ops"`
+}
+
+// batchResult reports one op's outcome with single-tile semantics:
+// 200 a get served, 204 a put applied, 4xx the op was rejected. The
+// batch as a whole answers 200 whenever it was well-formed enough to
+// run — per-op status is the partial-failure contract.
+type batchResult struct {
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Elems  int64  `json:"elems,omitempty"`
+	Data   string `json:"data_b64,omitempty"`
+	Gen    uint64 `json:"gen,omitempty"`
+	Stale  bool   `json:"stale,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+	Failed  int           `json:"failed"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ar := s.disk.ArrayByName(r.PathValue("name"))
+	if ar == nil {
+		httpError(w, http.StatusNotFound, "no array %q", r.PathValue("name"))
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, "batch needs at least one op")
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		httpError(w, http.StatusBadRequest, "batch of %d ops over the limit of %d", len(req.Ops), maxBatchOps)
+		return
+	}
+	s.met.ops.batchRequests.Inc()
+	resp := batchResponse{Results: make([]batchResult, len(req.Ops))}
+	for i, op := range req.Ops {
+		resp.Results[i] = s.batchOne(ar, op)
+		s.met.ops.batchOps.Inc()
+		if resp.Results[i].Status >= 400 {
+			s.met.ops.batchOpErrors.Inc()
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchOne runs one op with exactly the single-tile handlers'
+// semantics: the same box validation and limits, the same per-array
+// lock discipline, the same generation merge, and — under DurablePuts
+// — the same flush-before-ack durability for every applied put.
+func (s *Server) batchOne(ar *ooc.Array, op batchOp) batchResult {
+	box, status, msg := s.resolveBox(ar, op.Lo, op.Hi)
+	if status != 0 {
+		return batchResult{Status: status, Error: msg}
+	}
+	switch op.Op {
+	case "get":
+		payload, gen, err := s.readBoxPayload(ar, box)
+		if err != nil {
+			return s.batchEngineError(err)
+		}
+		s.met.wireRaw.Add(box.Size() * ooc.ElemSize)
+		s.met.wireBytes.Add(int64(len(payload)))
+		return batchResult{
+			Status: http.StatusOK,
+			Elems:  box.Size(),
+			Data:   base64.StdEncoding.EncodeToString(payload),
+			Gen:    gen,
+		}
+	case "put":
+		raw, err := base64.StdEncoding.DecodeString(op.Data)
+		if err != nil {
+			return batchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("bad data_b64: %v", err)}
+		}
+		if int64(len(raw)) != box.Size()*ooc.ElemSize {
+			return batchResult{Status: http.StatusBadRequest,
+				Error: fmt.Sprintf("payload of %d bytes, want %d for %v", len(raw), box.Size()*ooc.ElemSize, box)}
+		}
+		data := ooc.GetF64(int(box.Size()))
+		defer ooc.PutF64(data)
+		decodePayload(raw, data)
+		s.met.wireRaw.Add(box.Size() * ooc.ElemSize)
+		s.met.wireBytes.Add(int64(len(raw)))
+		stored, stale, err := s.applyPut(ar, box, data, op.Gen, op.Gen != 0)
+		if err != nil {
+			return s.batchEngineError(err)
+		}
+		res := batchResult{Status: http.StatusNoContent, Elems: box.Size(), Stale: stale}
+		if op.Gen != 0 {
+			res.Gen = stored
+		}
+		return res
+	default:
+		return batchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("unknown op %q (get, put)", op.Op)}
+	}
+}
+
+// batchEngineError maps an engine failure onto a per-op status the
+// same way engineError maps it onto a response.
+func (s *Server) batchEngineError(err error) batchResult {
+	if err == ooc.ErrEngineClosed {
+		return batchResult{Status: http.StatusServiceUnavailable, Error: "engine closed"}
+	}
+	s.met.errors.Inc()
+	return batchResult{Status: http.StatusInternalServerError, Error: err.Error()}
+}
+
+// resolveBox validates lo/hi against the array exactly as tileTarget
+// does for query params, returning a non-zero HTTP status on failure.
+func (s *Server) resolveBox(ar *ooc.Array, lo, hi []int64) (layout.Box, int, string) {
+	rank := len(ar.Meta.Dims)
+	if len(lo) != rank || len(hi) != rank {
+		return layout.Box{}, http.StatusBadRequest,
+			fmt.Sprintf("box rank %d/%d, array rank %d", len(lo), len(hi), rank)
+	}
+	for d := range lo {
+		if lo[d] < 0 {
+			return layout.Box{}, http.StatusBadRequest, fmt.Sprintf("negative coordinate %d", lo[d])
+		}
+		if hi[d] < lo[d] {
+			return layout.Box{}, http.StatusBadRequest,
+				fmt.Sprintf("hi[%d]=%d below lo[%d]=%d", d, hi[d], d, lo[d])
+		}
+	}
+	box := layout.NewBox(lo, hi).Clip(ar.Meta.Dims)
+	if box.Empty() {
+		return layout.Box{}, http.StatusBadRequest,
+			fmt.Sprintf("box %v is empty after clipping to %v", layout.NewBox(lo, hi), ar.Meta.Dims)
+	}
+	if lim := s.cfg.MaxTileElems; lim > 0 && box.Size() > lim {
+		return layout.Box{}, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("box %v holds %d elements, over the per-op limit of %d", box, box.Size(), lim)
+	}
+	return box, 0, ""
+}
+
+// readBoxPayload reads one box under the shared tile lock and returns
+// its raw payload and write generation — the batch-get twin of the
+// tile GET flight body (batch gets don't coalesce; the batch itself is
+// the amortization).
+func (s *Server) readBoxPayload(ar *ooc.Array, box layout.Box) ([]byte, uint64, error) {
+	lk := s.lockFor(ar.Meta.Name)
+	lk.mu.RLock()
+	defer lk.mu.RUnlock()
+	h, err := s.eng.Acquire(ar, box)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer s.eng.Release(h, false)
+	return encodePayload(h.Tile().Data()), lk.overlapGen(box), nil
+}
+
+// applyPut lands one decoded write with the single-tile PUT's exact
+// semantics: per-cell LWW generation merge under the exclusive lock,
+// flight-key versioning, and flush-before-ack under DurablePuts.
+// Returns the stored generation and whether the write was wholly
+// superseded (stale).
+func (s *Server) applyPut(ar *ooc.Array, box layout.Box, src []float64, gen uint64, genGated bool) (uint64, bool, error) {
+	lk := s.lockFor(ar.Meta.Name)
+	lk.mu.Lock()
+	var apply []layout.Box // nil: the whole box; non-nil: the merge remainder
+	if genGated {
+		if newer := lk.newerOverlaps(box, gen); len(newer) > 0 {
+			if apply = subtractBoxes(box, newer); len(apply) == 0 {
+				stored := lk.overlapGen(box)
+				lk.mu.Unlock()
+				return stored, true, nil
+			}
+		}
+	}
+	h, err := s.eng.Acquire(ar, box)
+	if err != nil {
+		lk.mu.Unlock()
+		return 0, false, err
+	}
+	if apply == nil {
+		copy(h.Tile().Data(), src)
+	} else {
+		for _, region := range apply {
+			copyBoxLocal(h.Tile().Data(), src, box, region)
+		}
+	}
+	s.eng.Release(h, true)
+	if genGated {
+		lk.setGen(box.String(), box, gen)
+	}
+	lk.gen.Add(1)
+	lk.mu.Unlock()
+	if s.cfg.DurablePuts {
+		if err := s.eng.FlushOverlapping(ar, box); err != nil {
+			return 0, false, err
+		}
+		if err := ar.Sync(); err != nil {
+			return 0, false, err
+		}
+	}
+	return gen, false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+// ScanCursor is the decoded resume token: enough to re-derive the plan
+// (which is a pure function of layout, box and chunk size) plus the
+// next chunk index to serve. Exported because the router parses and
+// mints the same tokens against its catalog.
+type ScanCursor struct {
+	Name       string
+	Box        layout.Box
+	ChunkElems int64
+	Layout     string
+	Seq        uint64
+}
+
+// EncodeScanCursor renders an opaque resume token. Exported for the
+// router, the load harness and tests; clients normally just echo the
+// cursor a frame carried.
+func EncodeScanCursor(name string, box layout.Box, chunkElems int64, layoutName string, seq uint64) string {
+	plain := fmt.Sprintf("ooc-scan/1|%s|%s|%s|%d|%s|%d",
+		name, coordList(box.Lo), coordList(box.Hi), chunkElems, layoutName, seq)
+	sum := crc32.Checksum([]byte(plain), castagnoli)
+	return base64.RawURLEncoding.EncodeToString([]byte(fmt.Sprintf("%s|%08x", plain, sum)))
+}
+
+// ParseScanCursor validates and decodes a token. Every malformation is
+// an error (the handlers answer 400): wrong base64, wrong field count,
+// bad checksum, unknown version, non-numeric fields, negative or
+// reversed coordinates.
+func ParseScanCursor(token string) (ScanCursor, error) {
+	var c ScanCursor
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return c, fmt.Errorf("bad cursor encoding: %v", err)
+	}
+	plain := string(raw)
+	cut := strings.LastIndexByte(plain, '|')
+	if cut < 0 {
+		return c, fmt.Errorf("bad cursor: no checksum")
+	}
+	sum, err := strconv.ParseUint(plain[cut+1:], 16, 32)
+	if err != nil {
+		return c, fmt.Errorf("bad cursor checksum: %v", err)
+	}
+	if uint32(sum) != crc32.Checksum([]byte(plain[:cut]), castagnoli) {
+		return c, fmt.Errorf("cursor checksum mismatch")
+	}
+	parts := strings.Split(plain[:cut], "|")
+	if len(parts) != 7 || parts[0] != "ooc-scan/1" {
+		return c, fmt.Errorf("bad cursor format")
+	}
+	lo, err := parseCoords(parts[2])
+	if err != nil {
+		return c, fmt.Errorf("bad cursor lo: %v", err)
+	}
+	hi, err := parseCoords(parts[3])
+	if err != nil {
+		return c, fmt.Errorf("bad cursor hi: %v", err)
+	}
+	if len(lo) != len(hi) || len(lo) > maxScanRank {
+		return c, fmt.Errorf("bad cursor box rank")
+	}
+	for d := range lo {
+		if hi[d] < lo[d] {
+			return c, fmt.Errorf("bad cursor box: hi[%d] below lo[%d]", d, d)
+		}
+	}
+	chunk, err := strconv.ParseInt(parts[4], 10, 64)
+	if err != nil || chunk <= 0 {
+		return c, fmt.Errorf("bad cursor chunk size %q", parts[4])
+	}
+	seq, err := strconv.ParseUint(parts[6], 10, 64)
+	if err != nil {
+		return c, fmt.Errorf("bad cursor seq %q", parts[6])
+	}
+	c.Name, c.Layout, c.ChunkElems, c.Seq = parts[1], parts[5], chunk, seq
+	c.Box = layout.NewBox(lo, hi)
+	return c, nil
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var (
+		ar         *ooc.Array
+		box        layout.Box
+		chunkElems int64
+		startSeq   uint64
+	)
+	if tok := q.Get("cursor"); tok != "" {
+		cur, err := ParseScanCursor(tok)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ar = s.disk.ArrayByName(cur.Name)
+		if ar == nil {
+			httpError(w, http.StatusNotFound, "no array %q", cur.Name)
+			return
+		}
+		if got := ar.Layout.Name(); got != cur.Layout {
+			httpError(w, http.StatusBadRequest, "cursor layout %q does not match array layout %q", cur.Layout, got)
+			return
+		}
+		clipped := cur.Box.Clip(ar.Meta.Dims)
+		if clipped.Empty() || clipped.String() != cur.Box.String() {
+			httpError(w, http.StatusBadRequest, "cursor box %v does not fit array dims %v", cur.Box, ar.Meta.Dims)
+			return
+		}
+		box, chunkElems, startSeq = cur.Box, cur.ChunkElems, cur.Seq
+		if lim := s.cfg.MaxTileElems; lim > 0 && chunkElems > lim {
+			httpError(w, http.StatusBadRequest, "cursor chunk size %d over the per-request limit %d", chunkElems, lim)
+			return
+		}
+		s.met.ops.scanResumes.Inc()
+	} else {
+		var ok bool
+		ar, box, ok = s.scanTarget(w, r)
+		if !ok {
+			return
+		}
+		chunkElems = DefaultScanChunkElems
+		if v := q.Get("chunk"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, "bad chunk size %q", v)
+				return
+			}
+			chunkElems = n
+		}
+		if lim := s.cfg.MaxTileElems; lim > 0 && chunkElems > lim {
+			chunkElems = lim
+		}
+	}
+	plan := layout.PlanScan(ar.Layout, box, chunkElems)
+	if startSeq > uint64(len(plan)) {
+		httpError(w, http.StatusBadRequest, "cursor seq %d past the %d-chunk plan", startSeq, len(plan))
+		return
+	}
+	s.met.ops.scanRequests.Inc()
+	compress := acceptsWireEncoding(r.Header.Get("Accept-Encoding"))
+
+	w.Header().Set("Content-Type", ScanContentType)
+	w.Header().Set("X-Scan-Chunks", strconv.Itoa(len(plan)))
+	w.Header().Set("X-Scan-Chunk-Elems", strconv.FormatInt(chunkElems, 10))
+	flusher, _ := w.(http.Flusher)
+
+	// One frame buffer for the whole stream: memory is bounded by the
+	// chunk size, not the scan size.
+	frame := ooc.GetBuf(int(chunkElems)*ooc.ElemSize + 256)[:0]
+	defer ooc.PutBuf(frame)
+	lk := s.lockFor(ar.Meta.Name)
+	name, layoutName := ar.Meta.Name, ar.Layout.Name()
+	for seq := startSeq; seq < uint64(len(plan)); seq++ {
+		ch := plan[seq]
+		// Each chunk is read under the shared lock exactly like a tile
+		// GET of the chunk box; the lock is dropped between chunks so
+		// writers are never starved by a long scan.
+		lk.mu.RLock()
+		h, err := s.eng.Acquire(ar, ch)
+		if err != nil {
+			lk.mu.RUnlock()
+			if seq == startSeq {
+				s.engineError(w, err)
+			}
+			// Mid-stream: the connection just ends short of the trailer;
+			// the framing makes the truncation visible to the client.
+			return
+		}
+		cursor := EncodeScanCursor(name, box, chunkElems, layoutName, seq+1)
+		frame = AppendScanFrame(frame[:0], seq, ch, cursor, h.Tile().Data(), compress)
+		s.eng.Release(h, false)
+		lk.mu.RUnlock()
+
+		if _, err := w.Write(frame); err != nil {
+			return // client went away; it resumes from its last good cursor
+		}
+		s.met.ops.scanChunks.Inc()
+		s.met.wireRaw.Add(ch.Size() * ooc.ElemSize)
+		s.met.wireBytes.Add(int64(len(frame)))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	frame = AppendScanTrailer(frame[:0], uint64(len(plan)))
+	w.Write(frame)
+}
+
+// scanTarget resolves {name} + lo/hi like tileTarget but without the
+// per-request element cap: a scan's memory is bounded by its chunk
+// size, so the box may cover the whole array.
+func (s *Server) scanTarget(w http.ResponseWriter, r *http.Request) (*ooc.Array, layout.Box, bool) {
+	ar := s.disk.ArrayByName(r.PathValue("name"))
+	if ar == nil {
+		httpError(w, http.StatusNotFound, "no array %q", r.PathValue("name"))
+		return nil, layout.Box{}, false
+	}
+	lo, err := parseCoords(r.URL.Query().Get("lo"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad lo: %v", err)
+		return nil, layout.Box{}, false
+	}
+	hi, err := parseCoords(r.URL.Query().Get("hi"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad hi: %v", err)
+		return nil, layout.Box{}, false
+	}
+	rank := len(ar.Meta.Dims)
+	if len(lo) != rank || len(hi) != rank {
+		httpError(w, http.StatusBadRequest, "box rank %d/%d, array rank %d", len(lo), len(hi), rank)
+		return nil, layout.Box{}, false
+	}
+	for d := range lo {
+		if hi[d] < lo[d] {
+			httpError(w, http.StatusBadRequest, "hi[%d]=%d below lo[%d]=%d", d, hi[d], d, lo[d])
+			return nil, layout.Box{}, false
+		}
+	}
+	box := layout.NewBox(lo, hi).Clip(ar.Meta.Dims)
+	if box.Empty() {
+		httpError(w, http.StatusBadRequest, "box %v is empty after clipping to %v", layout.NewBox(lo, hi), ar.Meta.Dims)
+		return nil, layout.Box{}, false
+	}
+	return ar, box, true
+}
+
+// AppendScanFrame renders one data frame (see the wire format above),
+// encoding data — the chunk's box-local row-major elements — raw or as
+// a codec frame. Exported so the router emits the same stream.
+func AppendScanFrame(dst []byte, seq uint64, box layout.Box, cursor string, data []float64, compress bool) []byte {
+	flags := uint32(0)
+	if compress {
+		flags |= scanFlagCompressed
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, scanMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(box.Rank()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cursor)))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // payload length, backfilled
+	for _, v := range box.Lo {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	for _, v := range box.Hi {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	dst = append(dst, cursor...)
+	pstart := len(dst)
+	if compress {
+		dst = ooc.AppendFrame(dst, data)
+	} else {
+		dst = appendPayload(dst, data)
+	}
+	binary.LittleEndian.PutUint32(dst[start+24:], uint32(len(dst)-pstart))
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// AppendScanTrailer renders the stream-closing trailer frame carrying
+// the plan length.
+func AppendScanTrailer(dst []byte, total uint64) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, scanMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, scanFlagTrailer)
+	dst = binary.LittleEndian.AppendUint64(dst, total)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // rank
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // cursor length
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // payload length
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// appendPayload appends the raw wire form of data (little-endian
+// float64) to dst — encodePayload without the allocation.
+func appendPayload(dst []byte, data []float64) []byte {
+	for _, v := range data {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// ScanChunk is one decoded frame of a scan stream.
+type ScanChunk struct {
+	Seq    uint64
+	Box    layout.Box
+	Cursor string    // resumes the scan after this chunk
+	Data   []float64 // box-local row-major, already decompressed
+}
+
+// ScanReader decodes a scan stream frame by frame. Next returns io.EOF
+// after the trailer; any torn or corrupted frame is an error, so a
+// consumer knows exactly which chunks arrived intact and which cursor
+// to resume from.
+type ScanReader struct {
+	r     io.Reader
+	total uint64
+	done  bool
+}
+
+// NewScanReader wraps a scan response body.
+func NewScanReader(r io.Reader) *ScanReader { return &ScanReader{r: r} }
+
+// Total returns the plan length reported by the trailer (valid after
+// Next returned io.EOF).
+func (sr *ScanReader) Total() uint64 { return sr.total }
+
+// Next decodes the next chunk. io.EOF means the stream completed with
+// an intact trailer; io.ErrUnexpectedEOF means it was cut mid-frame.
+func (sr *ScanReader) Next() (*ScanChunk, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	var hdr [scanHeaderLen]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF // no trailer seen
+		}
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != scanMagic {
+		return nil, fmt.Errorf("scan frame: bad magic")
+	}
+	flags := binary.LittleEndian.Uint32(hdr[4:])
+	seq := binary.LittleEndian.Uint64(hdr[8:])
+	rank := binary.LittleEndian.Uint32(hdr[16:])
+	cursorLen := binary.LittleEndian.Uint32(hdr[20:])
+	payloadLen := binary.LittleEndian.Uint32(hdr[24:])
+	if rank > maxScanRank || cursorLen > maxScanCursorLen {
+		return nil, fmt.Errorf("scan frame: implausible rank %d / cursor %d", rank, cursorLen)
+	}
+	rest := make([]byte, int(rank)*16+int(cursorLen)+int(payloadLen)+4)
+	if _, err := io.ReadFull(sr.r, rest); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	crc := crc32.Checksum(hdr[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, rest[:len(rest)-4])
+	if crc != binary.LittleEndian.Uint32(rest[len(rest)-4:]) {
+		return nil, fmt.Errorf("scan frame %d: CRC mismatch", seq)
+	}
+	if flags&scanFlagTrailer != 0 {
+		sr.done, sr.total = true, seq
+		return nil, io.EOF
+	}
+	lo := make([]int64, rank)
+	hi := make([]int64, rank)
+	for d := range lo {
+		lo[d] = int64(binary.LittleEndian.Uint64(rest[d*8:]))
+	}
+	for d := range hi {
+		hi[d] = int64(binary.LittleEndian.Uint64(rest[int(rank)*8+d*8:]))
+	}
+	box := layout.NewBox(lo, hi)
+	cursor := string(rest[int(rank)*16 : int(rank)*16+int(cursorLen)])
+	payload := rest[int(rank)*16+int(cursorLen) : len(rest)-4]
+	data := make([]float64, box.Size())
+	if flags&scanFlagCompressed != 0 {
+		n, err := ooc.DecodeFrame(payload, data)
+		if err == nil && n != len(payload) {
+			err = fmt.Errorf("%d trailing bytes", len(payload)-n)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scan frame %d: %v", seq, err)
+		}
+	} else {
+		if int64(len(payload)) != box.Size()*ooc.ElemSize {
+			return nil, fmt.Errorf("scan frame %d: %d payload bytes for %d elements", seq, len(payload), box.Size())
+		}
+		decodePayload(payload, data)
+	}
+	return &ScanChunk{Seq: seq, Box: box, Cursor: cursor, Data: data}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reduce
+
+// reduceRequest asks for a scalar over a box. Ops: sum, min, max,
+// count.
+type reduceRequest struct {
+	Op string  `json:"op"`
+	Lo []int64 `json:"lo"`
+	Hi []int64 `json:"hi"`
+}
+
+// reduceResponse carries the scalar. Value is omitted when the result
+// is not finite (JSON has no NaN/Inf); Bits — Float64bits of the
+// result — is always present and bit-exact, and is what the router and
+// the conformance suite compare.
+type reduceResponse struct {
+	Op    string   `json:"op"`
+	Lo    []int64  `json:"lo"`
+	Hi    []int64  `json:"hi"`
+	Count int64    `json:"count"`
+	Value *float64 `json:"value,omitempty"`
+	Bits  uint64   `json:"value_bits"`
+}
+
+// reduceOps are the supported folds. Sum accumulates in box-local
+// row-major element order — exactly the order a client folding a plain
+// GET's payload would use — so a single-node reduce is bit-identical
+// to the client-side fold, not merely close.
+var reduceOps = map[string]bool{"sum": true, "min": true, "max": true, "count": true}
+
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	ar := s.disk.ArrayByName(r.PathValue("name"))
+	if ar == nil {
+		httpError(w, http.StatusNotFound, "no array %q", r.PathValue("name"))
+		return
+	}
+	var req reduceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad reduce body: %v", err)
+		return
+	}
+	if !reduceOps[req.Op] {
+		httpError(w, http.StatusBadRequest, "unknown reduce op %q (sum, min, max, count)", req.Op)
+		return
+	}
+	rank := len(ar.Meta.Dims)
+	if len(req.Lo) != rank || len(req.Hi) != rank {
+		httpError(w, http.StatusBadRequest, "box rank %d/%d, array rank %d", len(req.Lo), len(req.Hi), rank)
+		return
+	}
+	for d := range req.Lo {
+		if req.Lo[d] < 0 || req.Hi[d] < req.Lo[d] {
+			httpError(w, http.StatusBadRequest, "bad box dimension %d: [%d,%d)", d, req.Lo[d], req.Hi[d])
+			return
+		}
+	}
+	box := layout.NewBox(req.Lo, req.Hi).Clip(ar.Meta.Dims)
+	if box.Empty() {
+		httpError(w, http.StatusBadRequest, "box %v is empty after clipping to %v", layout.NewBox(req.Lo, req.Hi), ar.Meta.Dims)
+		return
+	}
+	s.met.ops.reduceRequests.Inc()
+	value, count, err := s.reduceBox(ar, box, req.Op)
+	if err != nil {
+		s.engineError(w, err)
+		return
+	}
+	s.met.ops.reduceElems.Add(count)
+	resp := reduceResponse{Op: req.Op, Lo: box.Lo, Hi: box.Hi, Count: count, Bits: math.Float64bits(value)}
+	if !math.IsNaN(value) && !math.IsInf(value, 0) {
+		resp.Value = &value
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reduceBox folds the box tile-side, chunked through the engine so a
+// whole-array reduce stays within cache memory. Chunks are row-major
+// slabs regardless of layout: the fold must visit elements in the
+// box's row-major order for sum exactness (the engine underneath still
+// does layout-aware backend I/O per chunk).
+func (s *Server) reduceBox(ar *ooc.Array, box layout.Box, op string) (float64, int64, error) {
+	chunk := DefaultScanChunkElems
+	if lim := s.cfg.MaxTileElems; lim > 0 && chunk > lim {
+		chunk = lim
+	}
+	lk := s.lockFor(ar.Meta.Name)
+	var (
+		sum   float64
+		minV  = math.Inf(1)
+		maxV  = math.Inf(-1)
+		count int64
+	)
+	for _, ch := range layout.PlanRowMajor(box, chunk) {
+		lk.mu.RLock()
+		h, err := s.eng.Acquire(ar, ch)
+		if err != nil {
+			lk.mu.RUnlock()
+			return 0, 0, err
+		}
+		data := h.Tile().Data()
+		switch op {
+		case "sum":
+			for _, v := range data {
+				sum += v
+			}
+		case "min":
+			for _, v := range data {
+				if v < minV {
+					minV = v
+				}
+			}
+		case "max":
+			for _, v := range data {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		count += int64(len(data))
+		s.eng.Release(h, false)
+		lk.mu.RUnlock()
+	}
+	switch op {
+	case "sum":
+		return sum, count, nil
+	case "min":
+		return minV, count, nil
+	case "max":
+		return maxV, count, nil
+	default: // count
+		return float64(count), count, nil
+	}
+}

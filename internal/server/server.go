@@ -42,6 +42,9 @@
 //	GET  /v1/arrays/{name}                   one array's metadata
 //	GET  /v1/arrays/{name}/tile?lo=i,j&hi=k,l   read a tile
 //	PUT  /v1/arrays/{name}/tile?lo=i,j&hi=k,l   write a tile
+//	POST /v1/arrays/{name}/batch             many tile ops, one request (ops.go)
+//	GET  /v1/arrays/{name}/scan?lo=&hi=      streaming layout-aware range scan (ops.go)
+//	POST /v1/arrays/{name}/reduce            pushed-down sum/min/max/count (ops.go)
 package server
 
 import (
@@ -341,6 +344,7 @@ type serverMetrics struct {
 	latency       *obs.Histogram
 	wireRaw       *obs.Counter // logical tile bytes moved over HTTP
 	wireBytes     *obs.Counter // bytes actually on the wire (after negotiation)
+	ops           opsMetrics   // batch/scan/reduce series (ops.go)
 }
 
 // WireEncoding is the tile content coding the server negotiates: a
@@ -455,6 +459,16 @@ func New(d *ooc.Disk, eng ooc.TileEngine, cfg Config) *Server {
 			"admitted request latency in seconds", obs.ExpBuckets(1e-5, 4, 10)),
 		wireRaw:   reg.Counter("occd_wire_raw_bytes_total", "logical tile payload bytes served or accepted"),
 		wireBytes: reg.Counter("occd_wire_bytes_total", "tile payload bytes on the wire after content negotiation"),
+		ops: opsMetrics{
+			batchRequests:  reg.Counter("occd_batch_requests_total", "batch requests admitted"),
+			batchOps:       reg.Counter("occd_batch_ops_total", "individual ops carried by batch requests"),
+			batchOpErrors:  reg.Counter("occd_batch_op_errors_total", "batch ops that answered a per-op 4xx/5xx"),
+			scanRequests:   reg.Counter("occd_scan_requests_total", "streaming range scans started"),
+			scanChunks:     reg.Counter("occd_scan_chunks_total", "scan chunks framed and sent"),
+			scanResumes:    reg.Counter("occd_scan_resumes_total", "scans resumed from a cursor token"),
+			reduceRequests: reg.Counter("occd_reduce_requests_total", "pushed-down reductions served"),
+			reduceElems:    reg.Counter("occd_reduce_elems_total", "elements folded by pushed-down reductions"),
+		},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -465,6 +479,9 @@ func New(d *ooc.Disk, eng ooc.TileEngine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/arrays/{name}", s.admit(s.handleArrayGet))
 	s.mux.HandleFunc("GET /v1/arrays/{name}/tile", s.admit(s.handleTileGet))
 	s.mux.HandleFunc("PUT /v1/arrays/{name}/tile", s.admit(s.handleTilePut))
+	s.mux.HandleFunc("POST /v1/arrays/{name}/batch", s.admit(s.handleBatch))
+	s.mux.HandleFunc("GET /v1/arrays/{name}/scan", s.admit(s.handleScan))
+	s.mux.HandleFunc("POST /v1/arrays/{name}/reduce", s.admit(s.handleReduce))
 	return s
 }
 
@@ -634,6 +651,19 @@ type statsPayload struct {
 	Inflight          int64             `json:"inflight"`
 	Queued            int64             `json:"queued"`
 	Draining          bool              `json:"draining"`
+	Ops               opsStats          `json:"ops"`
+}
+
+// opsStats is the batch/scan/reduce scorecard block of /v1/stats.
+type opsStats struct {
+	BatchRequests  int64 `json:"batch_requests"`
+	BatchOps       int64 `json:"batch_ops"`
+	BatchOpErrors  int64 `json:"batch_op_errors"`
+	ScanRequests   int64 `json:"scan_requests"`
+	ScanChunks     int64 `json:"scan_chunks"`
+	ScanResumes    int64 `json:"scan_resumes"`
+	ReduceRequests int64 `json:"reduce_requests"`
+	ReduceElems    int64 `json:"reduce_elems"`
 }
 
 // compressionStats is the /v1/stats compression scorecard, present
@@ -667,6 +697,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Inflight:          int64(len(s.sem)),
 		Queued:            s.queued.Load(),
 		Draining:          s.draining.Load(),
+		Ops: opsStats{
+			BatchRequests:  s.met.ops.batchRequests.Value(),
+			BatchOps:       s.met.ops.batchOps.Value(),
+			BatchOpErrors:  s.met.ops.batchOpErrors.Value(),
+			ScanRequests:   s.met.ops.scanRequests.Value(),
+			ScanChunks:     s.met.ops.scanChunks.Value(),
+			ScanResumes:    s.met.ops.scanResumes.Value(),
+			ReduceRequests: s.met.ops.reduceRequests.Value(),
+			ReduceElems:    s.met.ops.reduceElems.Value(),
+		},
 	}
 	if se, ok := s.eng.(*ooc.ShardedEngine); ok {
 		for i, ss := range se.ShardStats() {
