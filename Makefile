@@ -12,9 +12,10 @@ FUZZ_TARGETS := \
 	./internal/ooc/:FuzzWALRecord \
 	./internal/ooc/:FuzzTileCodec \
 	./internal/server/:FuzzScanCursor \
-	./internal/server/:FuzzBatchRequest
+	./internal/server/:FuzzBatchRequest \
+	./internal/server/:FuzzTenantHeader
 
-.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep clustersweep opsweep chaos
+.PHONY: build test race check fuzz vet fmt cover suite baseline load sweep walsweep compsweep clustersweep opsweep mtsweep chaos
 
 build:
 	$(GO) build ./...
@@ -124,6 +125,18 @@ opsweep:
 		-requests 4000 -tile-edge 8 -scenario write-heavy \
 		-json LOAD_batch.json
 
+# Multi-tenant fairness sweep: the two-tenant scenario — an
+# interactive point tenant (DRR weight 4) vs an aggressive streaming
+# scanner (weight 1, chunk-capped) on one shared server. The point
+# tenant runs solo first, then contended; both p99s land in the
+# serve-mt-*-point row and CI's "Fairness gate" requires contended
+# <= 2x solo. These are the serve-mt-* rows in BENCH_baseline.json
+# (the latency ratio gates, the throughput rides informationally).
+mtsweep:
+	$(GO) run ./cmd/occload -kernel trans -version c-opt -clients 8 \
+		-requests 4000 -tile-edge 8 -scenario multi-tenant \
+		-json LOAD_mt.json
+
 # Deterministic chaos sweep: the dst/faultfs test suites under -race,
 # then CHAOS_EPISODES seeded simulation episodes (power cuts, torn
 # writes, failing syncs). A failing episode prints its reproducer
@@ -135,6 +148,7 @@ chaos:
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal
 	$(GO) run ./cmd/occhaos -episodes $(CHAOS_EPISODES) -shards 4 -wal -compress
 	$(GO) run ./cmd/occhaos -cluster -episodes $(CHAOS_EPISODES) -nodes 3 -replicas 2
+	$(GO) run ./cmd/occhaos -tenants -episodes $(CHAOS_EPISODES) -nodes 3 -replicas 2
 
 fmt:
 	gofmt -l -w .

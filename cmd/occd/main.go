@@ -52,6 +52,10 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth beyond -inflight")
 	rate := flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst on top of -rate")
+	tenantWeights := flag.String("tenant-weights", "", "DRR admission weights per tenant, e.g. batch=1,interactive=4 (unlisted tenants weigh 1)")
+	tenantQuotaBytes := flag.Float64("tenant-quota-bytes", 0, "per-tenant payload bytes/second budget (0 = unlimited)")
+	tenantQuotaRPS := flag.Float64("tenant-quota-rps", 0, "per-tenant requests/second budget (0 = unlimited)")
+	maxScanInflight := flag.Int("max-scan-inflight", 0, "per-tenant cap on in-flight scan/batch chunks (0 = unlimited)")
 	maxArrayElems := flag.Int64("max-array-elems", 0, "cap on a created array's element count (0 = default, <0 = unlimited)")
 	maxTileElems := flag.Int64("max-tile-elems", 0, "cap on one tile request's element count (0 = default, <0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
@@ -73,6 +77,11 @@ func main() {
 	}
 	if *peers != "" && *clusterNode == "" {
 		fmt.Fprintln(os.Stderr, "occd: -peers requires -cluster-node")
+		os.Exit(2)
+	}
+	weights, err := server.ParseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occd: -tenant-weights: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -161,7 +170,13 @@ func main() {
 		MaxTileElems:  *maxTileElems,
 		DurablePuts:   *durablePuts,
 		NodeID:        *clusterNode,
-		Obs:           sink,
+		Tenants: server.TenantConfig{
+			Weights:          weights,
+			QuotaBytesPerSec: *tenantQuotaBytes,
+			QuotaRPS:         *tenantQuotaRPS,
+			MaxScanInflight:  *maxScanInflight,
+		},
+		Obs: sink,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	if *clusterNode != "" {

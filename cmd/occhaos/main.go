@@ -48,6 +48,7 @@ func main() {
 	syncDrop := flag.Float64("sync-drop", 0, "probability a sync LIES (reports success, persists nothing) — episodes are expected to fail")
 	clusterMode := flag.Bool("cluster", false, "run CLUSTER episodes instead: a router + -nodes storage nodes with -replicas copies per tile, node kills, partitions, hinted handoff and read-repair under test")
 	operatorMode := flag.Bool("operators", false, "run OPERATOR episodes instead: batched PUTs and resumable streaming scans through the router, with scans interrupted by node crashes (cursor resume must never skip or re-deliver) and batch acks checked across whole-cluster power cuts")
+	tenantMode := flag.Bool("tenants", false, "run TENANT episodes instead: a weighted point tenant and a scan tenant share a faulted cluster; every request must get a clean verdict (no DRR wedge, no hung admission), and no queue slot may leak across node crashes")
 	nodes := flag.Int("nodes", 3, "with -cluster: storage nodes per episode")
 	replicas := flag.Int("replicas", 2, "with -cluster: copies per tile")
 	killEvery := flag.Int("kill-every", 25, "with -cluster: ~one node kill or partition per this many steps (<0 disables)")
@@ -83,6 +84,16 @@ func main() {
 
 	if *operatorMode {
 		runOps(seeds, dst.OpsOptions{
+			Rounds:   *ops,
+			Nodes:    *nodes,
+			Replicas: *replicas,
+			HintDir:  *hintDir,
+		}, *verbose)
+		return
+	}
+
+	if *tenantMode {
+		runTenants(seeds, dst.TenantsOptions{
 			Rounds:   *ops,
 			Nodes:    *nodes,
 			Replicas: *replicas,
@@ -207,6 +218,39 @@ func runOps(seeds []int64, base dst.OpsOptions, verbose bool) {
 		}
 	}
 	fmt.Printf("occhaos: %d operator episodes, %d failed in %.2fs\n",
+		len(seeds), failed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runTenants sweeps tenant episodes (two-tenant fairness plane under
+// node kills and partitions) over the seed list with the same
+// verdict/reproducer discipline as the other sweeps.
+func runTenants(seeds []int64, base dst.TenantsOptions, verbose bool) {
+	start := time.Now()
+	failed := 0
+	for _, s := range seeds {
+		o := base
+		o.Seed = s
+		res := dst.RunTenants(o)
+		if verbose {
+			fmt.Println("occhaos:", res.Summary())
+		}
+		if res.Failed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "occhaos: %s\n", res.Summary())
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "occhaos:   violation: %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "occhaos: reproduce with: occhaos -seed %d -episodes 1 -v%s\n",
+				s, setFlags())
+			if verbose {
+				fmt.Fprintf(os.Stderr, "--- op log (seed %d) ---\n%s", s, res.OpLog)
+			}
+		}
+	}
+	fmt.Printf("occhaos: %d tenant episodes, %d failed in %.2fs\n",
 		len(seeds), failed, time.Since(start).Seconds())
 	if failed > 0 {
 		os.Exit(1)

@@ -53,13 +53,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"outcore/internal/cluster"
 	"outcore/internal/codegen"
@@ -118,9 +121,13 @@ func main() {
 		os.Exit(2)
 	}
 	switch *scenario {
-	case "", "point", "scan-heavy", "write-heavy", "mixed":
+	case "", "point", "scan-heavy", "write-heavy", "mixed", "multi-tenant":
 	default:
-		fmt.Fprintf(os.Stderr, "occload: -scenario: unknown mix %q (valid: point, scan-heavy, write-heavy, mixed)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "occload: -scenario: unknown mix %q (valid: point, scan-heavy, write-heavy, mixed, multi-tenant)\n", *scenario)
+		os.Exit(2)
+	}
+	if *scenario == "multi-tenant" && (*clusterAddr != "" || *nodeSweep != "" || *shardSweep != "") {
+		fmt.Fprintln(os.Stderr, "occload: -scenario multi-tenant runs against one in-process server (no -cluster/-nodes/-shard-sweep)")
 		os.Exit(2)
 	}
 	counts := []int{*shards}
@@ -149,6 +156,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "occload: -version: unknown version %q (valid: %s)\n",
 			*version, strings.Join(suite.VersionNames(), ", "))
 		os.Exit(2)
+	}
+
+	if *scenario == "multi-tenant" {
+		rows, sink := multiTenantLoad(k, ver, mtSpec{
+			n2: *n2, n3: *n3, n4: *n4,
+			array:      *array,
+			tileEdge:   *tileEdge,
+			clients:    *clients,
+			requests:   *requests,
+			zipf:       *zipf,
+			seed:       *seed,
+			maxCall:    *maxCall,
+			workers:    *workers,
+			cacheTiles: *cacheTiles,
+			shards:     *shards,
+			inflight:   *inflight,
+			queue:      *queue,
+			compress:   *compress,
+		})
+		writeReports(*jsonOut, *metricsOut, *n2, *n3, *n4, rows, sink)
+		return
 	}
 
 	if *clusterAddr != "" || *nodeSweep != "" {
@@ -370,6 +398,8 @@ func configPrefix(scenario string) string {
 		return "serve-batch"
 	case "mixed":
 		return "serve-mixed"
+	case "multi-tenant":
+		return "serve-mt"
 	}
 	return "serve"
 }
@@ -421,6 +451,178 @@ func writeReports(jsonOut, metricsOut string, n2, n3, n4 int64, rows []exp.Bench
 		fail(f.Close())
 		fmt.Printf("  wrote %s\n", metricsOut)
 	}
+}
+
+// mtSpec carries the load-shape flags into the multi-tenant scenario.
+type mtSpec struct {
+	n2, n3, n4 int64
+	array      string
+	tileEdge   int64
+	clients    int
+	requests   int
+	zipf       float64
+	seed       int64
+	maxCall    int64
+	workers    int
+	cacheTiles int
+	shards     int
+	inflight   int
+	queue      int
+	compress   bool
+}
+
+// multiTenantLoad is -scenario multi-tenant: two tenant populations —
+// "point", an interactive point-GET tenant at DRR weight 4, and
+// "scan", an aggressive streaming scanner at weight 1 with a chunk
+// cap — against one server whose tenant plane does the isolating. The
+// point tenant runs once alone (its solo baseline) and once with the
+// scanner saturating the same plane; the serve-mt-* rows carry both
+// p99s, and CI gates contended <= 2x solo.
+func multiTenantLoad(k suite.Kernel, ver suite.Version, s mtSpec) ([]exp.BenchEntry, *obs.Sink) {
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	prog := k.Build(suite.Config{N2: s.n2, N3: s.n3, N4: s.n4})
+	plan, err := suite.PlanFor(prog, ver)
+	fail(err)
+	base := ooc.NewDisk(s.maxCall).Observe(sink)
+	if s.compress {
+		ooc.ObservePool(sink)
+		base.EnableCompression()
+	}
+	d, err := codegen.SetupDiskOn(base, prog, plan, nil)
+	fail(err)
+	var target *ooc.Array
+	if s.array != "" {
+		if target = d.ArrayByName(s.array); target == nil {
+			fail(fmt.Errorf("kernel %s has no array %q", k.Name, s.array))
+		}
+	} else {
+		for _, ar := range d.Arrays() {
+			if target == nil || ar.Meta.Len() > target.Meta.Len() {
+				target = ar
+			}
+		}
+		if target == nil {
+			fail(fmt.Errorf("kernel %s builds no arrays", k.Name))
+		}
+	}
+
+	eng := server.BuildEngine(d, s.shards, ooc.EngineOptions{Workers: s.workers, CacheTiles: s.cacheTiles, Obs: sink})
+	srv := server.New(d, eng, server.Config{
+		MaxInflight: s.inflight,
+		QueueDepth:  s.queue,
+		Tenants: server.TenantConfig{
+			Weights:         map[string]float64{"point": 4, "scan": 1},
+			MaxScanInflight: 2,
+		},
+		Obs: sink,
+	})
+	hts := httptest.NewServer(srv.Handler())
+
+	pointClients := s.clients / 2
+	if pointClients < 1 {
+		pointClients = 1
+	}
+	scanClients := s.clients - pointClients
+	if scanClients < 1 {
+		scanClients = 1
+	}
+	pointReqs := s.requests / 2
+	if pointReqs < 1 {
+		pointReqs = 1
+	}
+	scanReqs := s.requests - pointReqs
+	if scanReqs < 1 {
+		scanReqs = 1
+	}
+	pointSpec := server.LoadSpec{
+		BaseURL:  hts.URL,
+		Array:    target.Meta.Name,
+		Dims:     target.Meta.Dims,
+		TileEdge: s.tileEdge,
+		Clients:  pointClients,
+		Requests: pointReqs,
+		ZipfS:    s.zipf,
+		ReadFrac: 1.0,
+		Seed:     s.seed,
+		Compress: s.compress,
+		Tenant:   "point",
+	}
+
+	// Pass 1 — solo baseline: the point tenant has the plane to itself.
+	solo, err := server.RunLoad(pointSpec)
+	fail(err)
+
+	// Pass 2 — contended: the scanner floods the same plane while the
+	// identical point workload repeats.
+	var contended, scanRes server.LoadResult
+	var pErr, sErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		scanRes, sErr = server.RunLoad(server.LoadSpec{
+			BaseURL:  hts.URL,
+			Array:    target.Meta.Name,
+			Dims:     target.Meta.Dims,
+			TileEdge: s.tileEdge,
+			Clients:  scanClients,
+			Requests: scanReqs,
+			ZipfS:    s.zipf,
+			ReadFrac: 1.0,
+			Seed:     s.seed + 7331,
+			Compress: s.compress,
+			Scenario: "scan-heavy",
+			Tenant:   "scan",
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		contended, pErr = server.RunLoad(pointSpec)
+	}()
+	wg.Wait()
+	fail(pErr)
+	fail(sErr)
+
+	// Per-tenant scorecard straight from /v1/stats before the server
+	// goes away.
+	var st struct {
+		Tenants []server.TenantStat `json:"tenants"`
+	}
+	resp, err := http.Get(hts.URL + "/v1/stats")
+	fail(err)
+	fail(json.NewDecoder(resp.Body).Decode(&st))
+	resp.Body.Close()
+	hts.Close()
+	fail(srv.Drain())
+
+	fmt.Printf("occload: %s/%s array %s %v, multi-tenant: point w4 x%d clients vs scan w1 x%d clients\n",
+		k.Name, ver, target.Meta.Name, target.Meta.Dims, pointClients, scanClients)
+	ratio := 0.0
+	if solo.P99 > 0 {
+		ratio = contended.P99 / solo.P99
+	}
+	fmt.Printf("  point solo:      ok %d, p50 %.2fms, p99 %.2fms\n", solo.OK, solo.P50*1e3, solo.P99*1e3)
+	fmt.Printf("  point contended: ok %d, p50 %.2fms, p99 %.2fms  (%.2fx solo p99)\n",
+		contended.OK, contended.P50*1e3, contended.P99*1e3, ratio)
+	fmt.Printf("  scan contended:  ok %d, p50 %.2fms, p99 %.2fms, %d scans streamed %d chunks\n",
+		scanRes.OK, scanRes.P50*1e3, scanRes.P99*1e3, scanRes.ScanRequests, scanRes.ScanChunks)
+	for _, ts := range st.Tenants {
+		fmt.Printf("  tenant %s (weight %g): %d requests, %d bytes, %d queue waits, %d chunks, %d quota rejections\n",
+			ts.Tenant, ts.Weight, ts.Requests, ts.Bytes, ts.QueueWaits, ts.Chunks, ts.RejectedQuota)
+	}
+
+	cfg := fmt.Sprintf("serve-mt-%s-c%d-z%g", ver, s.clients, s.zipf)
+	pointRow := exp.LoadBenchEntry(k.Name, cfg+"-point", contended)
+	pointRow.Tenant = "point"
+	pointRow.P99SoloMs = solo.P99 * 1e3
+	pointRow.P99ContendedMs = contended.P99 * 1e3
+	scanRow := exp.LoadBenchEntry(k.Name, cfg+"-scan", scanRes)
+	scanRow.Tenant = "scan"
+	scanRow.P99ContendedMs = scanRes.P99 * 1e3
+	if n := solo.Errors + contended.Errors + scanRes.Errors; n > 0 {
+		fail(fmt.Errorf("%d requests failed", n))
+	}
+	return []exp.BenchEntry{pointRow, scanRow}, sink
 }
 
 // parseShardSweep parses "1,2,4,8" into validated shard counts.

@@ -34,6 +34,7 @@ import (
 
 	"outcore/internal/cluster"
 	"outcore/internal/obs"
+	"outcore/internal/server"
 )
 
 func main() {
@@ -45,6 +46,12 @@ func main() {
 	noWire := flag.Bool("no-wire", false, "disable x-ooc-gorilla coding on router↔node hops")
 	probeEvery := flag.Duration("probe-interval", 2*time.Second, "how often to recheck down nodes and drain owed hints")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on quorum-failure 503s")
+	inflight := flag.Int("inflight", 0, "max concurrently admitted data-plane requests (0 = 4*GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth across tenant queues (0 = 256)")
+	tenantWeights := flag.String("tenant-weights", "", "DRR admission weights per tenant, e.g. batch=1,interactive=4 (unlisted tenants weigh 1)")
+	tenantQuotaBytes := flag.Float64("tenant-quota-bytes", 0, "per-tenant payload bytes/second budget (0 = unlimited)")
+	tenantQuotaRPS := flag.Float64("tenant-quota-rps", 0, "per-tenant requests/second budget (0 = unlimited)")
+	maxScanInflight := flag.Int("max-scan-inflight", 0, "per-tenant cap on in-flight scan/batch chunks (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
 	flag.Parse()
 
@@ -53,16 +60,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "occrouter: -peers: %v\n", err)
 		os.Exit(2)
 	}
+	weights, err := server.ParseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occrouter: -tenant-weights: %v\n", err)
+		os.Exit(2)
+	}
 
 	sink := &obs.Sink{Metrics: obs.NewRegistry()}
 	r, err := cluster.NewRouter(cluster.Options{
-		Nodes:      nodes,
-		Replicas:   *replicas,
-		TileDim:    *tileDim,
-		HintDir:    *hintDir,
-		NoWire:     *noWire,
-		RetryAfter: *retryAfter,
-		Obs:        sink,
+		Nodes:       nodes,
+		Replicas:    *replicas,
+		TileDim:     *tileDim,
+		HintDir:     *hintDir,
+		NoWire:      *noWire,
+		RetryAfter:  *retryAfter,
+		MaxInflight: *inflight,
+		QueueDepth:  *queue,
+		Tenants: server.TenantConfig{
+			Weights:          weights,
+			QuotaBytesPerSec: *tenantQuotaBytes,
+			QuotaRPS:         *tenantQuotaRPS,
+			MaxScanInflight:  *maxScanInflight,
+		},
+		Obs: sink,
 	})
 	fail(err)
 	hs := &http.Server{Addr: *addr, Handler: r.Handler()}

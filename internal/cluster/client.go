@@ -35,6 +35,11 @@ type NodeClient struct {
 	// timeout). The local harness injects one whose transport can
 	// simulate a network partition.
 	HTTP *http.Client
+	// Tenant, when set, rides every data-plane request as the X-Tenant
+	// header, so node-side admission schedules the fan-out under the
+	// same tenant the router admitted. Empty = the default lane
+	// (router-internal traffic: hint drains, read repairs, probes).
+	Tenant string
 }
 
 // NewNodeClient builds a client for one node.
@@ -43,6 +48,26 @@ func NewNodeClient(id, baseURL string) *NodeClient {
 		ID:      id,
 		BaseURL: strings.TrimRight(baseURL, "/"),
 		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// ForTenant returns a client whose requests carry tenant identity —
+// a shallow copy sharing the transport, so per-request tenant
+// stamping costs one struct copy and no new connections. The default
+// tenant travels unstamped (it is the absence of a header).
+func (c *NodeClient) ForTenant(tenant string) *NodeClient {
+	if tenant == "" || tenant == server.DefaultTenant || tenant == c.Tenant {
+		return c
+	}
+	cc := *c
+	cc.Tenant = tenant
+	return &cc
+}
+
+// stampTenant adds the X-Tenant header when the client carries one.
+func (c *NodeClient) stampTenant(req *http.Request) {
+	if c.Tenant != "" {
+		req.Header.Set(server.TenantHeader, c.Tenant)
 	}
 }
 
@@ -119,6 +144,7 @@ func (c *NodeClient) GetTile(name string, box layout.Box, wire bool) ([]float64,
 		return nil, 0, err
 	}
 	req.Header.Set(server.TileWantGenHeader, "1")
+	c.stampTenant(req)
 	if wire {
 		req.Header.Set("Accept-Encoding", server.WireEncoding)
 	}
@@ -173,6 +199,7 @@ func (c *NodeClient) PutTile(name string, box layout.Box, data []float64, gen ui
 		return 0, false, err
 	}
 	req.Header.Set(server.TileGenHeader, strconv.FormatUint(gen, 10))
+	c.stampTenant(req)
 	if wire {
 		req.Header.Set("Content-Encoding", server.WireEncoding)
 	}
@@ -195,7 +222,13 @@ func (c *NodeClient) PutTile(name string, box layout.Box, data []float64, gen ui
 // so NaN/Inf results survive the JSON hop — plus the element count.
 func (c *NodeClient) Reduce(name string, box layout.Box, op string) (float64, int64, error) {
 	reqBody, _ := json.Marshal(map[string]any{"op": op, "lo": box.Lo, "hi": box.Hi})
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/arrays/"+name+"/reduce", "application/json", bytes.NewReader(reqBody))
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/arrays/"+name+"/reduce", bytes.NewReader(reqBody))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.stampTenant(req)
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return 0, 0, unavailable(err)
 	}

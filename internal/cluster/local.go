@@ -36,6 +36,16 @@ type LocalOptions struct {
 	NoWire bool
 	// Seed derives each node's fault injector seed.
 	Seed int64
+	// Tenants configures both the router's and every node's tenant
+	// plane (weights, quotas, chunk caps) — one policy, applied at both
+	// hops, the way a fleet-wide config push would.
+	Tenants server.TenantConfig
+	// MaxInflight caps each node's concurrently admitted requests
+	// (0 = server default). The fairness suite shrinks it to force
+	// queueing.
+	MaxInflight int
+	// QueueDepth bounds each plane's admission queues (0 = default).
+	QueueDepth int
 	// Obs observes the ROUTER (nodes get plain registries).
 	Obs *obs.Sink
 }
@@ -130,12 +140,14 @@ func NewLocal(o LocalOptions) (*LocalCluster, error) {
 		lc.nodes = append(lc.nodes, n)
 	}
 	r, err := NewRouter(Options{
-		Nodes:    clients,
-		Replicas: o.Replicas,
-		TileDim:  o.TileDim,
-		HintDir:  o.HintDir,
-		NoWire:   o.NoWire,
-		Obs:      o.Obs,
+		Nodes:      clients,
+		Replicas:   o.Replicas,
+		TileDim:    o.TileDim,
+		HintDir:    o.HintDir,
+		NoWire:     o.NoWire,
+		QueueDepth: o.QueueDepth,
+		Tenants:    o.Tenants,
+		Obs:        o.Obs,
 	})
 	if err != nil {
 		lc.closeNodes()
@@ -160,11 +172,13 @@ func (lc *LocalCluster) RestartRouter() error {
 	lc.routerSrv.Close()
 	lc.Router.hints.Close()
 	r, err := NewRouter(Options{
-		Nodes:    lc.clients,
-		Replicas: lc.opts.Replicas,
-		TileDim:  lc.opts.TileDim,
-		HintDir:  lc.opts.HintDir,
-		NoWire:   lc.opts.NoWire,
+		Nodes:      lc.clients,
+		Replicas:   lc.opts.Replicas,
+		TileDim:    lc.opts.TileDim,
+		HintDir:    lc.opts.HintDir,
+		NoWire:     lc.opts.NoWire,
+		QueueDepth: lc.opts.QueueDepth,
+		Tenants:    lc.opts.Tenants,
 	})
 	if err != nil {
 		return err
@@ -200,6 +214,9 @@ func (n *LocalNode) boot(o LocalOptions, lc *LocalCluster) {
 	n.srv = server.New(n.disk, n.eng, server.Config{
 		NodeID:      n.ID,
 		DurablePuts: o.DurablePuts,
+		MaxInflight: o.MaxInflight,
+		QueueDepth:  o.QueueDepth,
+		Tenants:     o.Tenants,
 		Obs:         &obs.Sink{Metrics: obs.NewRegistry()},
 	})
 	h := n.srv.Handler()

@@ -83,15 +83,15 @@ func resolveOpBox(am arrayMeta, lo, hi []int64) (layout.Box, int, string) {
 // boxGet reads one request box through the replicated plane: grid
 // decomposition, freshest-replica reads, stitching — the tile GET's
 // data path as a reusable call.
-func (r *Router) boxGet(name string, box layout.Box) ([]float64, uint64, error) {
+func (r *Router) boxGet(tenant, name string, box layout.Box) ([]float64, uint64, error) {
 	pieces := gridTiles(box, r.opts.TileDim)
 	if len(pieces) == 1 {
-		return r.pieceGet(name, pieces[0])
+		return r.pieceGet(tenant, name, pieces[0])
 	}
 	out := make([]float64, box.Size())
 	var maxGen uint64
 	for _, piece := range pieces {
-		data, gen, err := r.pieceGet(name, piece)
+		data, gen, err := r.pieceGet(tenant, name, piece)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -106,7 +106,7 @@ func (r *Router) boxGet(name string, box layout.Box) ([]float64, uint64, error) 
 // boxPut writes one request box through the replicated plane,
 // returning the highest generation assigned. false means some piece
 // missed its write quorum.
-func (r *Router) boxPut(name string, box layout.Box, data []float64) (uint64, bool) {
+func (r *Router) boxPut(tenant, name string, box layout.Box, data []float64) (uint64, bool) {
 	pieces := gridTiles(box, r.opts.TileDim)
 	var maxGen uint64
 	for _, piece := range pieces {
@@ -115,7 +115,7 @@ func (r *Router) boxPut(name string, box layout.Box, data []float64) (uint64, bo
 			pdata = make([]float64, piece.Size())
 			copyRegion(pdata, piece, data, box, piece)
 		}
-		gen, ok := r.piecePut(name, piece, pdata)
+		gen, ok := r.piecePut(tenant, name, piece, pdata)
 		if !ok {
 			return 0, false
 		}
@@ -151,10 +151,19 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.met.batches.Inc()
+	tenant := server.TenantOf(req)
 	results := make([]batchWireResult, len(body.Ops))
 	failed := 0
 	for i, op := range body.Ops {
-		results[i] = r.batchOne(am, op)
+		// The per-tenant chunk cap paces batch trains the same way it
+		// paces scan chunks: one slot per op, released between ops.
+		chunkDone, ok := r.tenants.AcquireChunk(req.Context(), tenant)
+		if !ok {
+			results[i] = batchWireResult{Status: http.StatusServiceUnavailable, Error: "request canceled"}
+		} else {
+			results[i] = r.batchOne(am, op, tenant)
+			chunkDone()
+		}
 		r.met.batchOps.Inc()
 		if results[i].Status >= 400 {
 			r.met.batchOpErrors.Inc()
@@ -167,17 +176,18 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}{results, failed})
 }
 
-func (r *Router) batchOne(am arrayMeta, op batchWireOp) batchWireResult {
+func (r *Router) batchOne(am arrayMeta, op batchWireOp, tenant string) batchWireResult {
 	box, status, msg := resolveOpBox(am, op.Lo, op.Hi)
 	if status != 0 {
 		return batchWireResult{Status: status, Error: msg}
 	}
 	switch op.Op {
 	case "get":
-		data, gen, err := r.boxGet(am.Name, box)
+		data, gen, err := r.boxGet(tenant, am.Name, box)
 		if err != nil {
 			return r.batchOpError(err)
 		}
+		r.tenants.DebitBytes(tenant, box.Size()*ooc.ElemSize)
 		payload := make([]byte, len(data)*ooc.ElemSize)
 		for i, v := range data {
 			binary.LittleEndian.PutUint64(payload[i*ooc.ElemSize:], math.Float64bits(v))
@@ -201,11 +211,12 @@ func (r *Router) batchOne(am arrayMeta, op batchWireOp) batchWireResult {
 		for i := range data {
 			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*ooc.ElemSize:]))
 		}
-		gen, ok := r.boxPut(am.Name, box, data)
+		gen, ok := r.boxPut(tenant, am.Name, box, data)
 		if !ok {
 			r.met.quorumFailures.Inc()
 			return batchWireResult{Status: http.StatusServiceUnavailable, Error: "write quorum unavailable"}
 		}
+		r.tenants.DebitBytes(tenant, box.Size()*ooc.ElemSize)
 		return batchWireResult{Status: http.StatusNoContent, Elems: box.Size(), Gen: gen}
 	default:
 		return batchWireResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("unknown op %q (get, put)", op.Op)}
@@ -281,16 +292,32 @@ func (r *Router) handleScan(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.met.scans.Inc()
+	tenant := server.TenantOf(req)
 	compress := acceptsWire(req.Header.Get("Accept-Encoding"))
 	w.Header().Set("Content-Type", server.ScanContentType)
 	w.Header().Set("X-Scan-Chunks", strconv.Itoa(len(plan)))
 	w.Header().Set("X-Scan-Chunk-Elems", strconv.FormatInt(chunkElems, 10))
 	flusher, _ := w.(http.Flusher)
 
+	// With a chunk cap configured, the stream's cost is paid per chunk
+	// from here on — hand the admission slot back so a multi-second
+	// scan cannot pin it while point requests queue behind a resource
+	// DRR never sees. (The router has no engine to drain, so nothing
+	// downstream depends on the slot outliving the stream.)
+	r.tenants.ReleaseAdmissionEarly(req)
+
 	var frame []byte
 	for seq := startSeq; seq < uint64(len(plan)); seq++ {
 		ch := plan[seq]
-		data, _, err := r.boxGet(am.Name, ch)
+		// One chunk slot per fan-out: the tenant's scan train shares
+		// the node pool fairly instead of monopolizing it.
+		chunkDone, ok := r.tenants.AcquireChunk(req.Context(), tenant)
+		if !ok {
+			// Client gone mid-stream; it resumes from its cursor.
+			return
+		}
+		data, _, err := r.boxGet(tenant, am.Name, ch)
+		chunkDone()
 		if err != nil {
 			if seq == startSeq {
 				r.met.errors.Inc()
@@ -311,6 +338,7 @@ func (r *Router) handleScan(w http.ResponseWriter, req *http.Request) {
 		if _, err := w.Write(frame); err != nil {
 			return
 		}
+		r.tenants.DebitBytes(tenant, ch.Size()*ooc.ElemSize)
 		r.met.scanChunks.Inc()
 		if flusher != nil {
 			flusher.Flush()
@@ -366,6 +394,7 @@ func (r *Router) handleReduce(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.met.reduces.Inc()
+	tenant := server.TenantOf(req)
 	var (
 		sum   float64
 		minV  = math.Inf(1)
@@ -373,7 +402,12 @@ func (r *Router) handleReduce(w http.ResponseWriter, req *http.Request) {
 		count int64
 	)
 	for _, piece := range gridTiles(box, r.opts.TileDim) {
-		value, n, err := r.pieceReduce(am.Name, piece, body.Op)
+		chunkDone, ok := r.tenants.AcquireChunk(req.Context(), tenant)
+		if !ok {
+			return
+		}
+		value, n, err := r.pieceReduce(tenant, am.Name, piece, body.Op)
+		chunkDone()
 		if err != nil {
 			r.met.errors.Inc()
 			if errors.Is(err, ErrUnavailable) {
@@ -430,14 +464,14 @@ func (r *Router) handleReduce(w http.ResponseWriter, req *http.Request) {
 // same availability stance as pieceGet, without its freshness
 // comparison; a reduce against a diverged replica set is eventually
 // consistent, converging once hints drain and read-repair runs).
-func (r *Router) pieceReduce(name string, piece layout.Box, op string) (float64, int64, error) {
+func (r *Router) pieceReduce(tenant, name string, piece layout.Box, op string) (float64, int64, error) {
 	key := tileKeyOf(name, routingTile(piece, r.opts.TileDim))
 	var hardErr error
 	for _, m := range r.replicasFor(keyhash.Bytes([]byte(key))) {
 		if m.down.Load() {
 			continue
 		}
-		value, count, err := m.client.Reduce(name, piece, op)
+		value, count, err := m.client.ForTenant(tenant).Reduce(name, piece, op)
 		if err != nil {
 			if errors.Is(err, ErrUnavailable) {
 				r.markDown(m)

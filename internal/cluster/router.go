@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,6 +54,17 @@ type Options struct {
 	NoWire bool
 	// RetryAfter is the hint returned with 503 responses (default 1s).
 	RetryAfter time.Duration
+	// MaxInflight caps concurrently admitted data-plane requests
+	// (default 4x GOMAXPROCS — fan-out requests spend most of their
+	// time waiting on node I/O, so the router runs wider than a node).
+	MaxInflight int
+	// QueueDepth bounds waiters across all tenant admission queues
+	// (default 256).
+	QueueDepth int
+	// Tenants configures the router's tenant plane: DRR weights,
+	// request/byte quotas, and the per-tenant chunk cap. The zero value
+	// is the pre-tenant behavior.
+	Tenants server.TenantConfig
 	// Obs supplies the metrics registry behind the router's /metrics.
 	Obs *obs.Sink
 }
@@ -152,6 +164,8 @@ type Router struct {
 	mux      *http.ServeMux
 	reg      *obs.Registry
 	met      routerMetrics
+	sem      chan struct{}
+	tenants  *server.TenantPlane
 	draining atomic.Bool
 }
 
@@ -174,6 +188,12 @@ func NewRouter(o Options) (*Router, error) {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
 	}
 	seen := map[string]bool{}
 	r := &Router{opts: o}
@@ -237,6 +257,15 @@ func NewRouter(o Options) (*Router, error) {
 	r.met.replicas.Set(float64(o.Replicas))
 	r.met.nodesUp.Set(float64(len(r.members)))
 
+	r.sem = make(chan struct{}, o.MaxInflight)
+	r.tenants = server.NewTenantPlane(server.TenantPlaneOpts{
+		Config:       o.Tenants,
+		MetricPrefix: "occrouter",
+		Reg:          reg,
+		Pool:         r.sem,
+		QueueDepth:   o.QueueDepth,
+	})
+
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
@@ -252,21 +281,26 @@ func NewRouter(o Options) (*Router, error) {
 	return r, nil
 }
 
-// Handler returns the HTTP handler to mount.
-func (r *Router) Handler() http.Handler { return r.mux }
+// Handler returns the HTTP handler to mount: the route table behind
+// the tenant layer, so every request carries a resolved identity (and
+// /t/<id>/-prefixed paths route like their bare forms).
+func (r *Router) Handler() http.Handler { return server.TenantHandler(r.mux) }
 
 // Replicas returns R.
 func (r *Router) Replicas() int { return r.opts.Replicas }
 
-// Drain stops admitting work and closes the hint logs. Node lifecycles
-// are not the router's to manage.
+// Drain stops admitting work, fails every queued admission with 503,
+// and closes the hint logs. Node lifecycles are not the router's to
+// manage.
 func (r *Router) Drain() error {
 	r.draining.Store(true)
+	r.tenants.FailWaiters()
 	return r.hints.Close()
 }
 
-// timed wraps a data-plane handler with admission and latency
-// accounting.
+// timed wraps a data-plane handler with admission — tenant quotas
+// (429 + Retry-After), then a DRR-scheduled slot from the shared pool
+// (503 when the queue is full) — and latency accounting.
 func (r *Router) timed(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		if r.draining.Load() {
@@ -275,10 +309,33 @@ func (r *Router) timed(next http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		r.met.requests.Inc()
+		tenant := server.TenantOf(req)
+		if ok, wait := r.tenants.Allow(tenant); !ok {
+			w.Header().Set("Retry-After", retrySecs(wait))
+			http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
+			return
+		}
+		release, ok := r.tenants.Acquire(req, tenant)
+		if !ok {
+			w.Header().Set("Retry-After", r.retryAfter())
+			http.Error(w, "admission queue full", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+		req = server.WithAdmissionRelease(req, release)
 		t0 := time.Now()
 		next(w, req)
 		r.met.latency.Observe(time.Since(t0).Seconds())
 	}
+}
+
+// retrySecs renders a Retry-After duration as whole seconds (min 1).
+func retrySecs(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func (r *Router) retryAfter() string {
@@ -471,18 +528,19 @@ type nodeStat struct {
 // harness's delta reporting included) works unchanged against a
 // router; cluster and nodes carry the distributed story.
 type routerStatsPayload struct {
-	Engine            ooc.EngineStats `json:"engine"`
-	HitRate           float64         `json:"hit_rate"`
-	Requests          int64           `json:"requests"`
-	Coalesced         int64           `json:"coalesced"`
-	RejectedRateLimit int64           `json:"rejected_ratelimit"`
-	RejectedQueue     int64           `json:"rejected_queue"`
-	Inflight          int64           `json:"inflight"`
-	Queued            int64           `json:"queued"`
-	Draining          bool            `json:"draining"`
-	Ops               routerOpsStats  `json:"ops"`
-	Cluster           clusterStats    `json:"cluster"`
-	Nodes             []nodeStat      `json:"nodes"`
+	Engine            ooc.EngineStats     `json:"engine"`
+	HitRate           float64             `json:"hit_rate"`
+	Requests          int64               `json:"requests"`
+	Coalesced         int64               `json:"coalesced"`
+	RejectedRateLimit int64               `json:"rejected_ratelimit"`
+	RejectedQueue     int64               `json:"rejected_queue"`
+	Inflight          int64               `json:"inflight"`
+	Queued            int64               `json:"queued"`
+	Draining          bool                `json:"draining"`
+	Ops               routerOpsStats      `json:"ops"`
+	Cluster           clusterStats        `json:"cluster"`
+	Nodes             []nodeStat          `json:"nodes"`
+	Tenants           []server.TenantStat `json:"tenants,omitempty"`
 }
 
 // routerOpsStats mirrors occd's batch/scan/reduce scorecard keys, with
@@ -499,9 +557,15 @@ type routerOpsStats struct {
 }
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	rejQuota, rejQueue := r.tenants.Totals()
 	p := routerStatsPayload{
-		Requests: r.met.requests.Value(),
-		Draining: r.draining.Load(),
+		Requests:          r.met.requests.Value(),
+		RejectedRateLimit: rejQuota,
+		RejectedQueue:     rejQueue,
+		Inflight:          int64(r.tenants.InflightLen()),
+		Queued:            r.tenants.Queued(),
+		Draining:          r.draining.Load(),
+		Tenants:           r.tenants.Stats(),
 		Ops: routerOpsStats{
 			BatchRequests:  r.met.batches.Value(),
 			BatchOps:       r.met.batchOps.Value(),
@@ -687,8 +751,10 @@ func (r *Router) target(w http.ResponseWriter, req *http.Request) (arrayMeta, la
 // while any replica lives, at the price of possible staleness when
 // the only survivor's copy is still a queued hint), and synchronously
 // read-repair stale responders. See the package comment for the full
-// consistency contract.
-func (r *Router) pieceGet(name string, piece layout.Box) ([]float64, uint64, error) {
+// consistency contract. The fan-out rides under tenant's identity so
+// node-side admission schedules it in the right lane; read-repair
+// stays untenanted (system traffic, not the tenant's bytes).
+func (r *Router) pieceGet(tenant, name string, piece layout.Box) ([]float64, uint64, error) {
 	key := tileKeyOf(name, routingTile(piece, r.opts.TileDim))
 	reps := r.replicasFor(keyhash.Bytes([]byte(key)))
 
@@ -707,7 +773,7 @@ func (r *Router) pieceGet(name string, piece layout.Box) ([]float64, uint64, err
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			data, gen, err := m.client.GetTile(name, piece, !r.opts.NoWire)
+			data, gen, err := m.client.ForTenant(tenant).GetTile(name, piece, !r.opts.NoWire)
 			if err != nil && errors.Is(err, ErrUnavailable) {
 				r.markDown(m)
 			}
@@ -760,8 +826,9 @@ func (r *Router) pieceGet(name string, piece layout.Box) ([]float64, uint64, err
 // piecePut writes one grid-tile piece to its replica set under a fresh
 // generation: live replicas synchronously, down or failing replicas as
 // durable hints. ok requires a sloppy quorum — at least one live ack,
-// and live acks plus durably queued hints reaching majority.
-func (r *Router) piecePut(name string, piece layout.Box, data []float64) (uint64, bool) {
+// and live acks plus durably queued hints reaching majority. The live
+// fan-out carries tenant's identity; hint replay stays untenanted.
+func (r *Router) piecePut(tenant, name string, piece layout.Box, data []float64) (uint64, bool) {
 	key := tileKeyOf(name, routingTile(piece, r.opts.TileDim))
 	reps := r.replicasFor(keyhash.Bytes([]byte(key)))
 
@@ -789,7 +856,7 @@ func (r *Router) piecePut(name string, piece layout.Box, data []float64) (uint64
 			wg.Add(1)
 			go func(i int, m *member) {
 				defer wg.Done()
-				stored, stale, err := m.client.PutTile(name, piece, data, gen, !r.opts.NoWire)
+				stored, stale, err := m.client.ForTenant(tenant).PutTile(name, piece, data, gen, !r.opts.NoWire)
 				if err != nil {
 					if errors.Is(err, ErrUnavailable) {
 						r.markDown(m)
@@ -848,11 +915,12 @@ func (r *Router) handleTileGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.met.gets.Inc()
+	tenant := server.TenantOf(req)
 	pieces := gridTiles(box, r.opts.TileDim)
 	out := make([]float64, box.Size())
 	var maxGen uint64
 	for _, piece := range pieces {
-		data, gen, err := r.pieceGet(am.Name, piece)
+		data, gen, err := r.pieceGet(tenant, am.Name, piece)
 		if err != nil {
 			r.met.errors.Inc()
 			if errors.Is(err, ErrUnavailable) {
@@ -884,6 +952,7 @@ func (r *Router) handleTileGet(w http.ResponseWriter, req *http.Request) {
 			binary.LittleEndian.PutUint64(payload[i*ooc.ElemSize:], math.Float64bits(v))
 		}
 	}
+	r.tenants.DebitBytes(tenant, box.Size()*ooc.ElemSize)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(server.TileGenHeader, strconv.FormatUint(maxGen, 10))
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
@@ -926,6 +995,7 @@ func (r *Router) handleTilePut(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	tenant := server.TenantOf(req)
 	pieces := gridTiles(box, r.opts.TileDim)
 	var maxGen uint64
 	for _, piece := range pieces {
@@ -936,7 +1006,7 @@ func (r *Router) handleTilePut(w http.ResponseWriter, req *http.Request) {
 			pdata = make([]float64, piece.Size())
 			copyRegion(pdata, piece, data, box, piece)
 		}
-		gen, ok := r.piecePut(am.Name, piece, pdata)
+		gen, ok := r.piecePut(tenant, am.Name, piece, pdata)
 		if !ok {
 			r.met.errors.Inc()
 			r.met.quorumFailures.Inc()
@@ -948,6 +1018,7 @@ func (r *Router) handleTilePut(w http.ResponseWriter, req *http.Request) {
 			maxGen = gen
 		}
 	}
+	r.tenants.DebitBytes(tenant, box.Size()*ooc.ElemSize)
 	w.Header().Set(server.TileGenHeader, strconv.FormatUint(maxGen, 10))
 	w.Header().Set("X-Tile-Elems", strconv.FormatInt(box.Size(), 10))
 	w.WriteHeader(http.StatusNoContent)

@@ -1,0 +1,516 @@
+package dst
+
+// Tenant episodes: the deterministic-simulation discipline applied to
+// the multi-tenant admission plane (PR 10). A seeded scheduler drives
+// two tenants — a weighted interactive "point" tenant and a streaming
+// "scan" tenant — through a {router + N nodes, R replicas}
+// LocalCluster while killing, partitioning, and healing nodes
+// underneath them, and checks the three properties the tenant plane
+// must keep under faults:
+//
+//   - no DRR wedge: after EVERY round — mid-fault included — a point
+//     request gets a verdict (2xx/429/503) within the client deadline.
+//     A hang means a queue slot or deficit-round-robin grant was lost
+//     to a crash and the plane stopped draining.
+//
+//   - clean verdicts only: every request the plane admits either
+//     completes or fails with an explicit, expected status. Scans
+//     abandoned mid-stream (the crash-severed connection) must release
+//     their chunk slots rather than strand them.
+//
+//   - no queue-slot leaks: after the epilogue heal, the router's
+//     admission pool is empty (inflight 0, queued 0, every per-tenant
+//     queue 0), both tenants can still get work done, and a full scan
+//     streams to its trailer.
+//
+// Data durability under these same faults is the cluster and operator
+// episodes' job; tenant episodes only assert the admission plane.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"outcore/internal/cluster"
+	"outcore/internal/layout"
+	"outcore/internal/server"
+)
+
+const (
+	pointTenant = "point"
+	scanTenant  = "scan"
+)
+
+// TenantsOptions configures one tenant episode. The zero value gets
+// sane defaults from RunTenants; Seed alone is enough.
+type TenantsOptions struct {
+	Seed int64
+
+	Rounds    int   // scheduler steps (default 40)
+	Nodes     int   // storage nodes (default 3)
+	Replicas  int   // copies per tile (default 2)
+	Tiles     int   // tile-grid length (default 8)
+	TileElems int64 // elements per tile (default 16)
+
+	// MaxInflight shrinks each plane's admission pool so contention
+	// actually queues (default 2). QueueDepth bounds the queues so
+	// overload answers 503 instead of growing (default 16).
+	MaxInflight int
+	QueueDepth  int
+
+	HintDir    string // durable hint-log directory ("" = in-memory hints)
+	MaxPending int    // epilogue probe rounds allowed to drain/recover (default 10)
+}
+
+func (o TenantsOptions) withDefaults() TenantsOptions {
+	if o.Rounds <= 0 {
+		o.Rounds = 40
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Tiles <= 0 {
+		o.Tiles = 8
+	}
+	if o.TileElems <= 0 {
+		o.TileElems = 16
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 10
+	}
+	return o
+}
+
+// TenantsResult is one tenant episode's verdict.
+type TenantsResult struct {
+	Seed int64
+
+	Rounds       int
+	PointReqs    int // point-tenant requests issued (bursts + wedge probes)
+	PointOK      int // of those, 200s
+	Scans        int // scan streams started
+	ScanChunks   int // intact chunks consumed across all streams
+	ScanAbandons int // streams abandoned mid-flight (slot-release path)
+	Rejects      int // clean 429/503 verdicts (surfaced, not hidden)
+	Kills        int // node crashes injected
+	Partitions   int // router→node partitions injected
+	Heals        int // scheduled whole-cluster heals
+
+	Violations []string
+	OpLog      string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *TenantsResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a one-line verdict.
+func (r *TenantsResult) Summary() string {
+	verdict := "ok"
+	if r.Failed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("tenants seed=%d rounds=%d point=%d ok=%d scans=%d chunks=%d abandons=%d rejects=%d kills=%d parts=%d heals=%d %s",
+		r.Seed, r.Rounds, r.PointReqs, r.PointOK, r.Scans, r.ScanChunks,
+		r.ScanAbandons, r.Rejects, r.Kills, r.Partitions, r.Heals, verdict)
+}
+
+// tenantsEpisode is the running state of one seeded tenant episode.
+type tenantsEpisode struct {
+	o   TenantsOptions
+	rng *rand.Rand
+	lc  *cluster.LocalCluster
+	res *TenantsResult
+	log strings.Builder
+
+	// httpc turns a wedged admission queue into a visible verdict: any
+	// request that outlives the deadline is a violation, not a hang.
+	httpc *http.Client
+}
+
+// wedgeDeadline bounds every tenant-episode request. It is generous —
+// a healthy plane answers in milliseconds even mid-fault, because a
+// down replica is a fast 503, not a slow success — so tripping it
+// means the admission queue genuinely stopped draining.
+const wedgeDeadline = 15 * time.Second
+
+// RunTenants executes one seeded tenant episode. Violations are
+// collected, never panicked, so a harness can sweep many seeds and
+// report every failing one.
+func RunTenants(o TenantsOptions) *TenantsResult {
+	o = o.withDefaults()
+	ep := &tenantsEpisode{
+		o:     o,
+		rng:   rand.New(rand.NewSource(o.Seed)),
+		res:   &TenantsResult{Seed: o.Seed},
+		httpc: &http.Client{Timeout: wedgeDeadline},
+	}
+	lc, err := cluster.NewLocal(cluster.LocalOptions{
+		Nodes:       o.Nodes,
+		Replicas:    o.Replicas,
+		TileDim:     o.TileElems, // 1-D grid: one routing tile per model tile
+		DurablePuts: true,
+		HintDir:     o.HintDir,
+		Seed:        o.Seed + 1,
+		MaxInflight: o.MaxInflight,
+		QueueDepth:  o.QueueDepth,
+		Tenants: server.TenantConfig{
+			Weights:         map[string]float64{pointTenant: 4, scanTenant: 1},
+			MaxScanInflight: 2,
+		},
+	})
+	if err != nil {
+		ep.violate("building cluster: %v", err)
+		return ep.res
+	}
+	ep.lc = lc
+	defer lc.Close()
+	if err := lc.CreateArray(arrayName, int64(o.Tiles)*o.TileElems); err != nil {
+		ep.violate("creating %s: %v", arrayName, err)
+		return ep.res
+	}
+	// Seed every tile so point reads and scans have real data to serve.
+	cli := lc.Client().ForTenant(pointTenant)
+	for t := 0; t < o.Tiles; t++ {
+		data := make([]float64, o.TileElems)
+		for i := range data {
+			data[i] = float64(t + 1)
+		}
+		if _, _, err := cli.PutTile(arrayName, ep.tileBox(t), data, 0, true); err != nil {
+			ep.violate("seeding tile %d: %v", t, err)
+			return ep.res
+		}
+	}
+
+	for round := 0; round < o.Rounds; round++ {
+		ep.res.Rounds++
+		switch u := ep.rng.Float64(); {
+		case u < 0.35:
+			ep.pointBurst()
+		case u < 0.65:
+			ep.scanStream()
+		case u < 0.85:
+			ep.fault()
+		default:
+			ep.heal("scheduled")
+		}
+		// The no-wedge invariant, checked after EVERY round: the plane
+		// must hand the point tenant a verdict no matter what just died.
+		ep.wedgeProbe(round)
+	}
+	ep.epilogue()
+	ep.res.OpLog = ep.log.String()
+	return ep.res
+}
+
+// tileBox returns model tile t's (routing-aligned) box.
+func (ep *tenantsEpisode) tileBox(t int) layout.Box {
+	lo := int64(t) * ep.o.TileElems
+	return layout.NewBox([]int64{lo}, []int64{lo + ep.o.TileElems})
+}
+
+// pointGet issues one tenant-stamped tile GET through the router and
+// classifies the verdict. It returns the status code (0 on transport
+// error) and whether the verdict was clean.
+func (ep *tenantsEpisode) pointGet(t int, where string) int {
+	box := ep.tileBox(t)
+	url := fmt.Sprintf("%s/v1/arrays/%s/tile?lo=%d&hi=%d",
+		ep.lc.RouterURL, arrayName, box.Lo[0], box.Hi[0])
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		ep.violate("%s: building request: %v", where, err)
+		return 0
+	}
+	req.Header.Set(server.TenantHeader, pointTenant)
+	ep.res.PointReqs++
+	resp, err := ep.httpc.Do(req)
+	if err != nil {
+		// The router itself never dies in this episode, so a transport
+		// failure is the wedge the deadline exists to expose.
+		ep.violate("%s: point GET tile %d got no verdict: %v", where, t, err)
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		ep.res.PointOK++
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		ep.res.Rejects++
+	default:
+		ep.violate("%s: point GET tile %d: unexpected status %d", where, t, resp.StatusCode)
+	}
+	return resp.StatusCode
+}
+
+// pointBurst fires a short burst of point-tenant reads — the
+// interactive traffic whose tail the plane exists to protect.
+func (ep *tenantsEpisode) pointBurst() {
+	n := 1 + ep.rng.Intn(4)
+	ok := 0
+	for i := 0; i < n; i++ {
+		if ep.pointGet(ep.rng.Intn(ep.o.Tiles), "burst") == http.StatusOK {
+			ok++
+		}
+	}
+	ep.logf("point burst n=%d ok=%d", n, ok)
+}
+
+// scanStream streams a scan as the scan tenant, maybe abandoning the
+// connection mid-stream (the crash-severed client) and maybe killing a
+// node underneath it. Abandonment is the point: the chunk slots and
+// admission state it held must come back to the plane, which the
+// per-round wedge probe and the epilogue leak check verify.
+func (ep *tenantsEpisode) scanStream() {
+	ep.res.Scans++
+	total := int64(ep.o.Tiles) * ep.o.TileElems
+	lo := ep.rng.Int63n(total - 1)
+	hi := lo + 1 + ep.rng.Int63n(total-lo)
+	chunkElems := 1 + ep.rng.Int63n(ep.o.TileElems*2)
+	url := fmt.Sprintf("%s/v1/arrays/%s/scan?lo=%d&hi=%d&chunk=%d",
+		ep.lc.RouterURL, arrayName, lo, hi, chunkElems)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		ep.violate("scan: building request: %v", err)
+		return
+	}
+	req.Header.Set(server.TenantHeader, scanTenant)
+	resp, err := ep.httpc.Do(req)
+	if err != nil {
+		ep.violate("scan [%d,%d): got no verdict: %v", lo, hi, err)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		ep.res.Rejects++
+		ep.logf("scan [%d,%d) -> rejected %d", lo, hi, resp.StatusCode)
+		return
+	default:
+		io.Copy(io.Discard, resp.Body)
+		ep.violate("scan [%d,%d): unexpected status %d", lo, hi, resp.StatusCode)
+		return
+	}
+
+	abandonAfter := -1
+	if ep.rng.Intn(2) == 0 {
+		abandonAfter = 1 + ep.rng.Intn(4)
+	}
+	killAt := -1
+	if ep.rng.Intn(4) == 0 {
+		killAt = ep.rng.Intn(3)
+	}
+	sr := server.NewScanReader(resp.Body)
+	got := 0
+	for {
+		if got == abandonAfter {
+			ep.res.ScanAbandons++
+			ep.logf("scan [%d,%d) -> abandoned after %d chunks", lo, hi, got)
+			return
+		}
+		if got == killAt {
+			i := ep.rng.Intn(ep.lc.Nodes())
+			if !ep.lc.Killed(i) && !ep.lc.Partitioned(i) {
+				ep.res.Kills++
+				ep.lc.Kill(i)
+				ep.logf("scan [%d,%d) -> kill n%d under the stream", lo, hi, i)
+			}
+			killAt = -1
+		}
+		ch, err := sr.Next()
+		if err == io.EOF {
+			ep.logf("scan [%d,%d) -> complete, %d chunks", lo, hi, got)
+			return
+		}
+		if err != nil {
+			// A severed stream (node died under it) is a clean failure:
+			// the client saw exactly where it stopped and could resume.
+			ep.res.Rejects++
+			ep.logf("scan [%d,%d) -> stream cut after %d chunks: %v", lo, hi, got, err)
+			return
+		}
+		_ = ch
+		got++
+		ep.res.ScanChunks++
+	}
+}
+
+// fault crashes or partitions one random node.
+func (ep *tenantsEpisode) fault() {
+	i := ep.rng.Intn(ep.lc.Nodes())
+	if ep.lc.Killed(i) || ep.lc.Partitioned(i) {
+		ep.logf("fault n%d skipped (already down)", i)
+		return
+	}
+	if ep.rng.Intn(2) == 0 {
+		ep.res.Kills++
+		ep.lc.Kill(i)
+		ep.logf("kill n%d", i)
+	} else {
+		ep.res.Partitions++
+		ep.lc.Partition(i)
+		ep.logf("partition n%d", i)
+	}
+}
+
+// heal restores the whole cluster and re-probes membership.
+func (ep *tenantsEpisode) heal(why string) {
+	ep.res.Heals++
+	ep.lc.Heal()
+	ep.logf("heal (%s)", why)
+}
+
+// wedgeProbe is the per-round liveness check: one point request that
+// must get SOME verdict. With every replica of the probed tile down a
+// 503 is the correct answer and still counts — the invariant is that
+// the admission plane answers, not that the data is reachable.
+func (ep *tenantsEpisode) wedgeProbe(round int) {
+	if ep.pointGet(ep.rng.Intn(ep.o.Tiles), fmt.Sprintf("wedge probe round %d", round)) == 0 {
+		ep.logf("wedge probe round %d FAILED", round)
+	}
+}
+
+// routerAdmission decodes the admission fields of the router's
+// /v1/stats scorecard.
+func (ep *tenantsEpisode) routerAdmission() (inflight, queued int64, tenants map[string]struct {
+	Queued   int
+	Requests int64
+}, err error) {
+	resp, err := ep.httpc.Get(ep.lc.RouterURL + "/v1/stats")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Inflight int64 `json:"inflight"`
+		Queued   int64 `json:"queued"`
+		Tenants  []struct {
+			Tenant   string `json:"tenant"`
+			Queued   int    `json:"queued"`
+			Requests int64  `json:"requests"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, nil, err
+	}
+	tenants = make(map[string]struct {
+		Queued   int
+		Requests int64
+	}, len(st.Tenants))
+	for _, t := range st.Tenants {
+		tenants[t.Tenant] = struct {
+			Queued   int
+			Requests int64
+		}{t.Queued, t.Requests}
+	}
+	return st.Inflight, st.Queued, tenants, nil
+}
+
+// epilogue heals the world, drains owed hints, and requires the
+// admission plane to come back whole: both tenants succeed, a full
+// scan reaches its trailer, and no queue slot leaked.
+func (ep *tenantsEpisode) epilogue() {
+	ep.logf("epilogue heal")
+	ep.lc.Heal()
+	for round := 0; ep.lc.HintsPendingTotal() > 0; round++ {
+		if round >= ep.o.MaxPending {
+			ep.violate("epilogue: %d hints still queued after %d probe rounds",
+				ep.lc.HintsPendingTotal(), round)
+			break
+		}
+		ep.lc.Router.Probe()
+	}
+
+	// The point tenant must actually succeed now — bounded retries
+	// cover replicas still warming up, but a plane that never again
+	// answers 200 leaked its pool to the faults.
+	recovered := false
+	for attempt := 0; attempt < ep.o.MaxPending; attempt++ {
+		if ep.pointGet(attempt%ep.o.Tiles, "epilogue") == http.StatusOK {
+			recovered = true
+			break
+		}
+		ep.lc.Router.Probe()
+	}
+	if !recovered {
+		ep.violate("epilogue: no point request succeeded in %d attempts with all nodes up", ep.o.MaxPending)
+	}
+
+	// The scan tenant must stream a whole-array scan to its trailer —
+	// its chunk slots survived every abandoned stream.
+	total := int64(ep.o.Tiles) * ep.o.TileElems
+	url := fmt.Sprintf("%s/v1/arrays/%s/scan?lo=0&hi=%d&chunk=%d",
+		ep.lc.RouterURL, arrayName, total, ep.o.TileElems)
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set(server.TenantHeader, scanTenant)
+	if resp, err := ep.httpc.Do(req); err != nil {
+		ep.violate("epilogue: full scan got no verdict: %v", err)
+	} else {
+		ep.res.Scans++
+		sr := server.NewScanReader(resp.Body)
+		for {
+			_, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				ep.violate("epilogue: full scan cut with all nodes up: %v", err)
+				break
+			}
+			ep.res.ScanChunks++
+		}
+		resp.Body.Close()
+	}
+
+	// No queue-slot leaks: with every stream above fully consumed or
+	// answered, the router's pool must be empty and every per-tenant
+	// queue drained.
+	inflight, queued, tenants, err := ep.routerAdmission()
+	if err != nil {
+		ep.violate("epilogue: reading router stats: %v", err)
+		return
+	}
+	if inflight != 0 {
+		ep.violate("epilogue: %d admission slots still held after all traffic finished", inflight)
+	}
+	if queued != 0 {
+		ep.violate("epilogue: %d waiters still parked in admission queues", queued)
+	}
+	for _, id := range []string{pointTenant, scanTenant} {
+		ts, ok := tenants[id]
+		if !ok {
+			ep.violate("epilogue: tenant %q missing from the router scorecard", id)
+			continue
+		}
+		if ts.Queued != 0 {
+			ep.violate("epilogue: tenant %q still shows %d queued", id, ts.Queued)
+		}
+		if ts.Requests == 0 {
+			ep.violate("epilogue: tenant %q billed zero requests — identity was dropped somewhere", id)
+		}
+	}
+}
+
+func (ep *tenantsEpisode) violate(format string, args ...any) {
+	ep.res.Violations = append(ep.res.Violations, fmt.Sprintf(format, args...))
+	ep.logf("VIOLATION: "+format, args...)
+}
+
+func (ep *tenantsEpisode) logf(format string, args ...any) {
+	fmt.Fprintf(&ep.log, format, args...)
+	ep.log.WriteByte('\n')
+}

@@ -1,0 +1,85 @@
+package dst
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTenantsEpisodes sweeps the tenant episodes — two-tenant traffic
+// against a faulted cluster — across seeds; every round must get a
+// clean verdict (no DRR wedge) and the epilogue must find no leaked
+// queue slot. CI's nightly chaos job runs a wider sweep through
+// cmd/occhaos -tenants.
+func TestTenantsEpisodes(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res := RunTenants(TenantsOptions{Seed: seed})
+			if res.Failed() {
+				t.Errorf("%s", res.Summary())
+				for _, v := range res.Violations {
+					t.Errorf("  violation: %s", v)
+				}
+				t.Logf("op log:\n%s", res.OpLog)
+			}
+		})
+	}
+}
+
+// TestTenantsEpisodeStats sanity-checks that the sweep actually
+// exercised the fault machinery and both tenants: kills, partitions,
+// abandoned scans, and clean rejections all have to occur across the
+// seeds, or the episodes prove nothing about the admission plane.
+func TestTenantsEpisodeStats(t *testing.T) {
+	var ok, chunks, abandons, rejects, kills, parts int
+	for seed := int64(1); seed <= 10; seed++ {
+		res := RunTenants(TenantsOptions{Seed: seed})
+		if res.Failed() {
+			t.Fatalf("%s\nviolations: %v\nop log:\n%s", res.Summary(), res.Violations, res.OpLog)
+		}
+		ok += res.PointOK
+		chunks += res.ScanChunks
+		abandons += res.ScanAbandons
+		rejects += res.Rejects
+		kills += res.Kills
+		parts += res.Partitions
+	}
+	if ok == 0 || chunks == 0 || abandons == 0 || rejects == 0 || kills == 0 || parts == 0 {
+		t.Fatalf("10 episodes exercised ok=%d chunks=%d abandons=%d rejects=%d kills=%d parts=%d; want all nonzero",
+			ok, chunks, abandons, rejects, kills, parts)
+	}
+}
+
+// TestTenantsEpisodeDurableHints replays a tenant episode with the
+// durable hint log in the path, so the epilogue's hint drain crosses
+// the framed on-disk queue.
+func TestTenantsEpisodeDurableHints(t *testing.T) {
+	res := RunTenants(TenantsOptions{Seed: 5, HintDir: t.TempDir()})
+	if res.Failed() {
+		t.Fatalf("%s\nviolations: %v\nop log:\n%s", res.Summary(), res.Violations, res.OpLog)
+	}
+}
+
+// TestTenantsResultSummary pins the verdict line and the violation
+// plumbing occhaos prints on a red episode.
+func TestTenantsResultSummary(t *testing.T) {
+	ok := TenantsResult{Seed: 7, Rounds: 40, PointOK: 3}
+	if ok.Failed() || !strings.Contains(ok.Summary(), "seed=7") || !strings.Contains(ok.Summary(), " ok") {
+		t.Errorf("clean summary wrong: %q", ok.Summary())
+	}
+	ep := &tenantsEpisode{res: &TenantsResult{}}
+	ep.violate("tenant %s starved", "point")
+	ep.res.Violations = append(ep.res.Violations, "second")
+	if !ep.res.Failed() || !strings.Contains(ep.res.Summary(), "FAIL (2 violations)") {
+		t.Errorf("failing summary wrong: %q", ep.res.Summary())
+	}
+	if ep.res.Violations[0] != "tenant point starved" {
+		t.Errorf("violation not formatted: %q", ep.res.Violations[0])
+	}
+}

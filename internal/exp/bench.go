@@ -117,6 +117,16 @@ type BenchEntry struct {
 	ScanChunks      int64 `json:"scan_chunks,omitempty"`
 	BatchRequests   int64 `json:"batch_requests,omitempty"`
 	BatchOps        int64 `json:"batch_ops,omitempty"`
+
+	// Multi-tenant fairness metrics (occload -scenario multi-tenant
+	// serve-mt-* rows only, additive as above). Tenant names the
+	// population the row measures; the solo/contended p99 pair is the
+	// isolation evidence CI gates — the point tenant's contended p99
+	// must stay within 2x its solo p99 while a scan tenant saturates
+	// the same plane.
+	Tenant         string  `json:"tenant,omitempty"`
+	P99SoloMs      float64 `json:"p99_solo_ms,omitempty"`
+	P99ContendedMs float64 `json:"p99_contended_ms,omitempty"`
 }
 
 // BenchFailure records one (kernel, configuration) run that errored;

@@ -36,6 +36,11 @@ type LoadSpec struct {
 	Seed     int64   // deterministic tile-choice streams
 	Compress bool    // negotiate the x-ooc-gorilla wire coding both ways
 
+	// Tenant, when set, rides every request as the X-Tenant header, so
+	// the whole population bills to one tenant — the multi-tenant
+	// scenario runs one RunLoad per population.
+	Tenant string
+
 	// Scenario selects the operator mix. "" or "point" is the classic
 	// single-tile GET/PUT workload. "scan-heavy" replaces most reads
 	// with streaming range scans that each cover a full stripe of tiles
@@ -228,7 +233,7 @@ func RunLoad(spec LoadSpec) (LoadResult, error) {
 				default:
 					read := rng.Float64() < spec.ReadFrac
 					isPut = !read
-					status, err = doTileRequest(client, id, spec.BaseURL, spec.Array, tiles[pick()], read, spec.Compress, rng)
+					status, err = doTileRequest(client, id, spec.Tenant, spec.BaseURL, spec.Array, tiles[pick()], read, spec.Compress, rng)
 					tally.pointTrips++
 				}
 				d := time.Since(t0)
@@ -355,6 +360,9 @@ func doScanRequest(client *http.Client, id string, spec LoadSpec, tile layout.Bo
 		req.Header.Set("Accept-Encoding", WireEncoding)
 	}
 	req.Header.Set("X-Client-ID", id)
+	if spec.Tenant != "" {
+		req.Header.Set(TenantHeader, spec.Tenant)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, 0, err
@@ -407,6 +415,9 @@ func doBatchRequest(client *http.Client, id string, spec LoadSpec, tiles []layou
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Client-ID", id)
+	if spec.Tenant != "" {
+		req.Header.Set(TenantHeader, spec.Tenant)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
@@ -434,7 +445,7 @@ func doBatchRequest(client *http.Client, id string, spec LoadSpec, tiles []layou
 // kernels produce — so compression legs measure a realistic wire win
 // rather than the noise floor. With compress set, writes travel as
 // codec frames and reads offer the coding via Accept-Encoding.
-func doTileRequest(client *http.Client, id, base, array string, box layout.Box, read, compress bool, rng *rand.Rand) (int, error) {
+func doTileRequest(client *http.Client, id, tenant, base, array string, box layout.Box, read, compress bool, rng *rand.Rand) (int, error) {
 	url := fmt.Sprintf("%s/v1/arrays/%s/tile?lo=%s&hi=%s", base, array, coordList(box.Lo), coordList(box.Hi))
 	var req *http.Request
 	var err error
@@ -462,6 +473,9 @@ func doTileRequest(client *http.Client, id, base, array string, box layout.Box, 
 		return 0, err
 	}
 	req.Header.Set("X-Client-ID", id)
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err

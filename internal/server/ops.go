@@ -152,9 +152,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.ops.batchRequests.Inc()
+	tenant := TenantOf(r)
 	resp := batchResponse{Results: make([]batchResult, len(req.Ops))}
 	for i, op := range req.Ops {
-		resp.Results[i] = s.batchOne(ar, op)
+		// Each op counts against the tenant's in-flight chunk cap, so a
+		// wide batch shares engine capacity like a scan's chunk train
+		// instead of monopolizing it from inside one admission slot.
+		chunkDone, ok := s.tenants.AcquireChunk(r.Context(), tenant)
+		if !ok {
+			resp.Results[i] = batchResult{Status: http.StatusServiceUnavailable, Error: "request canceled"}
+			resp.Failed++
+			continue
+		}
+		resp.Results[i] = s.batchOne(ar, op, tenant)
+		chunkDone()
 		s.met.ops.batchOps.Inc()
 		if resp.Results[i].Status >= 400 {
 			s.met.ops.batchOpErrors.Inc()
@@ -168,7 +179,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // semantics: the same box validation and limits, the same per-array
 // lock discipline, the same generation merge, and — under DurablePuts
 // — the same flush-before-ack durability for every applied put.
-func (s *Server) batchOne(ar *ooc.Array, op batchOp) batchResult {
+func (s *Server) batchOne(ar *ooc.Array, op batchOp, tenant string) batchResult {
 	box, status, msg := s.resolveBox(ar, op.Lo, op.Hi)
 	if status != 0 {
 		return batchResult{Status: status, Error: msg}
@@ -179,8 +190,7 @@ func (s *Server) batchOne(ar *ooc.Array, op batchOp) batchResult {
 		if err != nil {
 			return s.batchEngineError(err)
 		}
-		s.met.wireRaw.Add(box.Size() * ooc.ElemSize)
-		s.met.wireBytes.Add(int64(len(payload)))
+		s.meterWire(tenant, box.Size()*ooc.ElemSize, int64(len(payload)))
 		return batchResult{
 			Status: http.StatusOK,
 			Elems:  box.Size(),
@@ -199,8 +209,7 @@ func (s *Server) batchOne(ar *ooc.Array, op batchOp) batchResult {
 		data := ooc.GetF64(int(box.Size()))
 		defer ooc.PutF64(data)
 		decodePayload(raw, data)
-		s.met.wireRaw.Add(box.Size() * ooc.ElemSize)
-		s.met.wireBytes.Add(int64(len(raw)))
+		s.meterWire(tenant, box.Size()*ooc.ElemSize, int64(len(raw)))
 		stored, stale, err := s.applyPut(ar, box, data, op.Gen, op.Gen != 0)
 		if err != nil {
 			return s.batchEngineError(err)
@@ -469,8 +478,18 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	defer ooc.PutBuf(frame)
 	lk := s.lockFor(ar.Meta.Name)
 	name, layoutName := ar.Meta.Name, ar.Layout.Name()
+	tenant := TenantOf(r)
 	for seq := startSeq; seq < uint64(len(plan)); seq++ {
 		ch := plan[seq]
+		// Each chunk claims one of the tenant's in-flight chunk slots
+		// before touching the engine, and releases it before the next
+		// chunk — so a scan's chunk train shares engine capacity at the
+		// configured per-tenant width instead of arriving as fast as
+		// the stream drains.
+		chunkDone, ok := s.tenants.AcquireChunk(r.Context(), tenant)
+		if !ok {
+			return // client went away while the cap was saturated
+		}
 		// Each chunk is read under the shared lock exactly like a tile
 		// GET of the chunk box; the lock is dropped between chunks so
 		// writers are never starved by a long scan.
@@ -478,6 +497,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		h, err := s.eng.Acquire(ar, ch)
 		if err != nil {
 			lk.mu.RUnlock()
+			chunkDone()
 			if seq == startSeq {
 				s.engineError(w, err)
 			}
@@ -489,13 +509,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		frame = AppendScanFrame(frame[:0], seq, ch, cursor, h.Tile().Data(), compress)
 		s.eng.Release(h, false)
 		lk.mu.RUnlock()
+		chunkDone()
 
 		if _, err := w.Write(frame); err != nil {
 			return // client went away; it resumes from its last good cursor
 		}
 		s.met.ops.scanChunks.Inc()
-		s.met.wireRaw.Add(ch.Size() * ooc.ElemSize)
-		s.met.wireBytes.Add(int64(len(frame)))
+		s.meterWire(tenant, ch.Size()*ooc.ElemSize, int64(len(frame)))
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -120,6 +120,10 @@ type Config struct {
 	// operators and the router's scorecard can tell nodes apart. Empty
 	// outside cluster mode.
 	NodeID string
+	// Tenants is the multi-tenant isolation plane: DRR weights,
+	// per-tenant request/byte quotas, and the in-flight chunk cap. The
+	// zero value keeps every tenant equal and unmetered.
+	Tenants TenantConfig
 	// Obs supplies the metrics registry behind /metrics (a registry is
 	// created when absent, so the endpoints always work).
 	Obs *obs.Sink
@@ -141,7 +145,7 @@ type Server struct {
 	flights   flightGroup
 	limiter   *rateLimiter // nil = unlimited
 	sem       chan struct{}
-	queued    atomic.Int64
+	tenants   *TenantPlane
 	draining  atomic.Bool
 	drainOnce sync.Once
 	drainErr  error
@@ -470,6 +474,15 @@ func New(d *ooc.Disk, eng ooc.TileEngine, cfg Config) *Server {
 			reduceElems:    reg.Counter("occd_reduce_elems_total", "elements folded by pushed-down reductions"),
 		},
 	}
+	s.tenants = NewTenantPlane(TenantPlaneOpts{
+		Config:       cfg.Tenants,
+		MetricPrefix: "occd",
+		Reg:          reg,
+		Pool:         s.sem,
+		QueueDepth:   cfg.QueueDepth,
+		Clock:        cfg.Clock,
+		Inflight:     s.met.inflight,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -485,8 +498,10 @@ func New(d *ooc.Disk, eng ooc.TileEngine, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler to mount.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler to mount: the tenant-resolution
+// layer (X-Tenant header, /t/<id>/ path prefix, 400 on malformed ids)
+// over the route table.
+func (s *Server) Handler() http.Handler { return TenantHandler(s.mux) }
 
 // Drain finishes the server's storage side: it stops admitting new
 // data-plane work, waits for every in-flight request to finish, then
@@ -496,13 +511,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // timeout), Drain's own barrier still guarantees no handler is
 // mid-engine-operation when the engine closes — otherwise a PUT could
 // be acknowledged with 204 while its dirty tile, pinned during Close,
-// silently missed the final flush. Requests parked in the admission
-// queue when the barrier closes proceed afterwards, observe the closed
-// engine and answer 503 — failed, not falsely acknowledged. Drain is
-// idempotent; the first error wins.
+// silently missed the final flush. Requests parked in the tenant
+// queues when the barrier closes are failed with 503 up front
+// (FailWaiters) — failed, not falsely acknowledged, and no queue slot
+// survives the drain. Drain is idempotent; the first error wins.
 func (s *Server) Drain() error {
 	s.draining.Store(true)
 	s.drainOnce.Do(func() {
+		// Flush the tenant queues first: a parked waiter holds no slot,
+		// so the fill loop below would otherwise wait forever for
+		// handed-off slots that keep feeding the queues.
+		s.tenants.FailWaiters()
 		// Admission of new work is off (draining flag), so filling the
 		// inflight semaphore is a barrier over every handler that holds
 		// a slot: when the loop completes, no request is touching the
@@ -543,7 +562,9 @@ func clientID(r *http.Request) string {
 }
 
 // admit is the data-plane gate: drain check, per-client rate limit
-// (429), then the bounded queue over the inflight semaphore (503).
+// (429), per-tenant quotas (429), then the weighted fair admission
+// queue — per-tenant queues drained by deficit round-robin over the
+// shared inflight pool (503 when the queue is full).
 func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -559,7 +580,14 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 		}
-		release, ok := s.enter(r)
+		tenant := TenantOf(r)
+		if ok, retry := s.tenants.Allow(tenant); !ok {
+			s.met.rejectedRate.Inc()
+			w.Header().Set("Retry-After", retrySeconds(retry))
+			http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
+			return
+		}
+		release, ok := s.tenants.Acquire(r, tenant)
 		if !ok {
 			s.met.rejectedQueue.Inc()
 			w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
@@ -574,30 +602,12 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// enter acquires an inflight slot, waiting in the bounded queue when
-// all slots are busy. It fails when the queue is full or the client
-// gave up (request context canceled).
-func (s *Server) enter(r *http.Request) (release func(), ok bool) {
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
-			s.queued.Add(-1)
-			return nil, false
-		}
-		select {
-		case s.sem <- struct{}{}:
-			s.queued.Add(-1)
-		case <-r.Context().Done():
-			s.queued.Add(-1)
-			return nil, false
-		}
-	}
-	s.met.inflight.Set(float64(len(s.sem)))
-	return func() {
-		<-s.sem
-		s.met.inflight.Set(float64(len(s.sem)))
-	}, true
+// meterWire tallies one tile transfer: the global wire counters the
+// compression scorecard reads, and the tenant's byte meter/quota.
+func (s *Server) meterWire(tenant string, raw, wire int64) {
+	s.met.wireRaw.Add(raw)
+	s.met.wireBytes.Add(wire)
+	s.tenants.DebitBytes(tenant, raw)
 }
 
 // retrySeconds renders a Retry-After value, rounding up to at least 1
@@ -652,6 +662,9 @@ type statsPayload struct {
 	Queued            int64             `json:"queued"`
 	Draining          bool              `json:"draining"`
 	Ops               opsStats          `json:"ops"`
+	// Tenants is the per-tenant scorecard (absent until a non-default
+	// tenant shows up, so untenanted deployments keep their shape).
+	Tenants []TenantStat `json:"tenants,omitempty"`
 }
 
 // opsStats is the batch/scan/reduce scorecard block of /v1/stats.
@@ -695,8 +708,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RejectedRateLimit: s.met.rejectedRate.Value(),
 		RejectedQueue:     s.met.rejectedQueue.Value(),
 		Inflight:          int64(len(s.sem)),
-		Queued:            s.queued.Load(),
+		Queued:            s.tenants.Queued(),
 		Draining:          s.draining.Load(),
+		Tenants:           s.tenants.Stats(),
 		Ops: opsStats{
 			BatchRequests:  s.met.ops.batchRequests.Value(),
 			BatchOps:       s.met.ops.batchOps.Value(),
@@ -898,8 +912,7 @@ func (s *Server) handleTileGet(w http.ResponseWriter, r *http.Request) {
 		s.engineError(w, err)
 		return
 	}
-	s.met.wireRaw.Add(box.Size() * ooc.ElemSize)
-	s.met.wireBytes.Add(int64(len(payload)))
+	s.meterWire(TenantOf(r), box.Size()*ooc.ElemSize, int64(len(payload)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if compress {
 		w.Header().Set("Content-Encoding", WireEncoding)
@@ -948,8 +961,7 @@ func (s *Server) handleTilePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "tile payload: %v (want %d bytes for %v)", err, want, box)
 		return
 	}
-	s.met.wireRaw.Add(want)
-	s.met.wireBytes.Add(int64(len(body)))
+	s.meterWire(TenantOf(r), want, int64(len(body)))
 	// A compressed body is decoded into scratch BEFORE the tile is
 	// acquired: DecodeFrame leaves its destination unspecified on error,
 	// and a half-decoded frame must never land in a cached tile. It also
